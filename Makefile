@@ -1,0 +1,34 @@
+# Convenience targets for the ENA reproduction.
+
+.PHONY: all build test vet bench experiments csv examples clean
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+# Regenerate every table/figure and record the outputs (the reproduction log).
+bench:
+	go test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+experiments:
+	go run ./cmd/enasim -all
+
+csv:
+	go run ./cmd/enaexport -out csv
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/designsweep
+	go run ./examples/memorytiers
+	go run ./examples/taskgraph
+	go run ./examples/reconfigure
+
+clean:
+	rm -rf csv test_output.txt bench_output.txt

@@ -1,0 +1,225 @@
+package ena
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (run with `go test -bench=. -benchmem`). Each BenchmarkFigureN/
+// BenchmarkTableN executes the corresponding experiment end-to-end and, on
+// the first iteration, prints the paper-style rows/series so a bench run
+// doubles as a reproduction log. Micro-benchmarks for the underlying
+// simulators follow.
+
+import (
+	"testing"
+
+	"ena/internal/arch"
+	"ena/internal/compress"
+	"ena/internal/core"
+	"ena/internal/cpu"
+	"ena/internal/dram"
+	"ena/internal/exp"
+	"ena/internal/memsys"
+	"ena/internal/noc"
+	"ena/internal/perf"
+	"ena/internal/power"
+	"ena/internal/ras"
+	"ena/internal/thermal"
+	"ena/internal/trace"
+	"ena/internal/workload"
+)
+
+// benchExperiment runs one registered experiment per iteration, logging its
+// rendered output once.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := exp.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = e.Run().Render()
+	}
+	b.StopTimer()
+	if out != "" {
+		b.Logf("\n%s", out)
+	}
+}
+
+func BenchmarkTable1(b *testing.B)  { benchExperiment(b, "table1") }
+func BenchmarkFigure4(b *testing.B) { benchExperiment(b, "fig4") }
+func BenchmarkFigure5(b *testing.B) { benchExperiment(b, "fig5") }
+func BenchmarkFigure6(b *testing.B) { benchExperiment(b, "fig6") }
+func BenchmarkFigure7(b *testing.B) { benchExperiment(b, "fig7") }
+func BenchmarkFigure8(b *testing.B) { benchExperiment(b, "fig8") }
+func BenchmarkFigure9(b *testing.B) { benchExperiment(b, "fig9") }
+
+// Figure 10/11 run 16+ full thermal solves per iteration; they are the
+// heavyweight entries of the suite.
+func BenchmarkFigure10(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkFigure11(b *testing.B) { benchExperiment(b, "fig11") }
+
+func BenchmarkFigure12(b *testing.B) { benchExperiment(b, "fig12") }
+func BenchmarkFigure13(b *testing.B) { benchExperiment(b, "fig13") }
+func BenchmarkFigure14(b *testing.B) { benchExperiment(b, "fig14") }
+func BenchmarkTable2(b *testing.B)   { benchExperiment(b, "table2") }
+
+func BenchmarkAblationNoC(b *testing.B)       { benchExperiment(b, "ablation-noc") }
+func BenchmarkAblationMemPolicy(b *testing.B) { benchExperiment(b, "ablation-mem") }
+func BenchmarkRAS(b *testing.B)               { benchExperiment(b, "ras") }
+
+// --- micro-benchmarks of the substrates ---
+
+// BenchmarkSimulateNode measures one high-level node simulation (the unit of
+// work the DSE performs thousands of times).
+func BenchmarkSimulateNode(b *testing.B) {
+	cfg := arch.BestMeanEHP()
+	k := workload.LULESH()
+	for i := 0; i < b.N; i++ {
+		core.Simulate(cfg, k, core.Options{})
+	}
+}
+
+// BenchmarkRooflineEstimate measures the analytic performance model alone.
+func BenchmarkRooflineEstimate(b *testing.B) {
+	cfg := arch.BestMeanEHP()
+	k := workload.CoMD()
+	env := perf.DefaultEnv(cfg, k)
+	for i := 0; i < b.N; i++ {
+		perf.Estimate(cfg, k, env)
+	}
+}
+
+// BenchmarkPowerModel measures the component power model alone.
+func BenchmarkPowerModel(b *testing.B) {
+	cfg := arch.BestMeanEHP()
+	d := power.Demand{Activity: 0.6, TrafficTBps: 2, ExtTrafficTBps: 0.4, RemoteFrac: 0.5}
+	for i := 0; i < b.N; i++ {
+		power.Compute(cfg, d)
+	}
+}
+
+// BenchmarkDSEExploration measures a full design-space sweep (the §V
+// "over a thousand hardware configurations" analysis).
+func BenchmarkDSEExploration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Explore(DefaultSpace(), Workloads(), NodePowerBudgetW, 0)
+	}
+}
+
+// BenchmarkNoCSimulation measures the event-driven chiplet-network model.
+func BenchmarkNoCSimulation(b *testing.B) {
+	cfg := arch.BestMeanEHP()
+	k := workload.XSBench()
+	for i := 0; i < b.N; i++ {
+		noc.Simulate(cfg, k, noc.Options{Seed: int64(i), Requests: 50_000})
+	}
+}
+
+// BenchmarkMemoryQueueSim measures the event-driven memory-system model.
+func BenchmarkMemoryQueueSim(b *testing.B) {
+	cfg := arch.BestMeanEHP()
+	tr := workload.SNAP().Trace(1, 50_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		memsys.SimulateTrace(cfg, tr, memsys.SimOptions{MissFrac: 0.3})
+	}
+}
+
+// BenchmarkThermalSolve measures one steady-state package solve.
+func BenchmarkThermalSolve(b *testing.B) {
+	cfg := arch.BestMeanEHP()
+	k := workload.CoMD()
+	r := core.Simulate(cfg, k, core.Options{})
+	pa := exp.AssignThermalPower(cfg, r)
+	fp := thermal.EHPFloorplan()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := thermal.Solve(fp, pa, thermal.DefaultAmbientC); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceAnalysis measures the reuse-distance profiler.
+func BenchmarkTraceAnalysis(b *testing.B) {
+	tr := workload.CoMD().Trace(1, 20_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trace.Analyze(tr)
+	}
+}
+
+// BenchmarkCompressLine measures the FPC-style codec round trip.
+func BenchmarkCompressLine(b *testing.B) {
+	tr := workload.LULESH().Trace(1, compress.WordsPerLine)
+	var line [compress.WordsPerLine]uint64
+	for i := range line {
+		line[i] = tr[i].Value
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := compress.Encode(line)
+		if _, err := compress.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceGeneration measures synthetic workload trace production.
+func BenchmarkTraceGeneration(b *testing.B) {
+	k := workload.MiniAMR()
+	for i := 0; i < b.N; i++ {
+		k.Trace(int64(i), 10_000)
+	}
+}
+
+func BenchmarkMigration(b *testing.B) { benchExperiment(b, "migration") }
+func BenchmarkReconfig(b *testing.B)  { benchExperiment(b, "reconfig") }
+
+// BenchmarkFailureInjection measures the Monte Carlo checkpoint simulator.
+func BenchmarkFailureInjection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ras.SimulateFailures(ras.FailSimConfig{
+			SystemMTTFMins: 112,
+			IntervalMins:   21,
+			CheckpointMins: 2,
+			JobWorkMins:    7 * 24 * 60,
+			Seed:           int64(i + 1),
+		})
+	}
+}
+
+func BenchmarkAblationThermalDSE(b *testing.B) { benchExperiment(b, "ablation-thermal") }
+
+func BenchmarkAblationDRAM(b *testing.B)   { benchExperiment(b, "ablation-dram") }
+func BenchmarkAblationExtNet(b *testing.B) { benchExperiment(b, "ablation-extnet") }
+
+// BenchmarkDRAMChannel measures raw bank-level channel throughput.
+func BenchmarkDRAMChannel(b *testing.B) {
+	tr := workload.MiniAMR().Trace(1, 30_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch, err := dram.NewChannel(16, dram.DefaultTiming(), 70)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dram.Replay(ch, tr, ch.PeakGBps())
+	}
+}
+
+func BenchmarkAblationYield(b *testing.B) { benchExperiment(b, "ablation-yield") }
+
+func BenchmarkApps(b *testing.B) { benchExperiment(b, "apps") }
+
+// BenchmarkCPULeadingLoads measures the CPU DVFS state selection.
+func BenchmarkCPULeadingLoads(b *testing.B) {
+	m := cpu.DefaultPowerModel()
+	states := []float64{1200, 1600, 2000, 2400, 2800, 3200}
+	ps := cpu.Profiles()
+	for i := 0; i < b.N; i++ {
+		for _, p := range ps {
+			if _, err := m.EnergyOptimalMHz(p, states, 0.7); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Command enadse runs a custom design-space exploration over the ENA model:
+// it sweeps CU count x GPU frequency x in-package bandwidth under a node
+// power budget and reports the best-average and best-per-application
+// configurations (the §V / Table II methodology).
+//
+// Usage:
+//
+//	enadse                                  # paper defaults
+//	enadse -budget 180 -opts                # looser budget, optimizations on
+//	enadse -cus 256,320,384 -freqs 800,1000,1200 -bws 2,4,6
+//	enadse -kernels CoMD,LULESH
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ena"
+)
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	budget := flag.Float64("budget", ena.NodePowerBudgetW, "node power budget (W)")
+	opts := flag.Bool("opts", false, "enable the full power-optimization stack")
+	cus := flag.String("cus", "", "comma-separated CU counts (default: paper grid)")
+	freqs := flag.String("freqs", "", "comma-separated frequencies in MHz (default: paper grid)")
+	bws := flag.String("bws", "", "comma-separated bandwidths in TB/s (default: paper grid)")
+	kernels := flag.String("kernels", "", "comma-separated kernel names (default: full suite)")
+	flag.Parse()
+
+	space := ena.DefaultSpace()
+	var err error
+	if *cus != "" {
+		if space.CUs, err = parseInts(*cus); err != nil {
+			fail(err)
+		}
+	}
+	if *freqs != "" {
+		if space.FreqsMHz, err = parseFloats(*freqs); err != nil {
+			fail(err)
+		}
+	}
+	if *bws != "" {
+		if space.BWsTBps, err = parseFloats(*bws); err != nil {
+			fail(err)
+		}
+	}
+
+	ks := ena.Workloads()
+	if *kernels != "" {
+		ks = ks[:0]
+		for _, name := range strings.Split(*kernels, ",") {
+			k, err := ena.WorkloadByName(strings.TrimSpace(name))
+			if err != nil {
+				fail(err)
+			}
+			ks = append(ks, k)
+		}
+	}
+
+	var tech ena.Technique
+	if *opts {
+		tech = ena.AllOptimizations
+	}
+	out := ena.Explore(space, ks, *budget, tech)
+
+	fmt.Printf("explored %d design points, budget %.0f W, optimizations: %v\n",
+		len(out.Evals), *budget, *opts)
+	fmt.Printf("best-mean configuration: %s (score %.3f)\n\n", out.BestMean.Point, out.BestMean.MeanScore)
+	fmt.Printf("%-10s  %-18s  %12s  %10s\n", "kernel", "best config", "perf TFLOP/s", "budget W")
+	for i, k := range ks {
+		e := out.BestPerKernel[i]
+		fmt.Printf("%-10s  %-18s  %12.2f  %10.1f\n", k.Name, e.Point.String(), e.PerfTFLOPs[i], e.BudgetW[i])
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "enadse:", err)
+	os.Exit(1)
+}

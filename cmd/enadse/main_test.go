@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestParseFloats(t *testing.T) {
+	got, err := parseFloats("1, 2.5 ,7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2.5 || got[2] != 7 {
+		t.Errorf("parseFloats = %v", got)
+	}
+	if _, err := parseFloats("1,x"); err == nil {
+		t.Error("bad float accepted")
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("192,320, 384")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 192 || got[2] != 384 {
+		t.Errorf("parseInts = %v", got)
+	}
+	if _, err := parseInts("1,1.5"); err == nil {
+		t.Error("bad int accepted")
+	}
+}

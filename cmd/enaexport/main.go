@@ -1,0 +1,179 @@
+// Command enaexport writes the paper's figure data as CSV files for external
+// plotting (one file per figure/table, in the same series structure the
+// paper's plots use).
+//
+// Usage:
+//
+//	enaexport -out ./csv            # export everything
+//	enaexport -out ./csv -only fig8
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"ena/internal/exp"
+)
+
+func main() {
+	outDir := flag.String("out", "csv", "output directory")
+	only := flag.String("only", "", "export a single experiment id")
+	flag.Parse()
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fail(err)
+	}
+	wrote := 0
+	for _, e := range exp.Experiments() {
+		if *only != "" && e.ID != *only {
+			continue
+		}
+		rows, ok := tabulate(e.ID, e.Run())
+		if !ok {
+			continue // experiment has no natural CSV form
+		}
+		path := filepath.Join(*outDir, e.ID+".csv")
+		if err := writeCSV(path, rows); err != nil {
+			fail(err)
+		}
+		fmt.Println("wrote", path)
+		wrote++
+	}
+	if wrote == 0 {
+		fmt.Fprintln(os.Stderr, "enaexport: nothing exported")
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "enaexport:", err)
+	os.Exit(1)
+}
+
+func writeCSV(path string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func f64(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// tabulate converts the typed experiment results into CSV rows.
+func tabulate(id string, r exp.Result) ([][]string, bool) {
+	switch res := r.(type) {
+	case exp.KernelSweep:
+		rows := [][]string{{"sweep", "bw_tbps", "ops_per_byte", "norm_perf"}}
+		add := func(name string, curves []exp.Curve) {
+			for _, c := range curves {
+				for _, p := range c.Points {
+					rows = append(rows, []string{name, f64(c.BWTBps), f64(p.OpsPerByte), f64(p.NormPerf)})
+				}
+			}
+		}
+		add("frequency", res.FreqSweep)
+		add("cu-count", res.CUSweep)
+		return rows, true
+
+	case exp.Fig7Result:
+		rows := [][]string{{"kernel", "out_of_chiplet", "perf_vs_monolithic", "chiplet_lat_ns", "mono_lat_ns"}}
+		for _, c := range res.Rows {
+			rows = append(rows, []string{c.Kernel, f64(c.OutOfChiplet), f64(c.PerfVsMonolith), f64(c.ChipletLatNs), f64(c.MonoLatNs)})
+		}
+		return rows, true
+
+	case exp.Fig8Result:
+		rows := [][]string{{"kernel", "miss_rate", "norm_perf"}}
+		for i, k := range res.Kernels {
+			for j, m := range res.MissRates {
+				rows = append(rows, []string{k, f64(m), f64(res.Norm[i][j])})
+			}
+		}
+		return rows, true
+
+	case exp.Fig9Result:
+		rows := [][]string{{"kernel", "config", "serdes_static_w", "ext_static_w", "serdes_dyn_w", "ext_dyn_w", "cu_dyn_w", "other_w", "total_w"}}
+		for _, row := range res.Rows {
+			rows = append(rows, []string{row.Kernel, string(row.Config),
+				f64(row.SerDesStaticW), f64(row.ExtStaticW), f64(row.SerDesDynW),
+				f64(row.ExtDynW), f64(row.CUDynW), f64(row.OtherW), f64(row.TotalW)})
+		}
+		return rows, true
+
+	case exp.Fig10Result:
+		rows := [][]string{{"kernel", "best_mean_c", "best_per_app_c", "per_app_config", "pkg_w_mean", "pkg_w_app"}}
+		for _, row := range res.Rows {
+			rows = append(rows, []string{row.Kernel, f64(row.BestMeanTempC), f64(row.BestPerAppTempC),
+				row.BestPerAppConfig.String(), f64(row.BestMeanPackageW), f64(row.PerAppPackageW)})
+		}
+		return rows, true
+
+	case exp.Fig11Result:
+		rows := [][]string{{"config", "y", "x", "temp_c"}}
+		dump := func(name string, m [][]float64) {
+			for y, rrow := range m {
+				for x, v := range rrow {
+					rows = append(rows, []string{name, strconv.Itoa(y), strconv.Itoa(x), f64(v)})
+				}
+			}
+		}
+		dump("best-mean", res.MeanMap)
+		dump("per-app", res.AppMap)
+		return rows, true
+
+	case exp.Fig12Result:
+		rows := [][]string{{"kernel", "technique", "savings_frac"}}
+		for _, row := range res.Rows {
+			for tq, v := range row.PerTechnique {
+				rows = append(rows, []string{row.Kernel, tq.String(), f64(v)})
+			}
+			rows = append(rows, []string{row.Kernel, "all", f64(row.All)})
+		}
+		return rows, true
+
+	case exp.Fig13Result:
+		rows := [][]string{{"kernel", "gfw_baseline", "gfw_optimized", "improvement_pct"}}
+		for _, row := range res.Rows {
+			rows = append(rows, []string{row.Kernel, f64(row.BaselineGFperW), f64(row.OptGFperW), f64(row.ImprovementPct)})
+		}
+		return rows, true
+
+	case exp.Fig14Result:
+		rows := [][]string{{"cus", "node_tflops", "node_w", "exaflops", "system_mw"}}
+		for _, p := range res.Points {
+			rows = append(rows, []string{strconv.Itoa(p.CUs), f64(p.NodeTFLOPs), f64(p.NodeW), f64(p.ExaFLOPs), f64(p.SystemMW)})
+		}
+		return rows, true
+
+	case exp.Table1Result:
+		rows := [][]string{{"category", "application", "flops_per_byte", "footprint_gb", "write_frac"}}
+		for _, row := range res.Rows {
+			rows = append(rows, []string{row.Category.String(), row.Application,
+				f64(row.OpsPerByte), f64(row.FootprintGB), f64(row.TraceWriteFrac)})
+		}
+		return rows, true
+
+	case exp.Table2Result:
+		rows := [][]string{{"application", "best_config", "benefit_pct", "benefit_with_opt_pct"}}
+		for _, row := range res.Rows {
+			rows = append(rows, []string{row.Kernel, row.BestConfig.String(),
+				f64(row.BenefitWithoutOpt), f64(row.BenefitWithOpt)})
+		}
+		return rows, true
+
+	default:
+		_ = id
+		return nil, false
+	}
+}

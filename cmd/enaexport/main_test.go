@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ena/internal/exp"
+)
+
+func TestTabulateCoversExportableExperiments(t *testing.T) {
+	exportable := map[string]bool{
+		"table1": true, "fig4": true, "fig5": true, "fig6": true,
+		"fig7": true, "fig8": true, "fig9": true, "fig10": true,
+		"fig11": true, "fig12": true, "fig13": true, "fig14": true,
+		"table2": true,
+	}
+	for _, e := range exp.Experiments() {
+		if !exportable[e.ID] {
+			continue
+		}
+		// The cheap experiments run here directly; the DSE/thermal-backed
+		// ones share memoized state, so running them once is fine too —
+		// but keep the test fast by only exercising the light ones plus
+		// one representative of each result type.
+		switch e.ID {
+		case "fig4", "fig7", "fig8", "fig14", "table1":
+			rows, ok := tabulate(e.ID, e.Run())
+			if !ok {
+				t.Errorf("%s: no CSV form", e.ID)
+				continue
+			}
+			if len(rows) < 2 {
+				t.Errorf("%s: only %d rows", e.ID, len(rows))
+			}
+			width := len(rows[0])
+			for i, r := range rows {
+				if len(r) != width {
+					t.Errorf("%s: ragged row %d", e.ID, i)
+				}
+			}
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.csv")
+	if err := writeCSV(path, [][]string{{"a", "b"}, {"1", "2"}}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(b); !strings.HasPrefix(got, "a,b\n1,2\n") {
+		t.Errorf("csv = %q", got)
+	}
+}
+
+func TestF64(t *testing.T) {
+	if f64(1.5) != "1.5" || f64(0) != "0" {
+		t.Errorf("f64 formatting: %q %q", f64(1.5), f64(0))
+	}
+}

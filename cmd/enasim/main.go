@@ -1,0 +1,46 @@
+// Command enasim regenerates the paper's tables and figures from the ENA
+// model.
+//
+// Usage:
+//
+//	enasim -list             # show available experiments
+//	enasim -run fig7         # run one experiment
+//	enasim -all              # run everything in paper order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ena"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	run := flag.String("run", "", "run one experiment by id (e.g. fig7, table2)")
+	all := flag.Bool("all", false, "run every experiment in paper order")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, e := range ena.Experiments() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+	case *run != "":
+		out, err := ena.RunExperiment(*run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "enasim:", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	case *all:
+		for _, e := range ena.Experiments() {
+			fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+			fmt.Println(e.Run().Render())
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,55 @@
+// Command enatherm runs the HotSpot-style thermal analysis for one kernel on
+// one EHP configuration and prints the peak in-package DRAM temperature and
+// an ASCII heat map of the bottom-most DRAM die (the Fig. 10/11 machinery).
+//
+// Usage:
+//
+//	enatherm                               # CoMD on the best-mean config
+//	enatherm -kernel SNAP -cus 384 -freq 700 -bw 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ena"
+)
+
+func main() {
+	kernel := flag.String("kernel", "CoMD", "workload name (see Table I)")
+	cus := flag.Int("cus", 320, "total CU count")
+	freq := flag.Float64("freq", 1000, "GPU frequency (MHz)")
+	bw := flag.Float64("bw", 3, "in-package bandwidth (TB/s)")
+	flag.Parse()
+
+	k, err := ena.WorkloadByName(*kernel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "enatherm:", err)
+		os.Exit(1)
+	}
+	cfg := ena.NewEHP(*cus, *freq, *bw)
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "enatherm:", err)
+		os.Exit(1)
+	}
+
+	r := ena.Simulate(cfg, k, ena.Options{})
+	sol, err := ena.SolveThermal(cfg, k)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "enatherm:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s on %s\n", k.Name, cfg)
+	fmt.Printf("package power: %.1f W (CU dyn %.1f W, DRAM %.1f W)\n",
+		r.Power.PackageW(), r.Power.CUDynamic, r.Power.HBMDynamic+r.Power.HBMStatic)
+	peak := sol.PeakDRAMTempC()
+	fmt.Printf("peak in-package DRAM temperature: %.1f C (limit %.0f C)", peak, ena.DRAMTempLimitC)
+	if peak >= ena.DRAMTempLimitC {
+		fmt.Print("  ** OVER LIMIT: refresh-rate increase required **")
+	}
+	fmt.Println()
+	fmt.Println()
+	fmt.Print(sol.ASCIIMap(2)) // bottom-most DRAM die
+}

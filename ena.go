@@ -1,0 +1,321 @@
+// Package ena is the public API of the Exascale Node Architecture (ENA)
+// simulator — a from-scratch Go reproduction of "Design and Analysis of an
+// APU for Exascale Computing" (HPCA 2017). It models the Exascale
+// Heterogeneous Processor (EHP): a chiplet-based APU with in-package 3D
+// DRAM, an external memory network, and the analytic performance, power,
+// thermal, reliability, and design-space-exploration machinery the paper's
+// evaluation is built on.
+//
+// Quick start:
+//
+//	cfg := ena.BestMeanEHP()                 // 320 CUs / 1 GHz / 3 TB/s
+//	k, _ := ena.WorkloadByName("CoMD")
+//	r := ena.Simulate(cfg, k, ena.Options{})
+//	fmt.Println(r)                            // throughput, power, GF/W
+//
+// Every table and figure of the paper is regenerable through Experiments()
+// (or the cmd/enasim CLI, or `go test -bench=.`).
+package ena
+
+import (
+	"ena/internal/arch"
+	"ena/internal/core"
+	"ena/internal/dse"
+	"ena/internal/exp"
+	"ena/internal/hsa"
+	"ena/internal/memsys"
+	"ena/internal/noc"
+	"ena/internal/perf"
+	"ena/internal/power"
+	"ena/internal/powopt"
+	"ena/internal/ras"
+	"ena/internal/reconfig"
+	"ena/internal/thermal"
+	"ena/internal/workload"
+)
+
+// Hardware description (internal/arch).
+type (
+	// Config is a complete ENA node description.
+	Config = arch.NodeConfig
+	// GPUChiplet is one GPU die.
+	GPUChiplet = arch.GPUChiplet
+	// CPUChiplet is one CPU die.
+	CPUChiplet = arch.CPUChiplet
+	// HBMStack is one in-package 3D DRAM stack.
+	HBMStack = arch.HBMStack
+	// ExtChain is one external-memory interface's module chain.
+	ExtChain = arch.ExtChain
+	// ExtModule is one external DRAM/NVM device.
+	ExtModule = arch.ExtModule
+	// MemKind distinguishes DRAM from NVM external modules.
+	MemKind = arch.MemKind
+)
+
+// External-module kinds.
+const (
+	DRAMModule = arch.DRAMModule
+	NVMModule  = arch.NVMModule
+)
+
+// NewEHP builds an EHP-style node with the given total CU count, GPU clock
+// (MHz) and aggregate in-package bandwidth (TB/s), with the default 1 TB
+// external DRAM network.
+func NewEHP(totalCUs int, freqMHz, bwTBps float64) *Config {
+	return arch.EHP(totalCUs, freqMHz, bwTBps)
+}
+
+// BestMeanEHP returns the paper's best-average design point:
+// 320 CUs / 1000 MHz / 3 TB/s.
+func BestMeanEHP() *Config { return arch.BestMeanEHP() }
+
+// OptimizedBestMeanEHP returns the best-average design point with the §V-E
+// power optimizations enabled (288 CUs / 1100 MHz / 3 TB/s in the paper).
+func OptimizedBestMeanEHP() *Config { return arch.OptimizedBestMeanEHP() }
+
+// Monolithic returns the hypothetical single-die baseline of Fig. 7.
+func Monolithic(cfg *Config) *Config { return arch.Monolithic(cfg) }
+
+// WithHybridExternal swaps half the external DRAM for NVM at equal capacity
+// (the Fig. 9 comparison point).
+func WithHybridExternal(cfg *Config) *Config { return arch.WithHybridExternal(cfg) }
+
+// Workloads (internal/workload).
+type (
+	// Kernel is one proxy application's characterization.
+	Kernel = workload.Kernel
+	// Category classifies kernels (compute-intensive / balanced /
+	// memory-intensive).
+	Category = workload.Category
+	// Access is one synthetic-trace memory access.
+	Access = workload.Access
+)
+
+// Kernel categories.
+const (
+	ComputeIntensive = workload.ComputeIntensive
+	Balanced         = workload.Balanced
+	MemoryIntensive  = workload.MemoryIntensive
+)
+
+// Workloads returns the paper's eight proxy kernels (Table I).
+func Workloads() []Kernel { return workload.Suite() }
+
+// WorkloadByName finds one kernel from the suite.
+func WorkloadByName(name string) (Kernel, error) { return workload.ByName(name) }
+
+// Simulation (internal/core, internal/perf, internal/power).
+type (
+	// Options tunes a node simulation.
+	Options = core.Options
+	// Result is a simulated (config, kernel) outcome.
+	Result = core.Result
+	// PerfResult is the roofline model's output.
+	PerfResult = perf.Result
+	// PowerBreakdown is per-component node power.
+	PowerBreakdown = power.Breakdown
+	// MemPolicy selects the two-level memory management mode.
+	MemPolicy = memsys.Policy
+	// Technique is a §V-E power optimization (bitmask).
+	Technique = powopt.Technique
+	// SystemProjection is the node-to-machine roll-up of §V-F.
+	SystemProjection = core.SystemProjection
+)
+
+// Memory-management policies.
+const (
+	StaticInterleave = memsys.StaticInterleave
+	SoftwareManaged  = memsys.SoftwareManaged
+	HardwareCache    = memsys.HardwareCache
+)
+
+// Power-optimization techniques.
+const (
+	NTC              = powopt.NTC
+	AsyncCU          = powopt.AsyncCU
+	AsyncRouters     = powopt.AsyncRouters
+	LowPowerLinks    = powopt.LowPowerLinks
+	Compression      = powopt.Compression
+	AllOptimizations = powopt.All
+)
+
+// Simulate runs the high-level node model for one kernel.
+func Simulate(cfg *Config, k Kernel, opt Options) Result { return core.Simulate(cfg, k, opt) }
+
+// ProjectSystem scales a node result to an N-node machine (0 = the paper's
+// 100,000 nodes).
+func ProjectSystem(r Result, nodes int) SystemProjection { return core.ProjectSystem(r, nodes) }
+
+// NormalizedPerf returns a kernel's throughput on cfg relative to the
+// best-mean configuration (the y-axis of Figs. 4-6).
+func NormalizedPerf(cfg *Config, k Kernel) float64 { return core.NormalizedPerf(cfg, k) }
+
+// Design-space exploration (internal/dse).
+type (
+	// Space is the swept CU/frequency/bandwidth grid.
+	Space = dse.Space
+	// DesignPoint is one grid point.
+	DesignPoint = dse.Point
+	// Exploration is a completed sweep.
+	Exploration = dse.Outcome
+)
+
+// DefaultSpace reproduces the paper's exploration ranges.
+func DefaultSpace() Space { return dse.DefaultSpace() }
+
+// Explore sweeps the design space for the kernels under a node power budget
+// (Watts), optionally with power optimizations enabled.
+func Explore(space Space, kernels []Kernel, budgetW float64, opts Technique) Exploration {
+	return dse.Explore(space, kernels, budgetW, opts)
+}
+
+// NodePowerBudgetW is the paper's 160 W per-node design budget.
+const NodePowerBudgetW = arch.NodePowerBudgetW
+
+// Chiplet-network comparison (internal/noc).
+type ChipletComparison = noc.Comparison
+
+// CompareChiplet runs the Fig. 7 chiplet-vs-monolithic experiment for one
+// kernel.
+func CompareChiplet(cfg *Config, k Kernel, seed int64) ChipletComparison {
+	return noc.Compare(cfg, k, seed)
+}
+
+// Thermal analysis (internal/thermal).
+type (
+	// ThermalSolution is a solved steady-state temperature field.
+	ThermalSolution = thermal.Solution
+)
+
+// DRAMTempLimitC is the 85 C in-package DRAM ceiling.
+const DRAMTempLimitC = thermal.DRAMTempLimitC
+
+// SolveThermal simulates a kernel on the node and solves the package
+// temperature field at the paper's 50 C ambient.
+func SolveThermal(cfg *Config, k Kernel) (*ThermalSolution, error) {
+	r := core.Simulate(cfg, k, core.Options{})
+	return thermal.Solve(thermal.EHPFloorplan(), exp.AssignThermalPower(cfg, r), thermal.DefaultAmbientC)
+}
+
+// Reliability (internal/ras).
+type (
+	// RASConfig selects ECC and RMT provisions.
+	RASConfig = ras.Config
+	// RASAnalysis holds derived MTTF metrics.
+	RASAnalysis = ras.Analysis
+)
+
+// AnalyzeRAS computes node/system reliability for a configuration.
+func AnalyzeRAS(cfg *Config, rc RASConfig, nodes int) RASAnalysis {
+	return ras.Analyze(cfg, rc, nodes)
+}
+
+// DefaultRASConfig returns SECDED + chipkill + RMT.
+func DefaultRASConfig() RASConfig { return ras.DefaultConfig() }
+
+// Task-graph runtime (internal/hsa).
+type (
+	// TaskGraph is a CPU/GPU task DAG.
+	TaskGraph = hsa.Graph
+	// Task is one DAG node.
+	Task = hsa.Task
+	// TaskRuntime executes graphs on a simulated node.
+	TaskRuntime = hsa.Runtime
+	// TaskSchedule is an executed graph's timeline.
+	TaskSchedule = hsa.Schedule
+	// MemoryModel selects unified (HSA) or copy-based sharing.
+	MemoryModel = hsa.MemoryModel
+)
+
+// Task kinds and memory models.
+const (
+	CPUTask         = hsa.CPUTask
+	GPUTask         = hsa.GPUTask
+	UnifiedMemory   = hsa.Unified
+	CopyBasedMemory = hsa.CopyBased
+)
+
+// NewTaskRuntime builds an HSA-style runtime on the node; GPU tasks inherit
+// the given kernel's efficiency characteristics.
+func NewTaskRuntime(cfg *Config, k Kernel, m MemoryModel) *TaskRuntime {
+	return hsa.NewRuntime(cfg, k, m)
+}
+
+// Experiments (internal/exp).
+type (
+	// Experiment is one reproducible paper artifact.
+	Experiment = exp.Experiment
+	// ExperimentResult is a typed, renderable experiment output.
+	ExperimentResult = exp.Result
+)
+
+// Experiments lists every table/figure harness plus the extensions.
+func Experiments() []Experiment { return exp.Experiments() }
+
+// RunExperiment executes one experiment by ID (e.g. "fig7", "table2") and
+// returns its rendered text.
+func RunExperiment(id string) (string, error) {
+	e, err := exp.ByID(id)
+	if err != nil {
+		return "", err
+	}
+	return e.Run().Render(), nil
+}
+
+// Dynamic resource reconfiguration (internal/reconfig; paper §VI).
+type (
+	// ReconfigPhase is one application phase (kernel + work).
+	ReconfigPhase = reconfig.Phase
+	// ReconfigWorkload is a phase sequence.
+	ReconfigWorkload = reconfig.Workload
+	// ReconfigController decides the configuration per phase.
+	ReconfigController = reconfig.Controller
+	// ReconfigRun is an executed workload's time/energy outcome.
+	ReconfigRun = reconfig.RunResult
+)
+
+// RepeatPhases builds a workload of rounds over the kernels, each phase
+// performing flopsPerPhase work.
+func RepeatPhases(kernels []Kernel, rounds int, flopsPerPhase float64) ReconfigWorkload {
+	return reconfig.Repeat(kernels, rounds, flopsPerPhase)
+}
+
+// NewStaticController always runs the best-mean configuration.
+func NewStaticController() ReconfigController { return reconfig.NewStaticBestMean() }
+
+// NewOracleController uses an exploration's per-kernel best configurations
+// (the Table II hypothetical).
+func NewOracleController(out Exploration) ReconfigController { return reconfig.NewOracle(out) }
+
+// NewReactiveController learns per-kernel configurations online by probing
+// design-space neighbours steered by the roofline's binding bound.
+func NewReactiveController(budgetW float64, space Space) ReconfigController {
+	return reconfig.NewReactive(budgetW, space, 0)
+}
+
+// RunReconfig executes a workload under a controller with the given node
+// power budget, charging reconfiguration overheads.
+func RunReconfig(w ReconfigWorkload, c ReconfigController, budgetW float64) ReconfigRun {
+	return reconfig.Run(w, c, budgetW, 0)
+}
+
+// Applications (multi-kernel proxies; §IV footnote 3).
+type (
+	// Application is a proxy app as a weighted kernel mix.
+	Application = workload.Application
+	// AppResult is a whole-application simulation outcome.
+	AppResult = core.AppResult
+)
+
+// Applications returns the proxy apps as kernel mixes (dominant kernel plus
+// secondary phases).
+func Applications() []Application { return workload.Applications() }
+
+// ApplicationByName finds one proxy application.
+func ApplicationByName(name string) (Application, error) { return workload.ApplicationByName(name) }
+
+// SimulateApp runs every phase of an application and aggregates throughput
+// and power over time.
+func SimulateApp(cfg *Config, app Application, opt Options) (AppResult, error) {
+	return core.SimulateApp(cfg, app, opt)
+}

@@ -1,0 +1,182 @@
+package ena
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	cfg := BestMeanEHP()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	k, err := WorkloadByName("CoMD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Simulate(cfg, k, Options{})
+	if r.Perf.TFLOPs <= 0 || r.NodeW <= 0 {
+		t.Fatalf("degenerate result: %+v", r)
+	}
+	if !strings.Contains(r.String(), "CoMD") {
+		t.Error("result should describe itself")
+	}
+}
+
+func TestWorkloadsComplete(t *testing.T) {
+	ks := Workloads()
+	if len(ks) != 8 {
+		t.Fatalf("suite = %d kernels", len(ks))
+	}
+	cats := map[Category]int{}
+	for _, k := range ks {
+		cats[k.Category]++
+	}
+	if cats[ComputeIntensive] != 1 || cats[Balanced] != 3 || cats[MemoryIntensive] != 4 {
+		t.Errorf("category mix = %v", cats)
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) < 16 {
+		t.Fatalf("%d experiments", len(exps))
+	}
+	out, err := RunExperiment("fig14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "exaflops") {
+		t.Errorf("fig14 output:\n%s", out)
+	}
+	if _, err := RunExperiment("not-an-experiment"); err == nil {
+		t.Error("unknown experiment must error")
+	}
+}
+
+func TestExploreAPI(t *testing.T) {
+	space := Space{
+		CUs:      []int{256, 320},
+		FreqsMHz: []float64{900, 1000},
+		BWsTBps:  []float64{2, 3},
+	}
+	ks := Workloads()[:3]
+	out := Explore(space, ks, NodePowerBudgetW, 0)
+	if len(out.Evals) != 8 {
+		t.Fatalf("evals = %d", len(out.Evals))
+	}
+	if out.BestMean.Point.CUs == 0 {
+		t.Error("no best-mean selected")
+	}
+	withOpts := Explore(space, ks, NodePowerBudgetW, AllOptimizations)
+	if withOpts.BestMean.Point.CUs == 0 {
+		t.Error("optimized exploration failed")
+	}
+}
+
+func TestChipletAndThermalAPI(t *testing.T) {
+	cfg := BestMeanEHP()
+	k, err := WorkloadByName("SNAP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := CompareChiplet(cfg, k, 1)
+	if c.PerfVsMonolith <= 0 || c.PerfVsMonolith > 1 {
+		t.Errorf("chiplet comparison: %+v", c)
+	}
+	sol, err := SolveThermal(cfg, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := sol.PeakDRAMTempC(); p <= 50 || p >= DRAMTempLimitC {
+		t.Errorf("peak DRAM temp = %v", p)
+	}
+}
+
+func TestRASAPI(t *testing.T) {
+	a := AnalyzeRAS(BestMeanEHP(), DefaultRASConfig(), 0)
+	if a.NodeMTTFHours <= 0 || a.SystemMTTFMins <= 0 {
+		t.Errorf("RAS analysis: %+v", a)
+	}
+}
+
+func TestTaskGraphAPI(t *testing.T) {
+	cfg := BestMeanEHP()
+	k, err := WorkloadByName("CoMD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g TaskGraph
+	a := g.Add("prep", CPUTask, 1e8, 1e7)
+	b := g.Add("kernel", GPUTask, 1e10, 1e8)
+	b.After(a)
+	for _, m := range []MemoryModel{UnifiedMemory, CopyBasedMemory} {
+		rt := NewTaskRuntime(cfg, k, m)
+		var gg TaskGraph
+		x := gg.Add("prep", CPUTask, 1e8, 1e7)
+		gg.Add("kernel", GPUTask, 1e10, 1e8).After(x)
+		s, err := rt.Execute(&gg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.MakespanUs <= 0 {
+			t.Errorf("%v: empty schedule", m)
+		}
+	}
+}
+
+func TestHybridBuilder(t *testing.T) {
+	base := BestMeanEHP()
+	h := WithHybridExternal(base)
+	if h.ExtCapacityGB() != base.ExtCapacityGB() {
+		t.Error("hybrid must hold capacity constant")
+	}
+	if h.NVMFractionDynamic() == 0 {
+		t.Error("hybrid must contain NVM")
+	}
+}
+
+func TestProjectionAPI(t *testing.T) {
+	mf, err := WorkloadByName("MaxFlops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Simulate(NewEHP(320, 1000, 1), mf, Options{ExcludeExternal: true})
+	p := ProjectSystem(r, 0)
+	if p.ExaFLOPs < 1.5 || p.SystemMW > 20 {
+		t.Errorf("projection: %+v", p)
+	}
+}
+
+func TestNormalizedPerfAPI(t *testing.T) {
+	k, err := WorkloadByName("LULESH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := NormalizedPerf(BestMeanEHP(), k); v != 1 {
+		t.Errorf("self-normalization = %v", v)
+	}
+}
+
+func TestApplicationAPI(t *testing.T) {
+	apps := Applications()
+	if len(apps) < 4 {
+		t.Fatalf("apps = %d", len(apps))
+	}
+	app, err := ApplicationByName("CoMD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := SimulateApp(BestMeanEHP(), app, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TFLOPs <= 0 || r.NodeW <= 0 {
+		t.Fatalf("degenerate app result: %+v", r)
+	}
+	// Whole-app throughput sits below the dominant kernel's (the slower
+	// secondary phases drag the harmonic mean).
+	if r.TFLOPs > r.DomKernelR.Perf.TFLOPs {
+		t.Error("secondary phases should not speed the app up")
+	}
+}

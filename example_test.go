@@ -1,0 +1,62 @@
+package ena_test
+
+import (
+	"fmt"
+
+	"ena"
+)
+
+// The paper's headline: a 320-CU, 1 GHz, 3 TB/s node under the exascale
+// power envelope.
+func ExampleBestMeanEHP() {
+	cfg := ena.BestMeanEHP()
+	fmt.Println(cfg)
+	fmt.Printf("peak %.1f TFLOP/s, %d GB in package\n",
+		cfg.PeakTFLOPs(), int(cfg.InPackageCapacityGB()))
+	// Output:
+	// 320 CUs / 1000 MHz / 3 TB/s
+	// peak 20.5 TFLOP/s, 256 GB in package
+}
+
+// Simulating the peak-compute scenario reproduces the §V-F exascale
+// projection.
+func ExampleProjectSystem() {
+	mf, _ := ena.WorkloadByName("MaxFlops")
+	r := ena.Simulate(ena.NewEHP(320, 1000, 1), mf, ena.Options{ExcludeExternal: true})
+	p := ena.ProjectSystem(r, 0)
+	fmt.Printf("%.2f exaflops across %d nodes\n", p.ExaFLOPs, p.Nodes)
+	// Output:
+	// 1.86 exaflops across 100000 nodes
+}
+
+// Kernels report which roofline term binds them on a given configuration:
+// at 1 TB/s the bandwidth wall appears for SNAP, while XSBench stays
+// latency-bound and MaxFlops compute-bound.
+func ExampleSimulate() {
+	cfg := ena.NewEHP(320, 1000, 1)
+	for _, name := range []string{"MaxFlops", "SNAP", "XSBench"} {
+		k, _ := ena.WorkloadByName(name)
+		r := ena.Simulate(cfg, k, ena.Options{})
+		fmt.Printf("%s: %s-bound\n", name, r.Perf.Bound)
+	}
+	// Output:
+	// MaxFlops: compute-bound
+	// SNAP: bandwidth-bound
+	// XSBench: latency-bound
+}
+
+// The design-space exploration recovers the paper's best-mean configuration.
+func ExampleExplore() {
+	out := ena.Explore(ena.DefaultSpace(), ena.Workloads(), ena.NodePowerBudgetW, 0)
+	fmt.Println("best on average:", out.BestMean.Point)
+	// Output:
+	// best on average: 320 / 1000 / 3
+}
+
+// WorkloadByName rejects kernels outside Table I.
+func ExampleWorkloadByName() {
+	_, err := ena.WorkloadByName("LINPACK")
+	fmt.Println(err)
+	// Output:
+	// workload: unknown kernel "LINPACK"
+}

@@ -1,0 +1,45 @@
+// Designsweep: explore a custom design space for a user-selected workload
+// mix — here, a molecular-dynamics-heavy machine (CoMD + CoMD-LJ + LULESH) —
+// and compare the resulting best configuration against the paper's
+// all-application best-mean point. Demonstrates the Explore API.
+package main
+
+import (
+	"fmt"
+
+	"ena"
+)
+
+func main() {
+	var mix []ena.Kernel
+	for _, name := range []string{"CoMD", "CoMD-LJ", "LULESH"} {
+		k, err := ena.WorkloadByName(name)
+		if err != nil {
+			panic(err)
+		}
+		mix = append(mix, k)
+	}
+
+	space := ena.Space{
+		CUs:      []int{192, 256, 320, 384},
+		FreqsMHz: []float64{800, 1000, 1200, 1400},
+		BWsTBps:  []float64{2, 3, 4, 5, 6},
+	}
+
+	fmt.Println("exploring", len(space.Points()), "design points for an MD-heavy workload mix...")
+	out := ena.Explore(space, mix, ena.NodePowerBudgetW, 0)
+	fmt.Printf("best configuration for the mix: %s\n\n", out.BestMean.Point)
+
+	mixCfg := out.BestMean.Point.Config()
+	paperCfg := ena.BestMeanEHP()
+	fmt.Printf("%-10s %22s %22s\n", "kernel", "mix-tuned TFLOP/s", "paper best-mean TFLOP/s")
+	for _, k := range mix {
+		a := ena.Simulate(mixCfg, k, ena.Options{})
+		b := ena.Simulate(paperCfg, k, ena.Options{})
+		fmt.Printf("%-10s %22.2f %22.2f\n", k.Name, a.Perf.TFLOPs, b.Perf.TFLOPs)
+	}
+
+	// And with the §V-E power optimizations freeing budget:
+	opt := ena.Explore(space, mix, ena.NodePowerBudgetW, ena.AllOptimizations)
+	fmt.Printf("\nwith power optimizations the mix prefers: %s\n", opt.BestMean.Point)
+}

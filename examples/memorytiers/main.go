@@ -1,0 +1,44 @@
+// Memorytiers: configure the external-memory network (DRAM-only vs hybrid
+// DRAM+NVM) and compare the two-level memory management policies for the
+// large-footprint kernels — the §II-B / §V-C design questions, asked through
+// the public API.
+package main
+
+import (
+	"fmt"
+
+	"ena"
+)
+
+func main() {
+	base := ena.BestMeanEHP()
+	hybrid := ena.WithHybridExternal(base)
+
+	fmt.Println("external-memory configuration: power at realistic external traffic")
+	fmt.Printf("%-10s %18s %18s %10s\n", "kernel", "DRAM-only node W", "DRAM+NVM node W", "delta")
+	for _, k := range ena.Workloads() {
+		opts := ena.Options{UseAppExtTraffic: true, Policy: ena.SoftwareManaged}
+		d := ena.Simulate(base, k, opts)
+		h := ena.Simulate(hybrid, k, opts)
+		fmt.Printf("%-10s %18.1f %18.1f %+9.1f%%\n",
+			k.Name, d.NodeW, h.NodeW, (h.NodeW/d.NodeW-1)*100)
+	}
+
+	fmt.Println("\nmanagement policy: throughput for the large-footprint kernels")
+	fmt.Printf("%-10s %16s %18s %16s\n", "kernel", "static (TF)", "sw-managed (TF)", "hw-cache (TF)")
+	for _, k := range ena.Workloads() {
+		if k.FootprintGB <= base.InPackageCapacityGB() {
+			continue
+		}
+		row := []float64{}
+		for _, p := range []ena.MemPolicy{ena.StaticInterleave, ena.SoftwareManaged, ena.HardwareCache} {
+			r := ena.Simulate(base, k, ena.Options{UseAppExtTraffic: true, Policy: p})
+			row = append(row, r.Perf.TFLOPs)
+		}
+		fmt.Printf("%-10s %16.2f %18.2f %16.2f\n", k.Name, row[0], row[1], row[2])
+	}
+
+	fmt.Println("\ncapacity check: the hardware-cache mode sacrifices addressable memory")
+	fmt.Printf("  total capacity: %.0f GB; usable as cache mode: %.0f GB (-20%%)\n",
+		base.TotalCapacityGB(), base.ExtCapacityGB())
+}

@@ -1,0 +1,38 @@
+// Quickstart: build the paper's best-mean EHP configuration, run every proxy
+// kernel on it, and print throughput, node power, and energy efficiency —
+// the basic Simulate workflow of the ena package.
+package main
+
+import (
+	"fmt"
+
+	"ena"
+)
+
+func main() {
+	cfg := ena.BestMeanEHP()
+	fmt.Printf("node: %s\n", cfg)
+	fmt.Printf("  peak compute: %.1f TFLOP/s (DP)\n", cfg.PeakTFLOPs())
+	fmt.Printf("  in-package:   %.0f GB @ %.0f TB/s over %d HBM stacks\n",
+		cfg.InPackageCapacityGB(), cfg.InPackageBWTBps(), len(cfg.HBM))
+	fmt.Printf("  external:     %.0f GB over %d interfaces\n\n",
+		cfg.ExtCapacityGB(), len(cfg.Ext))
+
+	fmt.Printf("%-10s %-18s %10s %9s %8s %8s\n",
+		"kernel", "category", "TFLOP/s", "bound", "node W", "GF/W")
+	for _, k := range ena.Workloads() {
+		r := ena.Simulate(cfg, k, ena.Options{})
+		fmt.Printf("%-10s %-18s %10.2f %9s %8.1f %8.1f\n",
+			k.Name, k.Category, r.Perf.TFLOPs, r.Perf.Bound, r.NodeW, r.GFperW)
+	}
+
+	// Project the peak-compute scenario to the full machine (§V-F).
+	mf, err := ena.WorkloadByName("MaxFlops")
+	if err != nil {
+		panic(err)
+	}
+	peak := ena.Simulate(ena.NewEHP(320, 1000, 1), mf, ena.Options{ExcludeExternal: true})
+	sys := ena.ProjectSystem(peak, 0)
+	fmt.Printf("\n100,000-node machine, peak compute: %.2f exaflops at %.1f MW\n",
+		sys.ExaFLOPs, sys.SystemMW)
+}

@@ -1,0 +1,70 @@
+// Taskgraph: run a CPU+GPU pipeline on the simulated node through the
+// HSA-style task runtime, comparing the unified coherent address space the
+// EHP is designed around against a discrete copy-based accelerator model
+// (§II-A1: "eliminating expensive data copy operations").
+//
+// The pipeline is a simplified timestep of a molecular-dynamics code:
+// CPU neighbor-list maintenance, GPU force kernels over particle blocks,
+// GPU integration, then a CPU reduction and I/O decision.
+package main
+
+import (
+	"fmt"
+
+	"ena"
+)
+
+// buildPipeline creates one MD timestep as a task DAG.
+func buildPipeline(g *ena.TaskGraph, blocks int) {
+	const (
+		gpuBlockFlops = 4e9 // force computation per particle block
+		gpuBlockBytes = 6e8 // particle + neighbor data per block
+		cpuPrepFlops  = 2e8 // neighbor-list maintenance
+		cpuPostFlops  = 1e8 // reductions, thermostat, I/O decision
+	)
+	prep := g.Add("neighbor-lists", ena.CPUTask, cpuPrepFlops, 2e8)
+	var forces []*ena.Task
+	for i := 0; i < blocks; i++ {
+		f := g.Add(fmt.Sprintf("forces-%d", i), ena.GPUTask, gpuBlockFlops, gpuBlockBytes)
+		f.After(prep)
+		forces = append(forces, f)
+	}
+	integ := g.Add("integrate", ena.GPUTask, 8e9, 1e9)
+	integ.After(forces...)
+	post := g.Add("reduce+thermostat", ena.CPUTask, cpuPostFlops, 1e8)
+	post.After(integ)
+}
+
+func main() {
+	cfg := ena.BestMeanEHP()
+	comd, err := ena.WorkloadByName("CoMD")
+	if err != nil {
+		panic(err)
+	}
+
+	const blocks = 24
+	for _, model := range []ena.MemoryModel{ena.UnifiedMemory, ena.CopyBasedMemory} {
+		var g ena.TaskGraph
+		buildPipeline(&g, blocks)
+		rt := ena.NewTaskRuntime(cfg, comd, model)
+		sched, err := rt.Execute(&g)
+		if err != nil {
+			panic(err)
+		}
+		cpuU, gpuU := sched.Utilization(cfg.CPUCores(), len(cfg.GPU))
+		fmt.Printf("%-11s memory: makespan %8.1f us  (CPU util %4.1f%%, GPU util %5.1f%%)\n",
+			model, sched.MakespanUs, cpuU*100, gpuU*100)
+		if model == ena.UnifiedMemory {
+			fmt.Println("  first scheduled intervals:")
+			for i, iv := range sched.Intervals {
+				if i == 6 {
+					break
+				}
+				fmt.Printf("    %-12s on %-5s %8.1f .. %8.1f us\n",
+					iv.Task.Name, iv.Resource, iv.StartUs, iv.EndUs)
+			}
+		}
+	}
+	fmt.Println("\nthe unified model wins by eliminating per-dispatch copies and driver launches;")
+	fmt.Println("pointers pass freely between CPU and GPU tasks, as HSA (§II-A1) intends.")
+}

@@ -1,0 +1,3 @@
+module ena
+
+go 1.22

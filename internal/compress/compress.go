@@ -1,0 +1,273 @@
+// Package compress implements the cache-line compression used to estimate
+// DRAM-traffic compression savings (§V-E "DRAM Traffic Compression"). It
+// provides a real, reversible FPC-style frequent-pattern codec for 64-byte
+// lines of eight 64-bit words, plus a base-delta (BDI-style) size estimator;
+// the power model uses whichever is smaller per line, as hardware proposals
+// do.
+package compress
+
+import (
+	"errors"
+	"fmt"
+)
+
+// WordsPerLine is the number of 64-bit words in one 64-byte line.
+const WordsPerLine = 8
+
+// LineBits is the uncompressed size of a line in bits.
+const LineBits = WordsPerLine * 64
+
+// Pattern prefixes for the FPC-style codec (3 bits each).
+const (
+	pZero     = 0 // all-zero word
+	pSign8    = 1 // sign-extended 8-bit value
+	pSign16   = 2 // sign-extended 16-bit value
+	pSign32   = 3 // sign-extended 32-bit value
+	pRepByte  = 4 // one byte repeated eight times
+	pHighPrev = 5 // high 32 bits equal previous word's high 32 bits
+	pRaw      = 6 // uncompressed 64-bit word
+	pHi24Prev = 7 // high 24 bits equal previous word's (smooth FP fields)
+)
+
+const prefixBits = 3
+
+// bitWriter accumulates a bitstream MSB-first.
+type bitWriter struct {
+	buf  []byte
+	nbit int
+}
+
+func (w *bitWriter) write(v uint64, n int) {
+	for i := n - 1; i >= 0; i-- {
+		if w.nbit%8 == 0 {
+			w.buf = append(w.buf, 0)
+		}
+		if v&(1<<uint(i)) != 0 {
+			w.buf[len(w.buf)-1] |= 1 << uint(7-w.nbit%8)
+		}
+		w.nbit++
+	}
+}
+
+// bitReader consumes a bitstream MSB-first.
+type bitReader struct {
+	buf []byte
+	pos int
+}
+
+var errShortStream = errors.New("compress: truncated bitstream")
+
+func (r *bitReader) read(n int) (uint64, error) {
+	var v uint64
+	for i := 0; i < n; i++ {
+		byteIdx := r.pos / 8
+		if byteIdx >= len(r.buf) {
+			return 0, errShortStream
+		}
+		v <<= 1
+		if r.buf[byteIdx]&(1<<uint(7-r.pos%8)) != 0 {
+			v |= 1
+		}
+		r.pos++
+	}
+	return v, nil
+}
+
+func fitsSigned(v uint64, bits uint) bool {
+	s := int64(v)
+	lim := int64(1) << (bits - 1)
+	return s >= -lim && s < lim
+}
+
+func isRepByte(v uint64) bool {
+	b := v & 0xff
+	rep := b * 0x0101010101010101
+	return v == rep
+}
+
+// classify picks the cheapest pattern for word v given the previous word.
+func classify(v, prev uint64) (pattern int, payloadBits int) {
+	switch {
+	case v == 0:
+		return pZero, 0
+	case fitsSigned(v, 8):
+		return pSign8, 8
+	case fitsSigned(v, 16):
+		return pSign16, 16
+	case isRepByte(v):
+		return pRepByte, 8
+	case fitsSigned(v, 32):
+		return pSign32, 32
+	case v>>32 == prev>>32:
+		return pHighPrev, 32
+	case v>>40 == prev>>40:
+		return pHi24Prev, 40
+	default:
+		return pRaw, 64
+	}
+}
+
+// EncodedBits returns the compressed size in bits of one line without
+// materializing the bitstream (fast path for ratio estimation).
+func EncodedBits(line [WordsPerLine]uint64) int {
+	bits := 0
+	prev := uint64(0)
+	for _, v := range line {
+		_, pb := classify(v, prev)
+		bits += prefixBits + pb
+		prev = v
+	}
+	return bits
+}
+
+// Encode compresses one line into a bitstream.
+func Encode(line [WordsPerLine]uint64) []byte {
+	var w bitWriter
+	prev := uint64(0)
+	for _, v := range line {
+		p, pb := classify(v, prev)
+		w.write(uint64(p), prefixBits)
+		switch p {
+		case pZero:
+		case pRepByte:
+			w.write(v&0xff, 8)
+		case pHighPrev:
+			w.write(v&0xffffffff, 32)
+		case pHi24Prev:
+			w.write(v&0xffffffffff, 40)
+		default:
+			w.write(v&((1<<uint(pb))-1), pb)
+		}
+		prev = v
+	}
+	return w.buf
+}
+
+// Decode reverses Encode.
+func Decode(buf []byte) ([WordsPerLine]uint64, error) {
+	var line [WordsPerLine]uint64
+	r := bitReader{buf: buf}
+	prev := uint64(0)
+	for i := 0; i < WordsPerLine; i++ {
+		p, err := r.read(prefixBits)
+		if err != nil {
+			return line, err
+		}
+		var v uint64
+		switch p {
+		case pZero:
+			v = 0
+		case pSign8, pSign16, pSign32:
+			n := map[uint64]uint{pSign8: 8, pSign16: 16, pSign32: 32}[p]
+			raw, err := r.read(int(n))
+			if err != nil {
+				return line, err
+			}
+			// Sign-extend.
+			if raw&(1<<(n-1)) != 0 {
+				raw |= ^uint64(0) << n
+			}
+			v = raw
+		case pRepByte:
+			b, err := r.read(8)
+			if err != nil {
+				return line, err
+			}
+			v = b * 0x0101010101010101
+		case pHighPrev:
+			lo, err := r.read(32)
+			if err != nil {
+				return line, err
+			}
+			v = (prev &^ 0xffffffff) | lo
+		case pHi24Prev:
+			lo, err := r.read(40)
+			if err != nil {
+				return line, err
+			}
+			v = (prev &^ 0xffffffffff) | lo
+		case pRaw:
+			raw, err := r.read(64)
+			if err != nil {
+				return line, err
+			}
+			v = raw
+		default:
+			return line, fmt.Errorf("compress: bad pattern %d", p)
+		}
+		line[i] = v
+		prev = v
+	}
+	return line, nil
+}
+
+// BDIBits estimates the base-delta-immediate compressed size in bits: the
+// line is stored as one 64-bit base plus seven deltas of the smallest width
+// (8/16/32/64 bits) that fits all of them, plus a 4-bit header.
+func BDIBits(line [WordsPerLine]uint64) int {
+	base := line[0]
+	maxWidth := uint(0)
+	for _, v := range line[1:] {
+		d := v - base
+		switch {
+		case fitsSigned(d, 8):
+			if maxWidth < 8 {
+				maxWidth = 8
+			}
+		case fitsSigned(d, 16):
+			if maxWidth < 16 {
+				maxWidth = 16
+			}
+		case fitsSigned(d, 32):
+			if maxWidth < 32 {
+				maxWidth = 32
+			}
+		default:
+			maxWidth = 64
+		}
+	}
+	if maxWidth == 0 {
+		maxWidth = 8 // all words equal the base
+	}
+	return 4 + 64 + (WordsPerLine-1)*int(maxWidth)
+}
+
+// LineRatio returns the best (largest) compression ratio achievable for a
+// line across the implemented schemes, never below 1 (hardware falls back to
+// storing the raw line).
+func LineRatio(line [WordsPerLine]uint64) float64 {
+	bits := EncodedBits(line)
+	if b := BDIBits(line); b < bits {
+		bits = b
+	}
+	if bits >= LineBits {
+		return 1
+	}
+	return float64(LineBits) / float64(bits)
+}
+
+// TraceRatio chunks a value stream into lines and returns the mean traffic
+// compression ratio (total raw bits / total compressed bits).
+func TraceRatio(values []uint64) float64 {
+	if len(values) < WordsPerLine {
+		return 1
+	}
+	var raw, comp float64
+	var line [WordsPerLine]uint64
+	for i := 0; i+WordsPerLine <= len(values); i += WordsPerLine {
+		copy(line[:], values[i:i+WordsPerLine])
+		bits := EncodedBits(line)
+		if b := BDIBits(line); b < bits {
+			bits = b
+		}
+		if bits > LineBits {
+			bits = LineBits
+		}
+		raw += LineBits
+		comp += float64(bits)
+	}
+	if comp == 0 {
+		return 1
+	}
+	return raw / comp
+}

@@ -1,0 +1,178 @@
+package compress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ena/internal/workload"
+)
+
+func TestRoundTripPatterns(t *testing.T) {
+	cases := [][WordsPerLine]uint64{
+		{},                       // all zero
+		{1, 2, 3, 4, 5, 6, 7, 8}, // small positives
+		{^uint64(0), 0, 42, 1 << 40, 0x0101010101010101, 7, 9, 11}, // mixed
+		{0xdeadbeefdeadbeef, 0xdeadbeef00000001, 0xdeadbeef00000002, 1, 2, 3, 4, 5},
+	}
+	for i, line := range cases {
+		buf := Encode(line)
+		got, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if got != line {
+			t.Fatalf("case %d: roundtrip mismatch:\n got %x\nwant %x", i, got, line)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var line [WordsPerLine]uint64
+		for i := range line {
+			switch rng.Intn(5) {
+			case 0:
+				line[i] = 0
+			case 1:
+				line[i] = uint64(int64(rng.Intn(256) - 128))
+			case 2:
+				line[i] = uint64(rng.Intn(1 << 16))
+			case 3:
+				b := uint64(rng.Intn(256))
+				line[i] = b * 0x0101010101010101
+			default:
+				line[i] = rng.Uint64()
+			}
+		}
+		got, err := Decode(Encode(line))
+		return err == nil && got == line
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodedBitsMatchesEncode(t *testing.T) {
+	f := func(a, b, c, d uint64) bool {
+		line := [WordsPerLine]uint64{a, b, c, d, a ^ b, c ^ d, a + c, b + d}
+		bits := EncodedBits(line)
+		buf := Encode(line)
+		// The byte stream rounds up to whole bytes.
+		return len(buf) == (bits+7)/8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	line := [WordsPerLine]uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	buf := Encode(line)
+	if _, err := Decode(buf[:1]); err == nil {
+		t.Error("truncated stream must fail")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Error("empty stream must fail")
+	}
+}
+
+func TestZeroLineCompressesHard(t *testing.T) {
+	var zero [WordsPerLine]uint64
+	if bits := EncodedBits(zero); bits != WordsPerLine*3 {
+		t.Errorf("all-zero line = %d bits, want %d", bits, WordsPerLine*3)
+	}
+	if r := LineRatio(zero); r < 10 {
+		t.Errorf("zero-line ratio = %v", r)
+	}
+}
+
+func TestRandomLineIncompressible(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var line [WordsPerLine]uint64
+	for i := range line {
+		line[i] = rng.Uint64()
+	}
+	if r := LineRatio(line); r > 1.1 {
+		t.Errorf("random line ratio = %v, want ~1", r)
+	}
+}
+
+func TestSmoothDoublesCompressWell(t *testing.T) {
+	var line [WordsPerLine]uint64
+	for i := range line {
+		line[i] = math.Float64bits(1.5 + 1e-7*float64(i))
+	}
+	if r := LineRatio(line); r < 1.3 {
+		t.Errorf("smooth FP line ratio = %v, want > 1.3", r)
+	}
+}
+
+func TestBDIArithmeticSequence(t *testing.T) {
+	var line [WordsPerLine]uint64
+	for i := range line {
+		line[i] = 1_000_000 + uint64(i)*8
+	}
+	bits := BDIBits(line)
+	want := 4 + 64 + 7*8
+	if bits != want {
+		t.Errorf("BDI bits = %d, want %d", bits, want)
+	}
+	if fpc := EncodedBits(line); bits >= fpc {
+		t.Logf("note: FPC beat BDI here (%d vs %d) — LineRatio takes the min", fpc, bits)
+	}
+}
+
+func TestLineRatioNeverBelowOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var line [WordsPerLine]uint64
+		for i := range line {
+			line[i] = rng.Uint64()
+		}
+		return LineRatio(line) >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTraceRatioShort(t *testing.T) {
+	if r := TraceRatio([]uint64{1, 2, 3}); r != 1 {
+		t.Errorf("short trace ratio = %v", r)
+	}
+}
+
+func TestKernelCompressibilityOrdering(t *testing.T) {
+	// The real compressor over the synthetic value streams must agree
+	// with the qualitative ordering used by the power model: XSBench
+	// (random table) compresses worst; simulation-field kernels compress
+	// well.
+	ratio := func(name string) float64 {
+		k, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := k.Trace(13, 8192)
+		vals := make([]uint64, len(tr))
+		for i, a := range tr {
+			vals[i] = a.Value
+		}
+		return TraceRatio(vals)
+	}
+	xs := ratio("XSBench")
+	if xs > 1.35 {
+		t.Errorf("XSBench measured ratio %v should be near 1", xs)
+	}
+	for _, name := range []string{"CoMD", "LULESH", "HPGMG", "SNAP"} {
+		r := ratio(name)
+		if r <= xs+0.05 {
+			t.Errorf("%s ratio %v should clearly exceed XSBench's %v", name, r, xs)
+		}
+		if r < 1.1 {
+			t.Errorf("%s: smooth field data should compress, ratio %v", name, r)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+// Package core is the paper's primary contribution assembled: the Exascale
+// Node Architecture model. It ties the hardware description (internal/arch),
+// kernel characterizations (internal/workload), the analytic roofline
+// (internal/perf), the two-level memory system (internal/memsys), the
+// component power model (internal/power), and the §V-E optimizations
+// (internal/powopt) into a single high-level node simulation — the same
+// structure as the in-house simulator the paper's methodology describes
+// (§III) — plus the system-level exascale projection of §V-F.
+package core
+
+import (
+	"fmt"
+
+	"ena/internal/arch"
+	"ena/internal/memsys"
+	"ena/internal/perf"
+	"ena/internal/power"
+	"ena/internal/powopt"
+	"ena/internal/workload"
+)
+
+// Options tunes one node simulation.
+type Options struct {
+	// MissFrac is the fraction of DRAM traffic served by external memory.
+	// Zero (the default) models an in-package-resident working set, the
+	// assumption behind the paper's performance figures; Fig. 8 sweeps
+	// it, and UseAppExtTraffic derives it from the kernel.
+	MissFrac float64
+
+	// UseAppExtTraffic sets MissFrac from the kernel's characterized
+	// external-traffic share under software management (Fig. 9 accounts
+	// external-memory power this way).
+	UseAppExtTraffic bool
+
+	// Policy selects the memory-management mode when UseAppExtTraffic is
+	// set (default: SoftwareManaged, the paper's primary mode).
+	Policy memsys.Policy
+
+	// Optimizations applies the §V-E power-saving techniques.
+	Optimizations powopt.Technique
+
+	// TempC is the die temperature used for leakage (0 = reference).
+	TempC float64
+
+	// ExcludeExternal drops the external-memory network from the power
+	// accounting (the peak-compute scenario of Fig. 14 reports
+	// compute-focused node power).
+	ExcludeExternal bool
+}
+
+// Result is one simulated (configuration, kernel) outcome.
+type Result struct {
+	Config *arch.NodeConfig
+	Kernel workload.Kernel
+
+	Perf  perf.Result
+	Power power.Breakdown
+
+	MissFrac float64
+	NodeW    float64 // total accounted node power
+	GFperW   float64 // energy efficiency
+}
+
+// Simulate runs the high-level model.
+func Simulate(cfg *arch.NodeConfig, k workload.Kernel, opt Options) Result {
+	miss := opt.MissFrac
+	if opt.UseAppExtTraffic {
+		miss = memsys.MissFrac(cfg, k, opt.Policy)
+	}
+	env := memsys.Env(cfg, k, miss)
+	pr := perf.Estimate(cfg, k, env)
+
+	remote := (1 - k.CacheLocality) * float64(arch.GPUChipletCount-1) / float64(arch.GPUChipletCount)
+	d := power.Demand{
+		Activity:       k.Activity,
+		BusyFrac:       1,
+		TrafficTBps:    pr.TrafficTBps,
+		ExtTrafficTBps: pr.TrafficTBps * miss,
+		ExtWriteFrac:   k.WriteFrac,
+		RemoteFrac:     remote,
+		CPUActivity:    0.10 + k.SerialFrac*20,
+		TempC:          opt.TempC,
+	}
+	pb := power.Compute(cfg, d)
+	pb = powopt.Apply(pb, k, cfg.GPUFreqMHz(), opt.Optimizations)
+
+	res := Result{
+		Config:   cfg,
+		Kernel:   k,
+		Perf:     pr,
+		Power:    pb,
+		MissFrac: miss,
+	}
+	if opt.ExcludeExternal {
+		res.NodeW = pb.PackageW()
+	} else {
+		res.NodeW = pb.Total()
+	}
+	if res.NodeW > 0 {
+		res.GFperW = pr.TFLOPs * 1000 / res.NodeW
+	}
+	return res
+}
+
+// BudgetPowerW is the quantity the 160 W DSE budget constrains: package
+// power plus the external network's background power. The paper's
+// exploration assumes in-package-resident working sets, so external dynamic
+// power is excluded from the budget check (it is studied separately in
+// Fig. 9).
+func BudgetPowerW(cfg *arch.NodeConfig, k workload.Kernel, opts powopt.Technique) float64 {
+	r := Simulate(cfg, k, Options{Optimizations: opts})
+	return r.Power.PackageW() + r.Power.ExtStatic + r.Power.SerDesStatic
+}
+
+// NormalizedPerf returns a kernel's throughput on cfg divided by its
+// throughput on the paper's best-mean configuration — the y-axis of
+// Figs. 4-6 ("Perf. normalized to best-mean config").
+func NormalizedPerf(cfg *arch.NodeConfig, k workload.Kernel) float64 {
+	ref := Simulate(arch.BestMeanEHP(), k, Options{})
+	got := Simulate(cfg, k, Options{})
+	if ref.Perf.TFLOPs == 0 {
+		return 0
+	}
+	return got.Perf.TFLOPs / ref.Perf.TFLOPs
+}
+
+// SystemProjection is the §V-F machine-level roll-up (Fig. 14).
+type SystemProjection struct {
+	Nodes      int
+	NodeTFLOPs float64
+	NodeW      float64
+	ExaFLOPs   float64
+	SystemMW   float64
+}
+
+// ProjectSystem scales one node's result to the full machine.
+func ProjectSystem(r Result, nodes int) SystemProjection {
+	if nodes <= 0 {
+		nodes = arch.NodeCount
+	}
+	return SystemProjection{
+		Nodes:      nodes,
+		NodeTFLOPs: r.Perf.TFLOPs,
+		NodeW:      r.NodeW,
+		ExaFLOPs:   r.Perf.TFLOPs * float64(nodes) / 1e6,
+		SystemMW:   r.NodeW * float64(nodes) / 1e6,
+	}
+}
+
+// String summarizes a result for logs and CLI output.
+func (r Result) String() string {
+	return fmt.Sprintf("%s on %s: %.2f TFLOP/s (%s-bound), %.1f W node, %.1f GF/W",
+		r.Kernel.Name, r.Config, r.Perf.TFLOPs, r.Perf.Bound, r.NodeW, r.GFperW)
+}
+
+// AppResult is a whole-application outcome: the time-weighted aggregate over
+// the app's kernel phases (§IV footnote 3 — the paper reports only the
+// dominant kernel; this accounts for all of them).
+type AppResult struct {
+	App        workload.Application
+	Config     *arch.NodeConfig
+	TFLOPs     float64 // harmonic (time-weighted) application throughput
+	NodeW      float64 // time-weighted mean node power
+	GFperW     float64
+	PerKernel  []Result
+	DomKernelR Result // the dominant kernel alone, for comparison
+}
+
+// SimulateApp runs every phase of an application and aggregates: for phase
+// weights w_i (flops shares) and phase throughputs p_i, application
+// throughput is 1 / sum(w_i / p_i); power averages over time spent.
+func SimulateApp(cfg *arch.NodeConfig, app workload.Application, opt Options) (AppResult, error) {
+	if err := app.Validate(); err != nil {
+		return AppResult{}, err
+	}
+	out := AppResult{App: app, Config: cfg}
+	var timePerFlop, energyPerFlop float64
+	for _, ph := range app.Phases {
+		r := Simulate(cfg, ph.Kernel, opt)
+		out.PerKernel = append(out.PerKernel, r)
+		t := ph.Weight / (r.Perf.TFLOPs * 1e12) // seconds per app-flop in this phase
+		timePerFlop += t
+		energyPerFlop += t * r.NodeW
+	}
+	out.TFLOPs = 1 / timePerFlop / 1e12
+	out.NodeW = energyPerFlop / timePerFlop
+	if out.NodeW > 0 {
+		out.GFperW = out.TFLOPs * 1000 / out.NodeW
+	}
+	out.DomKernelR = Simulate(cfg, app.Dominant(), opt)
+	return out, nil
+}

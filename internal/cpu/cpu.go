@@ -1,0 +1,146 @@
+// Package cpu implements the CPU-side analytic scaling models the paper's
+// methodology cites (§III): a leading-loads performance predictor [39] —
+// execution time decomposes into a frequency-scaled compute part and a
+// frequency-invariant memory-stall part measured by "leading load" cycles —
+// and a PPEP-style [40] DVFS energy model that predicts power and picks
+// energy-optimal operating points for the CPU chiplets' serial phases.
+package cpu
+
+import (
+	"errors"
+	"math"
+)
+
+// PhaseProfile is what the leading-loads counters measure for a CPU phase at
+// a reference frequency: core-bound cycles scale with frequency, while
+// leading-load (memory stall) time does not.
+type PhaseProfile struct {
+	Name string
+	// ComputeCycles is the frequency-scaled work (core cycles).
+	ComputeCycles float64
+	// LeadingLoadNs is the frequency-invariant memory-stall time.
+	LeadingLoadNs float64
+}
+
+// MemoryBoundness returns the fraction of phase time spent in leading loads
+// at the given frequency.
+func (p PhaseProfile) MemoryBoundness(fMHz float64) float64 {
+	t := p.TimeNs(fMHz)
+	if t == 0 {
+		return 0
+	}
+	return p.LeadingLoadNs / t
+}
+
+// TimeNs predicts the phase's execution time at a frequency (the
+// leading-loads model [39]).
+func (p PhaseProfile) TimeNs(fMHz float64) float64 {
+	if fMHz <= 0 {
+		return math.Inf(1)
+	}
+	return p.ComputeCycles/(fMHz*1e-3) + p.LeadingLoadNs
+}
+
+// Speedup predicts the speedup of moving from fromMHz to toMHz.
+func (p PhaseProfile) Speedup(fromMHz, toMHz float64) float64 {
+	t := p.TimeNs(toMHz)
+	if t == 0 {
+		return math.Inf(1)
+	}
+	return p.TimeNs(fromMHz) / t
+}
+
+// PowerModel is the PPEP-style CPU power model: P(f) = C*V(f)^2*f*activity +
+// leakage(V).
+type PowerModel struct {
+	SwitchedCapF float64 // effective switched capacitance per core
+	LeakageWAtV1 float64 // per-core leakage at 1.0 V
+	VMin, VMax   float64 // DVFS voltage range
+	FMinMHz      float64 // frequency at VMin
+	FMaxMHz      float64 // frequency at VMax
+}
+
+// DefaultPowerModel returns the CPU-chiplet calibration (latency-optimized
+// cores, 1.2-3.2 GHz DVFS range).
+func DefaultPowerModel() PowerModel {
+	return PowerModel{
+		SwitchedCapF: 1.1e-9,
+		LeakageWAtV1: 0.35,
+		VMin:         0.70,
+		VMax:         1.05,
+		FMinMHz:      1200,
+		FMaxMHz:      3200,
+	}
+}
+
+// VoltageAt interpolates the V-f curve (clamped at the rail limits).
+func (m PowerModel) VoltageAt(fMHz float64) float64 {
+	if fMHz <= m.FMinMHz {
+		return m.VMin
+	}
+	if fMHz >= m.FMaxMHz {
+		return m.VMax
+	}
+	t := (fMHz - m.FMinMHz) / (m.FMaxMHz - m.FMinMHz)
+	return m.VMin + t*(m.VMax-m.VMin)
+}
+
+// PowerW returns per-core power at a frequency and activity factor.
+func (m PowerModel) PowerW(fMHz, activity float64) float64 {
+	v := m.VoltageAt(fMHz)
+	return activity*m.SwitchedCapF*v*v*fMHz*1e6 + m.LeakageWAtV1*v
+}
+
+// PhaseEnergyJ predicts one phase execution's per-core energy at a frequency.
+func (m PowerModel) PhaseEnergyJ(p PhaseProfile, fMHz, activity float64) float64 {
+	return m.PowerW(fMHz, activity) * p.TimeNs(fMHz) * 1e-9
+}
+
+// ErrNoStates reports an empty DVFS state list.
+var ErrNoStates = errors.New("cpu: need at least one DVFS state")
+
+// EnergyOptimalMHz returns the DVFS state minimizing the phase's energy (the
+// PPEP use case: memory-bound phases clock down almost for free, compute-
+// bound phases race to idle).
+func (m PowerModel) EnergyOptimalMHz(p PhaseProfile, statesMHz []float64, activity float64) (float64, error) {
+	if len(statesMHz) == 0 {
+		return 0, ErrNoStates
+	}
+	best := statesMHz[0]
+	bestE := m.PhaseEnergyJ(p, best, activity)
+	for _, f := range statesMHz[1:] {
+		if e := m.PhaseEnergyJ(p, f, activity); e < bestE {
+			bestE = e
+			best = f
+		}
+	}
+	return best, nil
+}
+
+// EDPOptimalMHz minimizes energy-delay product instead (the usual HPC
+// compromise between energy and time).
+func (m PowerModel) EDPOptimalMHz(p PhaseProfile, statesMHz []float64, activity float64) (float64, error) {
+	if len(statesMHz) == 0 {
+		return 0, ErrNoStates
+	}
+	best := statesMHz[0]
+	bestEDP := m.PhaseEnergyJ(p, best, activity) * p.TimeNs(best)
+	for _, f := range statesMHz[1:] {
+		if edp := m.PhaseEnergyJ(p, f, activity) * p.TimeNs(f); edp < bestEDP {
+			bestEDP = edp
+			best = f
+		}
+	}
+	return best, nil
+}
+
+// Representative serial-section profiles for the proxy apps' CPU phases
+// (what the EHP's latency-optimized cores exist for, §II-A1).
+func Profiles() []PhaseProfile {
+	return []PhaseProfile{
+		{Name: "reduction", ComputeCycles: 2e6, LeadingLoadNs: 5e4},
+		{Name: "mesh-admin", ComputeCycles: 8e5, LeadingLoadNs: 9e5},
+		{Name: "io-pack", ComputeCycles: 3e5, LeadingLoadNs: 1.5e6},
+		{Name: "neighbor-sort", ComputeCycles: 3e6, LeadingLoadNs: 4e5},
+	}
+}

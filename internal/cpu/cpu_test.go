@@ -1,0 +1,156 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+var states = []float64{1200, 1600, 2000, 2400, 2800, 3200}
+
+func computeBound() PhaseProfile {
+	return PhaseProfile{Name: "cb", ComputeCycles: 5e6, LeadingLoadNs: 1e4}
+}
+
+func memoryBound() PhaseProfile {
+	return PhaseProfile{Name: "mb", ComputeCycles: 3e5, LeadingLoadNs: 2e6}
+}
+
+func TestLeadingLoadsScaling(t *testing.T) {
+	cb := computeBound()
+	// Compute-bound: doubling frequency nearly halves time.
+	if s := cb.Speedup(1600, 3200); s < 1.9 {
+		t.Errorf("compute-bound speedup = %v, want ~2", s)
+	}
+	mb := memoryBound()
+	// Memory-bound: frequency barely helps (the leading-loads insight).
+	if s := mb.Speedup(1600, 3200); s > 1.15 {
+		t.Errorf("memory-bound speedup = %v, should saturate", s)
+	}
+}
+
+func TestTimeMonotoneInFrequency(t *testing.T) {
+	f := func(seed int64) bool {
+		p := Profiles()[int(uint64(seed)%uint64(len(Profiles())))]
+		prev := math.Inf(1)
+		for _, fm := range states {
+			tm := p.TimeNs(fm)
+			if tm > prev+1e-9 {
+				return false
+			}
+			prev = tm
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeDegenerate(t *testing.T) {
+	p := computeBound()
+	if !math.IsInf(p.TimeNs(0), 1) {
+		t.Error("zero frequency should be infinite time")
+	}
+}
+
+func TestMemoryBoundness(t *testing.T) {
+	mb := memoryBound()
+	cb := computeBound()
+	if mb.MemoryBoundness(2000) <= cb.MemoryBoundness(2000) {
+		t.Error("memory-bound phase must report higher boundness")
+	}
+	// Boundness grows with frequency (compute shrinks, stalls do not).
+	if mb.MemoryBoundness(3200) <= mb.MemoryBoundness(1200) {
+		t.Error("memory boundness should grow with frequency")
+	}
+	for _, fm := range states {
+		b := mb.MemoryBoundness(fm)
+		if b < 0 || b > 1 {
+			t.Errorf("boundness out of range: %v", b)
+		}
+	}
+}
+
+func TestPowerModel(t *testing.T) {
+	m := DefaultPowerModel()
+	// Voltage clamps at the rails and is monotone between them.
+	if m.VoltageAt(500) != m.VMin || m.VoltageAt(5000) != m.VMax {
+		t.Error("voltage rails not clamped")
+	}
+	prevV, prevP := 0.0, 0.0
+	for _, fm := range states {
+		v := m.VoltageAt(fm)
+		p := m.PowerW(fm, 0.5)
+		if v < prevV || p <= prevP {
+			t.Fatalf("V/P not monotone at %v MHz", fm)
+		}
+		prevV, prevP = v, p
+	}
+	// Superlinear power: top frequency costs more than pro-rata.
+	ratio := m.PowerW(3200, 1) / m.PowerW(1600, 1)
+	if ratio <= 2 {
+		t.Errorf("P(3200)/P(1600) = %v, want superlinear", ratio)
+	}
+}
+
+func TestEnergyOptimalByBoundness(t *testing.T) {
+	m := DefaultPowerModel()
+	fCB, err := m.EnergyOptimalMHz(computeBound(), states, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fMB, err := m.EnergyOptimalMHz(memoryBound(), states, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PPEP's lesson: memory-bound phases clock down; compute-bound phases
+	// don't gain energy from crawling (leakage x time).
+	if fMB > fCB {
+		t.Errorf("memory-bound optimum %v MHz above compute-bound %v MHz", fMB, fCB)
+	}
+	if fMB != states[0] {
+		t.Errorf("memory-bound phase should pick the lowest state, got %v", fMB)
+	}
+}
+
+func TestEDPOptimalAtLeastEnergyOptimal(t *testing.T) {
+	m := DefaultPowerModel()
+	for _, p := range Profiles() {
+		fe, err := m.EnergyOptimalMHz(p, states, 0.7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fd, err := m.EDPOptimalMHz(p, states, 0.7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// EDP weighs delay, so it never picks a slower clock than the
+		// pure-energy optimum.
+		if fd < fe {
+			t.Errorf("%s: EDP optimum %v below energy optimum %v", p.Name, fd, fe)
+		}
+	}
+}
+
+func TestOptimalErrors(t *testing.T) {
+	m := DefaultPowerModel()
+	if _, err := m.EnergyOptimalMHz(computeBound(), nil, 1); err != ErrNoStates {
+		t.Errorf("expected ErrNoStates, got %v", err)
+	}
+	if _, err := m.EDPOptimalMHz(computeBound(), nil, 1); err != ErrNoStates {
+		t.Errorf("expected ErrNoStates, got %v", err)
+	}
+}
+
+func TestProfilesSane(t *testing.T) {
+	ps := Profiles()
+	if len(ps) < 3 {
+		t.Fatal("need representative profiles")
+	}
+	for _, p := range ps {
+		if p.ComputeCycles <= 0 || p.LeadingLoadNs < 0 || p.Name == "" {
+			t.Errorf("bad profile %+v", p)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+// Package dram implements a bank-level 3D DRAM timing model for one HBM
+// channel: banks with row buffers, activate/precharge/column timings,
+// FR-FCFS-style scheduling, and temperature-dependent refresh. It underpins
+// two claims the higher-level models take as parameters: the achievable
+// fraction of peak channel bandwidth for a given access pattern, and the
+// §V-D rule that in-package DRAM "must stay below 85 C to avoid increasing
+// the refresh rate" — above the threshold the refresh interval halves and
+// measurably eats into delivered bandwidth.
+package dram
+
+import (
+	"errors"
+
+	"ena/internal/units"
+	"ena/internal/workload"
+)
+
+// Timing parameters of the projected exascale-generation stack (per
+// channel), in nanoseconds. Values follow HBM2-class timings; the interface
+// runs wide enough that one column burst moves a 64 B line.
+type Timing struct {
+	TRCD    float64 // activate -> column command
+	TRP     float64 // precharge
+	TCL     float64 // column -> first data
+	TBurst  float64 // data transfer of one 64 B line
+	TRAS    float64 // activate -> precharge minimum
+	TRFC    float64 // refresh cycle time
+	TREFI   float64 // average refresh interval per bank group (normal temp)
+	RowBits uint    // log2(row size in bytes)
+}
+
+// DefaultTiming returns the calibrated channel timing: with TBurst 2 ns the
+// channel peaks at 32 GB/s, and HBMLatencyNs-class unloaded latencies.
+func DefaultTiming() Timing {
+	return Timing{
+		TRCD:    14,
+		TRP:     14,
+		TCL:     14,
+		TBurst:  2,
+		TRAS:    33,
+		TRFC:    260,
+		TREFI:   3900,
+		RowBits: 10, // 1 KiB rows
+	}
+}
+
+// RefreshTempLimitC mirrors the §V-D threshold: above it JEDEC requires
+// double-rate refresh (tREFI halves).
+const RefreshTempLimitC = 85.0
+
+// Channel is one HBM channel with its banks.
+type Channel struct {
+	timing Timing
+	banks  []bank
+	// now is the channel clock in ns.
+	now float64
+	// busyUntil serializes the shared data bus.
+	busyUntil float64
+	// nextRefresh schedules the rolling refresh.
+	nextRefresh float64
+	refreshNs   float64 // effective tREFI given temperature
+
+	stats Stats
+}
+
+type bank struct {
+	openRow  int64 // -1 = closed
+	readyAt  float64
+	activeAt float64 // when the open row was activated (tRAS)
+}
+
+// Stats accumulates channel activity.
+type Stats struct {
+	Requests    int
+	RowHits     int
+	RowMisses   int
+	RowConflict int
+	Refreshes   int
+	BusyNs      float64
+	LastDoneNs  float64
+}
+
+// RowHitRate returns the fraction of requests that hit an open row.
+func (s Stats) RowHitRate() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(s.Requests)
+}
+
+// ErrNoBanks reports a channel built without banks.
+var ErrNoBanks = errors.New("dram: channel needs at least one bank")
+
+// NewChannel builds a channel with the given bank count and timing; tempC
+// selects the refresh rate regime.
+func NewChannel(banks int, t Timing, tempC float64) (*Channel, error) {
+	if banks <= 0 {
+		return nil, ErrNoBanks
+	}
+	c := &Channel{timing: t, banks: make([]bank, banks)}
+	for i := range c.banks {
+		c.banks[i].openRow = -1
+	}
+	c.refreshNs = t.TREFI
+	if tempC > RefreshTempLimitC {
+		c.refreshNs /= 2 // JEDEC double-rate refresh above 85 C
+	}
+	c.nextRefresh = c.refreshNs
+	return c, nil
+}
+
+// bankAndRow decomposes a 64 B line address (a 1 KiB row holds 16 lines).
+func (c *Channel) bankAndRow(line uint64) (int, int64) {
+	row := line >> (c.timing.RowBits - 6)
+	b := int(row % uint64(len(c.banks)))
+	return b, int64(row / uint64(len(c.banks)))
+}
+
+// Access issues one 64 B request arriving at time t (ns) and returns its
+// completion time. Requests to an open row pay only column latency; closed
+// rows pay activation; conflicting rows pay precharge + activation.
+func (c *Channel) Access(t float64, addr uint64) float64 {
+	if t > c.now {
+		c.now = t
+	}
+	// Rolling refresh: every effective tREFI, each bank is blocked for an
+	// additional tRFC after finishing its in-flight work.
+	for c.now >= c.nextRefresh {
+		for i := range c.banks {
+			start := c.banks[i].readyAt
+			if c.nextRefresh > start {
+				start = c.nextRefresh
+			}
+			c.banks[i].readyAt = start + c.timing.TRFC
+		}
+		c.stats.Refreshes++
+		c.nextRefresh += c.refreshNs
+	}
+
+	bi, row := c.bankAndRow(addr)
+	bk := &c.banks[bi]
+	start := c.now
+	if bk.readyAt > start {
+		start = bk.readyAt
+	}
+
+	var cmd float64
+	switch {
+	case bk.openRow == row:
+		c.stats.RowHits++
+		cmd = start
+	case bk.openRow < 0:
+		c.stats.RowMisses++
+		cmd = start + c.timing.TRCD
+		bk.activeAt = start
+	default:
+		c.stats.RowConflict++
+		// Respect tRAS before precharging the old row.
+		pre := start
+		if min := bk.activeAt + c.timing.TRAS; min > pre {
+			pre = min
+		}
+		cmd = pre + c.timing.TRP + c.timing.TRCD
+		bk.activeAt = pre + c.timing.TRP
+	}
+	bk.openRow = row
+
+	// Data bus serialization.
+	dataStart := cmd + c.timing.TCL
+	if c.busyUntil > dataStart {
+		dataStart = c.busyUntil
+	}
+	done := dataStart + c.timing.TBurst
+	c.busyUntil = done
+	bk.readyAt = cmd + c.timing.TBurst // bank can take the next column
+
+	c.stats.Requests++
+	c.stats.BusyNs += c.timing.TBurst
+	if done > c.stats.LastDoneNs {
+		c.stats.LastDoneNs = done
+	}
+	return done
+}
+
+// Stats returns the accumulated counters.
+func (c *Channel) Snapshot() Stats { return c.stats }
+
+// PeakGBps returns the channel's theoretical peak bandwidth.
+func (c *Channel) PeakGBps() float64 {
+	return units.CacheLineBytes / c.timing.TBurst // B/ns == GB/s
+}
+
+// Replay streams a trace through the channel open-loop at the offered rate
+// (GB/s) and reports delivered bandwidth and mean latency.
+type ReplayResult struct {
+	DeliveredGBps float64
+	MeanLatencyNs float64
+	Stats         Stats
+}
+
+// Replay drives the channel with a workload trace.
+func Replay(ch *Channel, tr []workload.Access, offeredGBps float64) ReplayResult {
+	var res ReplayResult
+	if len(tr) == 0 || offeredGBps <= 0 {
+		return res
+	}
+	interArrival := units.CacheLineBytes / offeredGBps // ns between lines
+	var sumLat float64
+	for i, a := range tr {
+		arrive := float64(i) * interArrival
+		done := ch.Access(arrive, a.Addr/units.CacheLineBytes)
+		sumLat += done - arrive
+	}
+	s := ch.Snapshot()
+	res.Stats = s
+	res.MeanLatencyNs = sumLat / float64(len(tr))
+	if s.LastDoneNs > 0 {
+		bytes := float64(len(tr)) * units.CacheLineBytes
+		res.DeliveredGBps = bytes / s.LastDoneNs
+	}
+	return res
+}
+
+// EfficiencyAtTemp measures delivered bandwidth for a kernel's pattern at
+// the given DRAM temperature, as a fraction of the channel peak — the
+// quantity behind the §V-D refresh-rate warning.
+func EfficiencyAtTemp(k workload.Kernel, tempC float64, accesses int) (float64, error) {
+	ch, err := NewChannel(16, DefaultTiming(), tempC)
+	if err != nil {
+		return 0, err
+	}
+	tr := k.Trace(7, accesses)
+	r := Replay(ch, tr, ch.PeakGBps()) // saturating offered load
+	return r.DeliveredGBps / ch.PeakGBps(), nil
+}

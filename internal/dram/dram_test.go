@@ -1,0 +1,173 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+
+	"ena/internal/units"
+	"ena/internal/workload"
+)
+
+func mustChannel(t *testing.T, banks int, tempC float64) *Channel {
+	t.Helper()
+	ch, err := NewChannel(banks, DefaultTiming(), tempC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+func TestNewChannelValidation(t *testing.T) {
+	if _, err := NewChannel(0, DefaultTiming(), 60); err != ErrNoBanks {
+		t.Errorf("expected ErrNoBanks, got %v", err)
+	}
+}
+
+func TestRowHitFasterThanMiss(t *testing.T) {
+	ch := mustChannel(t, 16, 60)
+	// First access activates; the second to the same row is a hit.
+	d1 := ch.Access(0, 0)
+	d2 := ch.Access(d1, 1) // same 1 KiB row (line 1)
+	missLat := d1 - 0
+	hitLat := d2 - d1
+	if hitLat >= missLat {
+		t.Errorf("row hit %v ns not faster than miss %v ns", hitLat, missLat)
+	}
+	s := ch.Snapshot()
+	if s.RowHits != 1 || s.RowMisses != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestRowConflictSlowest(t *testing.T) {
+	ch := mustChannel(t, 1, 60) // one bank: forced conflicts
+	rowLines := uint64(1) << (DefaultTiming().RowBits - 6)
+	d1 := ch.Access(0, 0)
+	d2 := ch.Access(d1, rowLines) // different row, same bank
+	if ch.Snapshot().RowConflict != 1 {
+		t.Fatalf("stats = %+v", ch.Snapshot())
+	}
+	conflictLat := d2 - d1
+	ch2 := mustChannel(t, 1, 60)
+	e1 := ch2.Access(0, 0)
+	e2 := ch2.Access(e1, 1)
+	hitLat := e2 - e1
+	if conflictLat <= hitLat {
+		t.Errorf("conflict %v ns should exceed hit %v ns", conflictLat, hitLat)
+	}
+}
+
+func TestSequentialNearPeak(t *testing.T) {
+	// Unit-stride streams with many banks should deliver most of peak.
+	ch := mustChannel(t, 16, 60)
+	tr := make([]workload.Access, 20000)
+	for i := range tr {
+		tr[i] = workload.Access{Addr: uint64(i) * units.CacheLineBytes}
+	}
+	r := Replay(ch, tr, ch.PeakGBps())
+	if eff := r.DeliveredGBps / ch.PeakGBps(); eff < 0.8 {
+		t.Errorf("sequential efficiency = %v", eff)
+	}
+	if r.Stats.RowHitRate() < 0.9 {
+		t.Errorf("sequential row-hit rate = %v", r.Stats.RowHitRate())
+	}
+}
+
+func TestRandomWellBelowPeak(t *testing.T) {
+	ch := mustChannel(t, 16, 60)
+	rng := rand.New(rand.NewSource(1))
+	tr := make([]workload.Access, 20000)
+	for i := range tr {
+		tr[i] = workload.Access{Addr: uint64(rng.Int63n(1 << 34))}
+	}
+	r := Replay(ch, tr, ch.PeakGBps())
+	eff := r.DeliveredGBps / ch.PeakGBps()
+	if eff > 0.75 {
+		t.Errorf("random-access efficiency %v suspiciously high", eff)
+	}
+	if r.Stats.RowHitRate() > 0.1 {
+		t.Errorf("random row-hit rate = %v", r.Stats.RowHitRate())
+	}
+}
+
+func TestMoreBanksMoreParallelism(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := make([]workload.Access, 20000)
+	for i := range tr {
+		tr[i] = workload.Access{Addr: uint64(rng.Int63n(1 << 34))}
+	}
+	few := mustChannel(t, 2, 60)
+	many := mustChannel(t, 32, 60)
+	rFew := Replay(few, tr, few.PeakGBps())
+	rMany := Replay(many, tr, many.PeakGBps())
+	if rMany.DeliveredGBps <= rFew.DeliveredGBps {
+		t.Errorf("32 banks (%v GB/s) should beat 2 banks (%v GB/s)",
+			rMany.DeliveredGBps, rFew.DeliveredGBps)
+	}
+}
+
+func TestRefreshCostsBandwidth(t *testing.T) {
+	// The §V-D rule quantified: above 85 C the refresh rate doubles and
+	// delivered bandwidth drops.
+	k := workload.SNAP()
+	cool, err := EfficiencyAtTemp(k, 70, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, err := EfficiencyAtTemp(k, 90, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot >= cool {
+		t.Errorf("hot DRAM (%v) should deliver less than cool (%v)", hot, cool)
+	}
+	drop := (cool - hot) / cool
+	if drop < 0.01 || drop > 0.25 {
+		t.Errorf("refresh-doubling bandwidth cost = %.1f%%, expected a few percent", drop*100)
+	}
+}
+
+func TestRefreshCounter(t *testing.T) {
+	ch := mustChannel(t, 4, 60)
+	tr := make([]workload.Access, 5000)
+	for i := range tr {
+		tr[i] = workload.Access{Addr: uint64(i) * units.CacheLineBytes}
+	}
+	Replay(ch, tr, 8) // slow injection -> long horizon -> several refreshes
+	if ch.Snapshot().Refreshes == 0 {
+		t.Error("no refreshes over a long horizon")
+	}
+	hotCh := mustChannel(t, 4, 95)
+	Replay(hotCh, tr, 8)
+	if hotCh.Snapshot().Refreshes <= ch.Snapshot().Refreshes {
+		t.Error("hot channel must refresh more often")
+	}
+}
+
+func TestLatencyMonotoneWithTime(t *testing.T) {
+	// Completion times never go backwards.
+	ch := mustChannel(t, 8, 60)
+	rng := rand.New(rand.NewSource(3))
+	prev := 0.0
+	for i := 0; i < 5000; i++ {
+		done := ch.Access(float64(i)*2, uint64(rng.Int63n(1<<30)))
+		if done < prev-1e-9 {
+			t.Fatalf("completion went backwards at %d: %v < %v", i, done, prev)
+		}
+		prev = done
+	}
+}
+
+func TestPeakBandwidth(t *testing.T) {
+	ch := mustChannel(t, 16, 60)
+	if got := ch.PeakGBps(); got != 32 {
+		t.Errorf("peak = %v GB/s, want 32 (64 B / 2 ns)", got)
+	}
+}
+
+func TestReplayEmpty(t *testing.T) {
+	ch := mustChannel(t, 4, 60)
+	if r := Replay(ch, nil, 10); r.DeliveredGBps != 0 {
+		t.Error("empty replay should be a no-op")
+	}
+}

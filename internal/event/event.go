@@ -1,0 +1,176 @@
+// Package event implements the discrete-event simulation kernel used by the
+// detailed chiplet-NoC and memory-system models. It provides a deterministic,
+// time-ordered event queue with a simulated clock measured in abstract
+// "cycles" (float64 so sub-cycle link serialization can be expressed).
+//
+// The kernel is intentionally minimal: components schedule closures at future
+// times, and Run drains the queue until it is empty or a limit is reached.
+// Determinism is guaranteed by a monotonically increasing sequence number
+// that breaks ties between events scheduled for the same instant.
+package event
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+)
+
+// Handler is the work a scheduled event performs. It runs with the simulator
+// clock set to the event's timestamp and may schedule further events.
+type Handler func()
+
+type item struct {
+	at   float64
+	seq  uint64
+	fn   Handler
+	idx  int
+	dead bool
+}
+
+type queue []*item
+
+func (q queue) Len() int { return len(q) }
+func (q queue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q queue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *queue) Push(x any) {
+	it := x.(*item)
+	it.idx = len(*q)
+	*q = append(*q, it)
+}
+func (q *queue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// Ticket identifies a scheduled event so it can be cancelled.
+type Ticket struct{ it *item }
+
+// Cancel marks the event dead; it will be skipped when dequeued. Cancelling
+// an already-fired or already-cancelled event is a harmless no-op.
+func (t Ticket) Cancel() {
+	if t.it != nil {
+		t.it.dead = true
+	}
+}
+
+// Sim is a discrete-event simulator instance. The zero value is not usable;
+// create one with NewSim.
+type Sim struct {
+	now       float64
+	seq       uint64
+	q         queue
+	processed uint64
+}
+
+// NewSim returns an empty simulator with the clock at zero.
+func NewSim() *Sim {
+	s := &Sim{}
+	heap.Init(&s.q)
+	return s
+}
+
+// Now returns the current simulated time in cycles.
+func (s *Sim) Now() float64 { return s.now }
+
+// Processed returns the number of events executed so far.
+func (s *Sim) Processed() uint64 { return s.processed }
+
+// Pending returns the number of events still queued (including cancelled
+// events that have not yet been dequeued).
+func (s *Sim) Pending() int { return s.q.Len() }
+
+// ErrPastEvent is returned when an event is scheduled before the current time.
+var ErrPastEvent = errors.New("event: scheduled in the past")
+
+// At schedules fn to run at absolute time t. Scheduling at the current time
+// is allowed (the event runs after already-queued events for that instant).
+func (s *Sim) At(t float64, fn Handler) (Ticket, error) {
+	if t < s.now {
+		return Ticket{}, ErrPastEvent
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return Ticket{}, errors.New("event: non-finite timestamp")
+	}
+	it := &item{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.q, it)
+	return Ticket{it}, nil
+}
+
+// After schedules fn to run delay cycles from now; negative delays clamp to 0.
+func (s *Sim) After(delay float64, fn Handler) Ticket {
+	if delay < 0 {
+		delay = 0
+	}
+	t, err := s.At(s.now+delay, fn)
+	if err != nil {
+		// Unreachable for finite delays; keep the queue consistent anyway.
+		panic(err)
+	}
+	return t
+}
+
+// Step executes the next pending event and returns false when the queue is
+// empty. Cancelled events are skipped without counting as processed.
+func (s *Sim) Step() bool {
+	for s.q.Len() > 0 {
+		it := heap.Pop(&s.q).(*item)
+		if it.dead {
+			continue
+		}
+		s.now = it.at
+		s.processed++
+		it.fn()
+		return true
+	}
+	return false
+}
+
+// Run drains the event queue. maxEvents bounds runaway simulations; pass 0
+// for no limit. It returns the number of events executed by this call.
+func (s *Sim) Run(maxEvents uint64) uint64 {
+	var n uint64
+	for s.Step() {
+		n++
+		if maxEvents > 0 && n >= maxEvents {
+			break
+		}
+	}
+	return n
+}
+
+// RunUntil executes events with timestamps <= deadline, leaving later events
+// queued and advancing the clock to at most the deadline.
+func (s *Sim) RunUntil(deadline float64) uint64 {
+	var n uint64
+	for s.q.Len() > 0 {
+		// Peek: find the next live event time.
+		top := s.q[0]
+		if top.dead {
+			heap.Pop(&s.q)
+			continue
+		}
+		if top.at > deadline {
+			break
+		}
+		s.Step()
+		n++
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return n
+}

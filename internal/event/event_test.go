@@ -1,0 +1,171 @@
+package event
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrdering(t *testing.T) {
+	s := NewSim()
+	var got []int
+	s.After(3, func() { got = append(got, 3) })
+	s.After(1, func() { got = append(got, 1) })
+	s.After(2, func() { got = append(got, 2) })
+	s.Run(0)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("execution order = %v", got)
+	}
+	if s.Now() != 3 {
+		t.Errorf("clock = %v", s.Now())
+	}
+	if s.Processed() != 3 {
+		t.Errorf("processed = %d", s.Processed())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := NewSim()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.After(5, func() { got = append(got, i) })
+	}
+	s.Run(0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("ties must run in scheduling order: %v", got)
+		}
+	}
+}
+
+func TestPastEvent(t *testing.T) {
+	s := NewSim()
+	s.After(10, func() {
+		if _, err := s.At(5, func() {}); err != ErrPastEvent {
+			t.Errorf("expected ErrPastEvent, got %v", err)
+		}
+	})
+	s.Run(0)
+}
+
+func TestNonFinite(t *testing.T) {
+	s := NewSim()
+	if _, err := s.At(nan(), func() {}); err == nil {
+		t.Error("NaN timestamp must be rejected")
+	}
+}
+
+func nan() float64 { return float64(0) / func() float64 { return 0 }() }
+
+func TestCancel(t *testing.T) {
+	s := NewSim()
+	ran := false
+	tk := s.After(1, func() { ran = true })
+	tk.Cancel()
+	n := s.Run(0)
+	if ran {
+		t.Error("cancelled event ran")
+	}
+	if n != 0 {
+		t.Errorf("cancelled events must not count as executed: %d", n)
+	}
+	tk.Cancel() // double cancel is a no-op
+}
+
+func TestEventsScheduleEvents(t *testing.T) {
+	s := NewSim()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 5 {
+			s.After(1, recurse)
+		}
+	}
+	s.After(0, recurse)
+	s.Run(0)
+	if depth != 5 {
+		t.Errorf("depth = %d", depth)
+	}
+	if s.Now() != 4 {
+		t.Errorf("final time = %v", s.Now())
+	}
+}
+
+func TestRunMaxEvents(t *testing.T) {
+	s := NewSim()
+	for i := 0; i < 10; i++ {
+		s.After(float64(i), func() {})
+	}
+	if n := s.Run(4); n != 4 {
+		t.Errorf("Run(4) executed %d", n)
+	}
+	if s.Pending() != 6 {
+		t.Errorf("pending = %d", s.Pending())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewSim()
+	var got []float64
+	for _, at := range []float64{1, 2, 3, 10} {
+		at := at
+		s.After(at, func() { got = append(got, at) })
+	}
+	n := s.RunUntil(5)
+	if n != 3 {
+		t.Errorf("RunUntil executed %d", n)
+	}
+	if s.Now() != 5 {
+		t.Errorf("clock should advance to the deadline: %v", s.Now())
+	}
+	s.Run(0)
+	if len(got) != 4 {
+		t.Errorf("remaining events lost: %v", got)
+	}
+}
+
+func TestRunUntilSkipsCancelled(t *testing.T) {
+	s := NewSim()
+	tk := s.After(1, func() { t.Error("cancelled event ran") })
+	tk.Cancel()
+	s.After(2, func() {})
+	if n := s.RunUntil(3); n != 1 {
+		t.Errorf("RunUntil executed %d", n)
+	}
+}
+
+// Property: regardless of insertion order, events execute in nondecreasing
+// timestamp order and the clock never goes backwards.
+func TestTimeMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSim()
+		var times []float64
+		var executed []float64
+		for i := 0; i < 50; i++ {
+			at := rng.Float64() * 100
+			times = append(times, at)
+			at2 := at
+			if _, err := s.At(at2, func() { executed = append(executed, at2) }); err != nil {
+				return false
+			}
+		}
+		s.Run(0)
+		if len(executed) != len(times) {
+			return false
+		}
+		sort.Float64s(times)
+		for i := range times {
+			if executed[i] != times[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"fmt"
+
+	"ena/internal/arch"
+	"ena/internal/core"
+	"ena/internal/workload"
+)
+
+// AppRow compares an application's whole-app outcome against the
+// dominant-kernel shortcut the paper reports (§IV footnote 3).
+type AppRow struct {
+	App            string
+	DominantTFLOPs float64
+	AppTFLOPs      float64
+	GapPct         float64 // how much the dominant-kernel number overstates
+	AppNodeW       float64
+	AppGFperW      float64
+}
+
+// AppsResult is the application-level study.
+type AppsResult struct {
+	Rows []AppRow
+}
+
+// Render implements Result.
+func (r AppsResult) Render() string {
+	t := &table{header: []string{"application", "dominant-kernel TF", "whole-app TF", "overstatement", "node W", "GF/W"}}
+	for _, row := range r.Rows {
+		t.addRow(row.App,
+			fmt.Sprintf("%.2f", row.DominantTFLOPs),
+			fmt.Sprintf("%.2f", row.AppTFLOPs),
+			fmt.Sprintf("%.1f%%", row.GapPct),
+			fmt.Sprintf("%.1f", row.AppNodeW),
+			fmt.Sprintf("%.1f", row.AppGFperW))
+	}
+	return "Extension: whole-application outcomes vs the dominant-kernel shortcut (§IV fn. 3)\n" + t.String()
+}
+
+// Apps evaluates the multi-kernel applications at the best-mean config.
+func Apps() AppsResult {
+	cfg := arch.BestMeanEHP()
+	var out AppsResult
+	for _, app := range workload.Applications() {
+		r, err := core.SimulateApp(cfg, app, core.Options{})
+		if err != nil {
+			panic(fmt.Sprintf("exp: apps: %v", err))
+		}
+		row := AppRow{
+			App:            app.Name,
+			DominantTFLOPs: r.DomKernelR.Perf.TFLOPs,
+			AppTFLOPs:      r.TFLOPs,
+			AppNodeW:       r.NodeW,
+			AppGFperW:      r.GFperW,
+		}
+		if r.TFLOPs > 0 {
+			row.GapPct = (r.DomKernelR.Perf.TFLOPs/r.TFLOPs - 1) * 100
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}

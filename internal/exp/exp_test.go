@@ -1,0 +1,61 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) < 16 {
+		t.Fatalf("registry has %d experiments", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("incomplete experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	for _, id := range []string{"table1", "fig4", "fig7", "fig14", "table2", "ras"} {
+		if !seen[id] {
+			t.Errorf("missing experiment %q", id)
+		}
+	}
+	if _, err := ByID("fig7"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown id must error")
+	}
+}
+
+func TestTableBuilder(t *testing.T) {
+	tb := &table{header: []string{"a", "bb"}}
+	tb.addRow("xxx", "y")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "a ") || !strings.Contains(lines[1], "---") {
+		t.Errorf("table formatting off:\n%s", out)
+	}
+}
+
+func TestFmtPct(t *testing.T) {
+	if fmtPct(0.1234) != "12.3%" {
+		t.Errorf("fmtPct = %q", fmtPct(0.1234))
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := sortedKeys(m)
+	if got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("sortedKeys = %v", got)
+	}
+}

@@ -1,0 +1,167 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"ena/internal/arch"
+	"ena/internal/core"
+	"ena/internal/dse"
+	"ena/internal/thermal"
+	"ena/internal/workload"
+)
+
+// AssignThermalPower maps a simulated node result onto the package
+// floorplan: CU power onto the GPU chiplets, DRAM power onto the stacked
+// dies, CPU power onto the central clusters, NoC/system power into the
+// active interposers.
+func AssignThermalPower(cfg *arch.NodeConfig, r core.Result) thermal.PowerAssignment {
+	n := len(cfg.GPU)
+	pa := thermal.PowerAssignment{
+		GPUChipletW: make([]float64, n),
+		HBMStackW:   make([]float64, n),
+		CPUW:        r.Power.CPU,
+		InterposerW: r.Power.NoCDynamic + r.Power.NoCStatic + r.Power.Other,
+	}
+	cuW := (r.Power.CUDynamic + r.Power.CUStatic) / float64(n)
+	hbmW := (r.Power.HBMDynamic + r.Power.HBMStatic) / float64(n)
+	for i := 0; i < n; i++ {
+		pa.GPUChipletW[i] = cuW
+		pa.HBMStackW[i] = hbmW
+	}
+	return pa
+}
+
+// solveFor runs a node simulation and thermal solve for one (config,
+// kernel) pair, returning the solution.
+func solveFor(cfg *arch.NodeConfig, k workload.Kernel) (*thermal.Solution, core.Result, error) {
+	r := core.Simulate(cfg, k, core.Options{})
+	sol, err := thermal.Solve(thermal.EHPFloorplan(), AssignThermalPower(cfg, r), thermal.DefaultAmbientC)
+	return sol, r, err
+}
+
+// Fig10Row is one kernel's peak DRAM temperatures.
+type Fig10Row struct {
+	Kernel               string
+	BestMeanTempC        float64
+	BestPerAppTempC      float64
+	BestPerAppConfig     dse.Point
+	BestMeanPackageW     float64
+	PerAppPackageW       float64
+	UnderLimitAtBoth     bool
+	PerAppCoolerThanMean bool
+}
+
+// Fig10Result is the peak-temperature study.
+type Fig10Result struct {
+	Rows   []Fig10Row
+	LimitC float64
+}
+
+// Render implements Result.
+func (r Fig10Result) Render() string {
+	t := &table{header: []string{"kernel", "best-mean (C)", "best-per-app (C)", "per-app config", "pkg W (mean)", "pkg W (app)"}}
+	for _, row := range r.Rows {
+		t.addRow(row.Kernel,
+			fmt.Sprintf("%.1f", row.BestMeanTempC),
+			fmt.Sprintf("%.1f", row.BestPerAppTempC),
+			row.BestPerAppConfig.String(),
+			fmt.Sprintf("%.1f", row.BestMeanPackageW),
+			fmt.Sprintf("%.1f", row.PerAppPackageW))
+	}
+	return fmt.Sprintf("Fig. 10: peak in-package 3D-DRAM temperature (limit %.0f C, ambient %.0f C)\n",
+		r.LimitC, thermal.DefaultAmbientC) + t.String()
+}
+
+// Figure10 computes peak DRAM temperature for every kernel under the
+// best-mean configuration and under its own best configuration (§V-D).
+func Figure10() Fig10Result {
+	base, _ := explorations()
+	bm := arch.BestMeanEHP()
+	out := Fig10Result{LimitC: thermal.DRAMTempLimitC}
+	for i, k := range workload.Suite() {
+		solMean, rMean, err := solveFor(bm, k)
+		if err != nil {
+			panic(fmt.Sprintf("exp: thermal solve failed: %v", err))
+		}
+		pt := base.BestPerKernel[i].Point
+		solApp, rApp, err := solveFor(pt.Config(), k)
+		if err != nil {
+			panic(fmt.Sprintf("exp: thermal solve failed: %v", err))
+		}
+		row := Fig10Row{
+			Kernel:           k.Name,
+			BestMeanTempC:    solMean.PeakDRAMTempC(),
+			BestPerAppTempC:  solApp.PeakDRAMTempC(),
+			BestPerAppConfig: pt,
+			BestMeanPackageW: rMean.Power.PackageW(),
+			PerAppPackageW:   rApp.Power.PackageW(),
+		}
+		row.UnderLimitAtBoth = row.BestMeanTempC < thermal.DRAMTempLimitC &&
+			row.BestPerAppTempC < thermal.DRAMTempLimitC
+		row.PerAppCoolerThanMean = row.BestPerAppTempC < row.BestMeanTempC
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// Fig11Result is the SNAP heat-map comparison of the bottom-most in-package
+// DRAM die under the best-mean and SNAP-optimized configurations.
+type Fig11Result struct {
+	Kernel     string
+	MeanConfig dse.Point
+	AppConfig  dse.Point
+	MeanPeakC  float64
+	AppPeakC   float64
+	MeanMap    [][]float64
+	AppMap     [][]float64
+	MeanASCII  string
+	AppASCII   string
+}
+
+// Render implements Result.
+func (r Fig11Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 11: bottom in-package DRAM die heat map for %s\n", r.Kernel)
+	fmt.Fprintf(&b, "best-mean configuration (%s): peak %.1f C\n%s\n", r.MeanConfig, r.MeanPeakC, r.MeanASCII)
+	fmt.Fprintf(&b, "workload-specific configuration (%s): peak %.1f C\n%s", r.AppConfig, r.AppPeakC, r.AppASCII)
+	return b.String()
+}
+
+// Figure11 renders the SNAP bottom-DRAM-die temperature field for the
+// best-mean and the SNAP-optimized configurations; with the per-app config,
+// power shifts from the high-density CUs into the lower-density DRAM, so the
+// hot spots above the GPU CUs soften (§V-D Finding 2).
+func Figure11() Fig11Result {
+	base, _ := explorations()
+	snapIdx := -1
+	ks := workload.Suite()
+	for i, k := range ks {
+		if k.Name == "SNAP" {
+			snapIdx = i
+		}
+	}
+	k := ks[snapIdx]
+	meanPt := dse.Point{CUs: arch.BestMeanCUs, FreqMHz: arch.BestMeanFreqMHz, BWTBps: arch.BestMeanBWTBps}
+	appPt := base.BestPerKernel[snapIdx].Point
+
+	solMean, _, err := solveFor(arch.BestMeanEHP(), k)
+	if err != nil {
+		panic(fmt.Sprintf("exp: thermal solve failed: %v", err))
+	}
+	solApp, _, err := solveFor(appPt.Config(), k)
+	if err != nil {
+		panic(fmt.Sprintf("exp: thermal solve failed: %v", err))
+	}
+	return Fig11Result{
+		Kernel:     k.Name,
+		MeanConfig: meanPt,
+		AppConfig:  appPt,
+		MeanPeakC:  solMean.PeakLayerTempC(thermal.LayerDRAM0),
+		AppPeakC:   solApp.PeakLayerTempC(thermal.LayerDRAM0),
+		MeanMap:    solMean.HeatMap(thermal.LayerDRAM0),
+		AppMap:     solApp.HeatMap(thermal.LayerDRAM0),
+		MeanASCII:  solMean.ASCIIMap(thermal.LayerDRAM0),
+		AppASCII:   solApp.ASCIIMap(thermal.LayerDRAM0),
+	}
+}

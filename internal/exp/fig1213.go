@@ -1,0 +1,110 @@
+package exp
+
+import (
+	"fmt"
+
+	"ena/internal/arch"
+	"ena/internal/core"
+	"ena/internal/dse"
+	"ena/internal/powopt"
+	"ena/internal/workload"
+)
+
+// Fig12Row is one kernel's savings per technique.
+type Fig12Row struct {
+	Kernel string
+	// Savings maps each individual technique (and the combined stack) to
+	// the fractional node-power reduction at the best-mean config.
+	PerTechnique map[powopt.Technique]float64
+	All          float64
+}
+
+// Fig12Result is the Fig. 12 dataset.
+type Fig12Result struct {
+	Rows []Fig12Row
+}
+
+// Render implements Result.
+func (r Fig12Result) Render() string {
+	hdr := []string{"kernel"}
+	for _, tq := range powopt.Each {
+		hdr = append(hdr, tq.String())
+	}
+	hdr = append(hdr, "all")
+	t := &table{header: hdr}
+	for _, row := range r.Rows {
+		cells := []string{row.Kernel}
+		for _, tq := range powopt.Each {
+			cells = append(cells, fmtPct(row.PerTechnique[tq]))
+		}
+		cells = append(cells, fmtPct(row.All))
+		t.addRow(cells...)
+	}
+	return "Fig. 12: power savings relative to no optimizations (best-mean config)\n" + t.String()
+}
+
+// Figure12 evaluates each §V-E technique individually and combined at the
+// best-mean configuration (the baseline already includes DVFS).
+func Figure12() Fig12Result {
+	cfg := arch.BestMeanEHP()
+	var out Fig12Result
+	for _, k := range workload.Suite() {
+		r := core.Simulate(cfg, k, core.Options{})
+		row := Fig12Row{Kernel: k.Name, PerTechnique: map[powopt.Technique]float64{}}
+		for _, tq := range powopt.Each {
+			row.PerTechnique[tq] = powopt.SavingsFrac(r.Power, k, cfg.GPUFreqMHz(), tq)
+		}
+		row.All = powopt.SavingsFrac(r.Power, k, cfg.GPUFreqMHz(), powopt.All)
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// Fig13Row is one kernel's energy-efficiency comparison.
+type Fig13Row struct {
+	Kernel         string
+	BaselineGFperW float64 // best-mean config, no optimizations
+	OptGFperW      float64 // optimized best-mean config with the full stack
+	ImprovementPct float64
+}
+
+// Fig13Result is the Fig. 13 dataset.
+type Fig13Result struct {
+	BaselineConfig dse.Point
+	OptConfig      dse.Point
+	Rows           []Fig13Row
+}
+
+// Render implements Result.
+func (r Fig13Result) Render() string {
+	t := &table{header: []string{"kernel", "GF/W baseline", "GF/W optimized", "improvement"}}
+	for _, row := range r.Rows {
+		t.addRow(row.Kernel, fmt.Sprintf("%.1f", row.BaselineGFperW),
+			fmt.Sprintf("%.1f", row.OptGFperW), fmt.Sprintf("%.1f%%", row.ImprovementPct))
+	}
+	return fmt.Sprintf("Fig. 13: performance-per-Watt, optimized best-mean (%s + all techniques) vs baseline best-mean (%s)\n",
+		r.OptConfig, r.BaselineConfig) + t.String()
+}
+
+// Figure13 compares the best-mean configuration found with the optimization
+// stack enabled against the unoptimized best-mean: the power savings buy a
+// higher-performing operating point under the same 160 W budget (§V-E
+// Finding 2).
+func Figure13() Fig13Result {
+	baseOut, optOut := explorations()
+	basePt := baseOut.BestMean.Point
+	optPt := optOut.BestMean.Point
+	baseCfg := basePt.Config()
+	optCfg := optPt.Config()
+	out := Fig13Result{BaselineConfig: basePt, OptConfig: optPt}
+	for _, k := range workload.Suite() {
+		r0 := core.Simulate(baseCfg, k, core.Options{})
+		r1 := core.Simulate(optCfg, k, core.Options{Optimizations: powopt.All})
+		row := Fig13Row{Kernel: k.Name, BaselineGFperW: r0.GFperW, OptGFperW: r1.GFperW}
+		if r0.GFperW > 0 {
+			row.ImprovementPct = (r1.GFperW/r0.GFperW - 1) * 100
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package exp
+
+import (
+	"fmt"
+
+	"ena/internal/arch"
+	"ena/internal/core"
+	"ena/internal/dse"
+	"ena/internal/trace"
+	"ena/internal/workload"
+)
+
+// Fig14CUCounts is the swept per-node CU count (the paper's x-axis).
+var Fig14CUCounts = []int{192, 224, 256, 288, 320}
+
+// Fig14Point is one machine-level projection sample.
+type Fig14Point struct {
+	CUs        int
+	NodeTFLOPs float64
+	NodeW      float64
+	ExaFLOPs   float64
+	SystemMW   float64
+}
+
+// Fig14Result is the exascale-target study.
+type Fig14Result struct {
+	Points []Fig14Point
+}
+
+// Render implements Result.
+func (r Fig14Result) Render() string {
+	t := &table{header: []string{"CUs/node", "node TFLOP/s", "node W", "exaflops", "system MW"}}
+	for _, p := range r.Points {
+		t.addRow(fmt.Sprintf("%d", p.CUs), fmt.Sprintf("%.1f", p.NodeTFLOPs),
+			fmt.Sprintf("%.1f", p.NodeW), fmt.Sprintf("%.2f", p.ExaFLOPs),
+			fmt.Sprintf("%.1f", p.SystemMW))
+	}
+	return fmt.Sprintf("Fig. 14: MaxFlops peak-compute scaling (1 GHz, 1 TB/s, %d nodes)\n", arch.NodeCount) + t.String()
+}
+
+// Figure14 scales the MaxFlops kernel across CU counts at 1 GHz and 1 TB/s
+// and projects to the 100,000-node machine (§V-F). Node power is the
+// compute-focused package power, as the paper's peak-compute scenario
+// reports.
+func Figure14() Fig14Result {
+	var out Fig14Result
+	mf := workload.MaxFlops()
+	for _, cus := range Fig14CUCounts {
+		cfg := arch.EHP(cus, 1000, 1)
+		r := core.Simulate(cfg, mf, core.Options{ExcludeExternal: true})
+		p := core.ProjectSystem(r, arch.NodeCount)
+		out.Points = append(out.Points, Fig14Point{
+			CUs:        cus,
+			NodeTFLOPs: r.Perf.TFLOPs,
+			NodeW:      r.NodeW,
+			ExaFLOPs:   p.ExaFLOPs,
+			SystemMW:   p.SystemMW,
+		})
+	}
+	return out
+}
+
+// Table1Row is one kernel's characterization summary.
+type Table1Row struct {
+	Category    workload.Category
+	Application string
+	Description string
+
+	// Trace-derived metrics (the "measurement pass").
+	OpsPerByte     float64
+	FootprintGB    float64
+	WriteFrac      float64
+	TraceWriteFrac float64
+	CompressRatio  float64
+}
+
+// Table1Result reproduces Table I with the model's characterization data.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Render implements Result.
+func (r Table1Result) Render() string {
+	t := &table{header: []string{"category", "application", "description", "flops/byte", "footprint GB", "write frac"}}
+	for _, row := range r.Rows {
+		t.addRow(row.Category.String(), row.Application, row.Description,
+			fmt.Sprintf("%.2f", row.OpsPerByte), fmt.Sprintf("%.0f", row.FootprintGB),
+			fmt.Sprintf("%.2f", row.TraceWriteFrac))
+	}
+	return "Table I: application descriptions and characterization\n" + t.String()
+}
+
+// Table1 lists the suite with its per-kernel characterization, using the
+// synthetic traces for the measured columns.
+func Table1() Table1Result {
+	var out Table1Result
+	for _, k := range workload.Suite() {
+		tr := k.Trace(1, 20000)
+		prof := trace.Analyze(tr)
+		out.Rows = append(out.Rows, Table1Row{
+			Category:       k.Category,
+			Application:    k.Name,
+			Description:    k.Description,
+			OpsPerByte:     k.Intensity,
+			FootprintGB:    k.FootprintGB,
+			WriteFrac:      k.WriteFrac,
+			TraceWriteFrac: prof.WriteFrac,
+		})
+	}
+	return out
+}
+
+// Table2Result reproduces Table II.
+type Table2Result struct {
+	BestMean dse.Point
+	Rows     []dse.TableRow
+}
+
+// Render implements Result.
+func (r Table2Result) Render() string {
+	t := &table{header: []string{"application", "best app-specific config (CUs/MHz/TBps)", "benefit w/o power opt", "benefit w/ power opt"}}
+	for _, row := range r.Rows {
+		t.addRow(row.Kernel, row.BestConfig.String(),
+			fmt.Sprintf("%.1f%%", row.BenefitWithoutOpt),
+			fmt.Sprintf("%.1f%%", row.BenefitWithOpt))
+	}
+	return fmt.Sprintf("Table II: dynamic-reconfiguration benefit over the best-mean config (%s)\n", r.BestMean) + t.String()
+}
+
+// Table2 derives the per-kernel oracle configurations and their benefit over
+// the statically chosen best-mean configuration, without and with the §V-E
+// power optimizations (§VI).
+func Table2() Table2Result {
+	base, opt := explorations()
+	ks := workload.Suite()
+	rows := make([]dse.TableRow, len(ks))
+	for i, k := range ks {
+		ref := base.BestMean.PerfTFLOPs[i]
+		row := dse.TableRow{Kernel: k.Name, BestMeanPerfTFLOPs: ref}
+		if ref > 0 {
+			bp := base.BestPerKernel[i]
+			row.BestConfig = bp.Point
+			row.BenefitWithoutOpt = (bp.PerfTFLOPs[i]/ref - 1) * 100
+			op := opt.BestPerKernel[i]
+			row.BestConfigWithOpt = op.Point
+			row.BenefitWithOpt = (op.PerfTFLOPs[i]/ref - 1) * 100
+		}
+		rows[i] = row
+	}
+	return Table2Result{BestMean: base.BestMean.Point, Rows: rows}
+}

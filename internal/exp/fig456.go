@@ -1,0 +1,110 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"ena/internal/arch"
+	"ena/internal/core"
+	"ena/internal/workload"
+)
+
+// Sweep parameters shared by Figs. 4-6: six bandwidth curves, with the
+// x-axis (machine ops-per-byte = CUs x frequency / bandwidth) varied either
+// by frequency at the best-mean CU count, or by CU count at the best-mean
+// frequency, exactly as the paper's (a)/(b) subfigures do.
+var (
+	figBandwidthsTBps = []float64{1, 3, 4, 5, 6, 7}
+	figFreqSweepMHz   = []float64{500, 600, 700, 800, 900, 1000, 1100, 1200, 1300, 1400, 1500}
+	figCUSweep        = []int{64, 96, 128, 160, 192, 224, 256, 288, 320, 352, 384}
+)
+
+// CurvePoint is one (ops-per-byte, normalized performance) sample.
+type CurvePoint struct {
+	OpsPerByte float64
+	NormPerf   float64
+}
+
+// Curve is one bandwidth line of a Fig. 4-6 plot.
+type Curve struct {
+	BWTBps float64
+	Points []CurvePoint
+}
+
+// PeakNorm returns the curve's maximum normalized performance.
+func (c Curve) PeakNorm() float64 {
+	m := 0.0
+	for _, p := range c.Points {
+		if p.NormPerf > m {
+			m = p.NormPerf
+		}
+	}
+	return m
+}
+
+// KernelSweep is the full Fig. 4/5/6 dataset for one kernel.
+type KernelSweep struct {
+	Kernel    string
+	Category  workload.Category
+	FreqSweep []Curve // subfigure (a)
+	CUSweep   []Curve // subfigure (b)
+}
+
+// Render implements Result.
+func (r KernelSweep) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s): perf normalized to best-mean config (%d CUs / %d MHz / %d TB/s)\n",
+		r.Kernel, r.Category, arch.BestMeanCUs, arch.BestMeanFreqMHz, arch.BestMeanBWTBps)
+	render := func(name string, curves []Curve) {
+		fmt.Fprintf(&b, "(%s)\n", name)
+		for _, c := range curves {
+			fmt.Fprintf(&b, "  %v TB/s:", c.BWTBps)
+			for _, p := range c.Points {
+				fmt.Fprintf(&b, " (%.3f, %.2f)", p.OpsPerByte, p.NormPerf)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	render("a: CU-frequency sweep", r.FreqSweep)
+	render("b: CU-count sweep", r.CUSweep)
+	return b.String()
+}
+
+// sweepKernel builds the dataset for one kernel.
+func sweepKernel(k workload.Kernel) KernelSweep {
+	out := KernelSweep{Kernel: k.Name, Category: k.Category}
+	for _, bw := range figBandwidthsTBps {
+		fc := Curve{BWTBps: bw}
+		for _, f := range figFreqSweepMHz {
+			cfg := arch.EHP(arch.BestMeanCUs, f, bw)
+			fc.Points = append(fc.Points, CurvePoint{
+				OpsPerByte: cfg.OpsPerByte(),
+				NormPerf:   core.NormalizedPerf(cfg, k),
+			})
+		}
+		out.FreqSweep = append(out.FreqSweep, fc)
+
+		cc := Curve{BWTBps: bw}
+		for _, cus := range figCUSweep {
+			cfg := arch.EHP(cus, arch.BestMeanFreqMHz, bw)
+			cc.Points = append(cc.Points, CurvePoint{
+				OpsPerByte: cfg.OpsPerByte(),
+				NormPerf:   core.NormalizedPerf(cfg, k),
+			})
+		}
+		out.CUSweep = append(out.CUSweep, cc)
+	}
+	return out
+}
+
+// Figure4 reproduces Fig. 4: the compute-intensive MaxFlops kernel scales
+// with CUs and frequency and is insensitive to bandwidth.
+func Figure4() KernelSweep { return sweepKernel(workload.MaxFlops()) }
+
+// Figure5 reproduces Fig. 5: the balanced CoMD kernel improves with all
+// resources and plateaus beyond its ops-per-byte sweet spot.
+func Figure5() KernelSweep { return sweepKernel(workload.CoMD()) }
+
+// Figure6 reproduces Fig. 6: the memory-intensive LULESH kernel peaks and
+// then degrades as excess concurrency thrashes caches and the interconnect.
+func Figure6() KernelSweep { return sweepKernel(workload.LULESH()) }

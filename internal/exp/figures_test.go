@@ -1,0 +1,712 @@
+package exp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ena/internal/stats"
+	"ena/internal/thermal"
+)
+
+// These are the integration tests of the reproduction: each asserts the
+// *shape* invariants the paper reports for its figure — who wins, by roughly
+// what factor, and where the crossovers fall (see EXPERIMENTS.md for the
+// paper-vs-measured record).
+
+func TestFigure4MaxFlops(t *testing.T) {
+	r := Figure4()
+	if r.Kernel != "MaxFlops" {
+		t.Fatal("wrong kernel")
+	}
+	// (1) Bandwidth-insensitive: at matched CU-frequency points the curves
+	// for different bandwidths coincide (paper: "bandwidth does not help").
+	for i := range r.FreqSweep[0].Points {
+		ys := make([]float64, 0, len(r.FreqSweep))
+		for _, c := range r.FreqSweep {
+			ys = append(ys, c.Points[i].NormPerf)
+		}
+		lo, _ := stats.Min(ys)
+		hi, _ := stats.Max(ys)
+		if (hi-lo)/hi > 0.03 {
+			t.Errorf("freq point %d: bandwidth spread %.1f%%", i, (hi-lo)/hi*100)
+		}
+	}
+	// (2) Perf increases ~linearly with frequency and with CU count.
+	for _, c := range r.FreqSweep {
+		first, last := c.Points[0], c.Points[len(c.Points)-1]
+		gain := last.NormPerf / first.NormPerf
+		want := 1500.0 / 500.0
+		if math.Abs(gain-want)/want > 0.1 {
+			t.Errorf("bw %v: freq-sweep gain %v, want ~%v", c.BWTBps, gain, want)
+		}
+	}
+	for _, c := range r.CUSweep {
+		first, last := c.Points[0], c.Points[len(c.Points)-1]
+		gain := last.NormPerf / first.NormPerf
+		want := 384.0 / 64.0
+		if math.Abs(gain-want)/want > 0.1 {
+			t.Errorf("bw %v: CU-sweep gain %v, want ~%v", c.BWTBps, gain, want)
+		}
+	}
+	// (3) Normalization: the best-mean point sits at 1.0 (CU sweep at
+	// 320 CUs, 1000 MHz, 3 TB/s).
+	for _, c := range r.CUSweep {
+		if c.BWTBps != 3 {
+			continue
+		}
+		for _, p := range c.Points {
+			if math.Abs(p.OpsPerByte-320.0*1000*1e6/3e12) < 1e-9 &&
+				math.Abs(p.NormPerf-1) > 1e-9 {
+				t.Errorf("best-mean point normalized to %v", p.NormPerf)
+			}
+		}
+	}
+}
+
+func TestFigure5CoMDBalanced(t *testing.T) {
+	r := Figure5()
+	// (1) Low bandwidth plateaus: at 1 TB/s the last frequency doubling
+	// buys little.
+	low := r.FreqSweep[0]
+	if low.BWTBps != 1 {
+		t.Fatal("expected the 1 TB/s curve first")
+	}
+	n := len(low.Points)
+	lateGain := low.Points[n-1].NormPerf / low.Points[n/2].NormPerf
+	if lateGain > 1.15 {
+		t.Errorf("CoMD at 1 TB/s should plateau; late gain %v", lateGain)
+	}
+	// (2) Higher bandwidth keeps the curve rising: best performance when
+	// all resources increase together.
+	high := r.FreqSweep[len(r.FreqSweep)-1]
+	if high.BWTBps != 7 {
+		t.Fatal("expected the 7 TB/s curve last")
+	}
+	if gain := high.Points[n-1].NormPerf / high.Points[n/2].NormPerf; gain < 1.2 {
+		t.Errorf("CoMD at 7 TB/s should keep scaling; late gain %v", gain)
+	}
+	// (3) The 7 TB/s curve peaks at least 25%% above the best-mean level.
+	if high.PeakNorm() < 1.25 {
+		t.Errorf("7 TB/s peak = %v", high.PeakNorm())
+	}
+	// (4) Monotone: a balanced kernel never loses from more compute.
+	for _, c := range r.FreqSweep {
+		ys := make([]float64, len(c.Points))
+		for i, p := range c.Points {
+			ys[i] = p.NormPerf
+		}
+		if !stats.IsMonotonicNonDecreasing(ys, 1e-9) {
+			t.Errorf("CoMD curve at %v TB/s not monotone", c.BWTBps)
+		}
+	}
+}
+
+func TestFigure6LULESHDegrades(t *testing.T) {
+	r := Figure6()
+	// (1) At 1 TB/s performance peaks and then degrades (§IV-C).
+	low := r.FreqSweep[0]
+	peakAt := -1
+	for i, p := range low.Points {
+		if peakAt < 0 || p.NormPerf > low.Points[peakAt].NormPerf {
+			peakAt = i
+		}
+	}
+	if peakAt == len(low.Points)-1 {
+		t.Error("LULESH at 1 TB/s should degrade past its peak")
+	}
+	last := low.Points[len(low.Points)-1].NormPerf
+	if last > low.Points[peakAt].NormPerf*0.85 {
+		t.Errorf("degradation too mild: peak %v -> %v",
+			low.Points[peakAt].NormPerf, last)
+	}
+	// (2) More bandwidth moves the peak right and up.
+	high := r.FreqSweep[len(r.FreqSweep)-1]
+	if high.PeakNorm() <= low.PeakNorm() {
+		t.Error("bandwidth should lift LULESH's achievable peak")
+	}
+}
+
+func TestFigure7ChipletOverheadSmall(t *testing.T) {
+	r := Figure7()
+	if len(r.Rows) != 3 {
+		t.Fatalf("fig7 rows = %d", len(r.Rows))
+	}
+	byName := map[string]float64{}
+	for _, row := range r.Rows {
+		// Paper Finding 1: out-of-chiplet traffic dominates, 60-95%.
+		if row.OutOfChiplet < 0.5 || row.OutOfChiplet > 0.97 {
+			t.Errorf("%s: out-of-chiplet %.2f", row.Kernel, row.OutOfChiplet)
+		}
+		// Paper Finding 2: the largest degradation is small (13%).
+		if row.PerfVsMonolith < 0.82 {
+			t.Errorf("%s: chiplet penalty too large: %.2f", row.Kernel, row.PerfVsMonolith)
+		}
+		byName[row.Kernel] = row.PerfVsMonolith
+	}
+	if byName["SNAP"] < 0.97 {
+		t.Errorf("SNAP impact should be negligible: %v", byName["SNAP"])
+	}
+	if byName["XSBench"] >= byName["SNAP"] {
+		t.Error("latency-bound XSBench should suffer most")
+	}
+}
+
+func TestFigure8MissSweep(t *testing.T) {
+	r := Figure8()
+	idx := map[string]int{}
+	for i, k := range r.Kernels {
+		idx[k] = i
+	}
+	last := len(r.MissRates) - 1
+	for i, k := range r.Kernels {
+		row := r.Norm[i]
+		if row[0] != 1 {
+			t.Errorf("%s: zero-miss must be 1.0", k)
+		}
+		for j := 1; j < len(row); j++ {
+			if row[j] > row[j-1]+1e-9 {
+				t.Errorf("%s: non-monotone at %v", k, r.MissRates[j])
+			}
+		}
+	}
+	// MaxFlops flat; others degrade 7-75+% at full miss (paper range).
+	if r.Norm[idx["MaxFlops"]][last] < 0.95 {
+		t.Error("MaxFlops should retain performance regardless of misses")
+	}
+	for _, k := range []string{"CoMD", "HPGMG", "LULESH", "MiniAMR", "XSBench", "SNAP"} {
+		v := r.Norm[idx[k]][last]
+		if v > 0.93 || v < 0.2 {
+			t.Errorf("%s at 100%% miss = %v, expected substantial degradation", k, v)
+		}
+	}
+	// §V-B: LULESH (latency-sensitive) retains more than CoMD.
+	if r.Norm[idx["LULESH"]][last] <= r.Norm[idx["CoMD"]][last] {
+		t.Error("LULESH should be less bandwidth-sensitive than CoMD")
+	}
+}
+
+func TestFigure9ExternalMemoryPower(t *testing.T) {
+	r := Figure9()
+	rows := map[string]map[Fig9Config]Fig9Row{}
+	for _, row := range r.Rows {
+		if rows[row.Kernel] == nil {
+			rows[row.Kernel] = map[Fig9Config]Fig9Row{}
+		}
+		rows[row.Kernel][row.Config] = row
+	}
+	for k, m := range rows {
+		d, h := m[Fig9DRAMOnly], m[Fig9Hybrid]
+		// Finding 1: DRAM-only external power 40-70 W across kernels.
+		ext := d.SerDesStaticW + d.ExtStaticW + d.SerDesDynW + d.ExtDynW
+		if ext < 35 || ext > 92 {
+			t.Errorf("%s: DRAM-only external power %v W", k, ext)
+		}
+		// Finding 2: hybrid halves external static power.
+		if ratio := (h.SerDesStaticW + h.ExtStaticW) / (d.SerDesStaticW + d.ExtStaticW); ratio < 0.4 || ratio > 0.65 {
+			t.Errorf("%s: hybrid static ratio %v", k, ratio)
+		}
+	}
+	// Less memory-intensive apps benefit from NVM...
+	for _, k := range []string{"MaxFlops", "CoMD", "CoMD-LJ"} {
+		if rows[k][Fig9Hybrid].TotalW >= rows[k][Fig9DRAMOnly].TotalW {
+			t.Errorf("%s: hybrid should reduce total power", k)
+		}
+	}
+	// ...while frequent external access blows the total up, as much as
+	// ~2x for the worst kernels.
+	worst := 0.0
+	for _, k := range []string{"HPGMG", "LULESH", "MiniAMR", "SNAP"} {
+		ratio := rows[k][Fig9Hybrid].TotalW / rows[k][Fig9DRAMOnly].TotalW
+		if ratio <= 1.1 {
+			t.Errorf("%s: hybrid should increase total power, ratio %v", k, ratio)
+		}
+		if ratio > worst {
+			worst = ratio
+		}
+	}
+	if worst < 1.4 || worst > 2.2 {
+		t.Errorf("worst hybrid ratio %v, paper says up to ~2x", worst)
+	}
+}
+
+func TestFigure10Thermal(t *testing.T) {
+	r := Figure10()
+	if len(r.Rows) != 8 {
+		t.Fatalf("fig10 rows = %d", len(r.Rows))
+	}
+	byName := map[string]Fig10Row{}
+	for _, row := range r.Rows {
+		byName[row.Kernel] = row
+		// Takeaway: aggressive die stacking is thermally feasible with
+		// air cooling — everything under 85 C.
+		if row.BestMeanTempC >= thermal.DRAMTempLimitC || row.BestPerAppTempC >= thermal.DRAMTempLimitC {
+			t.Errorf("%s exceeds the DRAM limit: %.1f / %.1f C",
+				row.Kernel, row.BestMeanTempC, row.BestPerAppTempC)
+		}
+		// Sanity: everything is meaningfully above ambient.
+		if row.BestMeanTempC < thermal.DefaultAmbientC+10 {
+			t.Errorf("%s implausibly cool: %.1f C", row.Kernel, row.BestMeanTempC)
+		}
+	}
+	// The design headroom is thin for the hottest kernel (the paper's
+	// "approaches the thermal limit").
+	hottest := 0.0
+	for _, row := range r.Rows {
+		if row.BestPerAppTempC > hottest {
+			hottest = row.BestPerAppTempC
+		}
+	}
+	if hottest < thermal.DRAMTempLimitC-6 {
+		t.Errorf("hottest per-app temp %.1f C — too much headroom to be interesting", hottest)
+	}
+	// XSBench (lowest power) runs coolest at the best-mean config.
+	for k, row := range byName {
+		if k != "XSBench" && row.BestMeanTempC < byName["XSBench"].BestMeanTempC {
+			t.Errorf("%s cooler than XSBench at best-mean", k)
+		}
+	}
+	// Finding 2 (higher perf => higher power => higher temperature) holds
+	// for the general population: per-app configs run hotter for most.
+	hotter := 0
+	for _, row := range r.Rows {
+		if row.BestPerAppTempC >= row.BestMeanTempC-0.1 {
+			hotter++
+		}
+	}
+	if hotter < 6 {
+		t.Errorf("only %d/8 kernels run hotter at their own best config", hotter)
+	}
+}
+
+func TestFigure11HeatMap(t *testing.T) {
+	r := Figure11()
+	if r.Kernel != "SNAP" {
+		t.Fatal("Fig 11 is the SNAP study")
+	}
+	if r.MeanPeakC <= thermal.DefaultAmbientC || r.AppPeakC <= thermal.DefaultAmbientC {
+		t.Fatal("degenerate solve")
+	}
+	// The hot spots sit above the GPU CUs, not over the CPU clusters
+	// (paper: "Hot spots caused by GPU CUs on a lower layer").
+	fp := thermal.EHPFloorplan()
+	maxOver := func(m [][]float64, rects []thermal.Rect) float64 {
+		peak := 0.0
+		for _, rc := range rects {
+			for y := rc.Y0; y < rc.Y1; y++ {
+				for x := rc.X0; x < rc.X1; x++ {
+					if m[y][x] > peak {
+						peak = m[y][x]
+					}
+				}
+			}
+		}
+		return peak
+	}
+	gpuPeak := maxOver(r.MeanMap, fp.GPU)
+	cpuPeak := maxOver(r.MeanMap, fp.CPU)
+	if gpuPeak <= cpuPeak {
+		t.Errorf("GPU hot spots (%.1f C) should exceed the CPU area (%.1f C)", gpuPeak, cpuPeak)
+	}
+	// Render sanity.
+	if !strings.Contains(r.MeanASCII, "layer") || len(r.MeanMap) == 0 || len(r.AppMap) == 0 {
+		t.Error("maps not rendered")
+	}
+}
+
+func TestFigure12SavingsBands(t *testing.T) {
+	r := Figure12()
+	var all []float64
+	for _, row := range r.Rows {
+		if row.All < 0.12 || row.All > 0.31 {
+			t.Errorf("%s: combined savings %.3f outside the 13-27%% band (with slack)", row.Kernel, row.All)
+		}
+		all = append(all, row.All)
+		// Combined beats every individual technique.
+		for _, tq := range []struct {
+			v float64
+		}{} {
+			_ = tq
+		}
+		sum := 0.0
+		for _, v := range row.PerTechnique {
+			if v > row.All {
+				t.Errorf("%s: individual technique beats the stack", row.Kernel)
+			}
+			sum += v
+		}
+		// Techniques overlap on shared components, so the combination is
+		// at most the sum of parts.
+		if row.All > sum+1e-9 {
+			t.Errorf("%s: combined %.3f exceeds sum of parts %.3f", row.Kernel, row.All, sum)
+		}
+	}
+	if m := stats.Mean(all); m < 0.15 || m < 0.10 || m > 0.28 {
+		t.Errorf("mean combined savings %.3f", m)
+	}
+}
+
+func TestFigure13EfficiencyGains(t *testing.T) {
+	r := Figure13()
+	// The optimized exploration should pick a different, higher-capability
+	// operating point (paper: 320/1000/3 -> 288/1100/3).
+	if r.OptConfig == r.BaselineConfig {
+		t.Error("optimizations should move the best-mean operating point")
+	}
+	if r.OptConfig.FreqMHz <= r.BaselineConfig.FreqMHz {
+		t.Errorf("freed power should buy frequency: %v -> %v", r.BaselineConfig, r.OptConfig)
+	}
+	var imps []float64
+	for _, row := range r.Rows {
+		if row.ImprovementPct <= 0 {
+			t.Errorf("%s: perf/W got worse: %v%%", row.Kernel, row.ImprovementPct)
+		}
+		if row.ImprovementPct > 55 {
+			t.Errorf("%s: improvement %v%% beyond the paper's ~45%% ceiling", row.Kernel, row.ImprovementPct)
+		}
+		imps = append(imps, row.ImprovementPct)
+	}
+	if m := stats.Mean(imps); m < 10 || m > 40 {
+		t.Errorf("mean improvement %v%%", m)
+	}
+}
+
+func TestFigure14ExascaleTarget(t *testing.T) {
+	r := Figure14()
+	if len(r.Points) != len(Fig14CUCounts) {
+		t.Fatalf("fig14 points = %d", len(r.Points))
+	}
+	// Linear scaling with CU count.
+	first, last := r.Points[0], r.Points[len(r.Points)-1]
+	gotRatio := last.ExaFLOPs / first.ExaFLOPs
+	wantRatio := float64(last.CUs) / float64(first.CUs)
+	if math.Abs(gotRatio-wantRatio)/wantRatio > 0.03 {
+		t.Errorf("scaling ratio %v, want ~%v", gotRatio, wantRatio)
+	}
+	// §V-F anchors at 320 CUs: ~18.6 TF/node, 1.86 exaflops, ~11.1 MW.
+	if last.CUs != 320 {
+		t.Fatal("last point should be 320 CUs")
+	}
+	if last.ExaFLOPs < 1.7 || last.ExaFLOPs > 2.0 {
+		t.Errorf("exaflops = %v, paper: 1.86", last.ExaFLOPs)
+	}
+	if last.SystemMW < 10 || last.SystemMW > 13 {
+		t.Errorf("system power = %v MW, paper: 11.1", last.SystemMW)
+	}
+	// Well under the 20 MW envelope.
+	for _, p := range r.Points {
+		if p.SystemMW > 20 {
+			t.Errorf("%d CUs: %v MW exceeds the 20 MW target", p.CUs, p.SystemMW)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	r := Table1()
+	if len(r.Rows) != 8 {
+		t.Fatalf("Table I rows = %d", len(r.Rows))
+	}
+	if r.Rows[0].Application != "MaxFlops" || r.Rows[7].Application != "SNAP" {
+		t.Error("Table I order wrong")
+	}
+	for _, row := range r.Rows {
+		if row.Description == "" {
+			t.Errorf("%s: missing description", row.Application)
+		}
+		if row.TraceWriteFrac < 0 || row.TraceWriteFrac > 1 {
+			t.Errorf("%s: bad trace write fraction", row.Application)
+		}
+	}
+	if !strings.Contains(r.Render(), "Monte Carlo") {
+		t.Error("render should include the paper's descriptions")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	r := Table2()
+	if len(r.Rows) != 8 {
+		t.Fatalf("Table II rows = %d", len(r.Rows))
+	}
+	if r.BestMean.CUs != 320 || r.BestMean.FreqMHz != 1000 || r.BestMean.BWTBps != 3 {
+		t.Errorf("best-mean = %v, want the paper's 320/1000/3", r.BestMean)
+	}
+	out := r.Render()
+	if !strings.Contains(out, "LULESH") || !strings.Contains(out, "%") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestAblationNoC(t *testing.T) {
+	r := AblationNoC()
+	if len(r.Rows) != 12 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// More locality => less out-of-chiplet traffic and no worse perf.
+	byKernel := map[string][]AblationNoCRow{}
+	for _, row := range r.Rows {
+		byKernel[row.Kernel] = append(byKernel[row.Kernel], row)
+	}
+	for k, rows := range byKernel {
+		for i := 1; i < len(rows); i++ {
+			if rows[i].OutOfChiplet > rows[i-1].OutOfChiplet+0.02 {
+				t.Errorf("%s: out-of-chiplet should fall with locality", k)
+			}
+		}
+	}
+}
+
+func TestAblationMemPolicy(t *testing.T) {
+	r := AblationMemPolicy()
+	if len(r.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	byKernel := map[string]map[string]MemPolicyRow{}
+	for _, row := range r.Rows {
+		if byKernel[row.Kernel] == nil {
+			byKernel[row.Kernel] = map[string]MemPolicyRow{}
+		}
+		byKernel[row.Kernel][row.Policy.String()] = row
+	}
+	for k, m := range byKernel {
+		// Software management beats static interleaving (that is why the
+		// paper makes it the primary mode).
+		if m["software-managed"].NormPerf < m["static-interleave"].NormPerf-1e-9 {
+			t.Errorf("%s: software management should not lose to static", k)
+		}
+		if m["software-managed"].MissFrac > m["static-interleave"].MissFrac+1e-9 {
+			t.Errorf("%s: migration should reduce external traffic", k)
+		}
+	}
+}
+
+func TestRASExperiment(t *testing.T) {
+	r := RAS()
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Protection rows must strictly improve MTTF.
+	if !(r.Rows[0].NodeMTTFHours < r.Rows[1].NodeMTTFHours &&
+		r.Rows[1].NodeMTTFHours < r.Rows[2].NodeMTTFHours) {
+		t.Error("MTTF must improve with protection level")
+	}
+	if r.Rows[2].Efficiency < 0.7 {
+		t.Errorf("protected machine efficiency %v too low", r.Rows[2].Efficiency)
+	}
+	if len(r.RMTOverhead) != 8 {
+		t.Errorf("RMT overhead entries = %d", len(r.RMTOverhead))
+	}
+	if r.RMTOverhead["MaxFlops"] <= r.RMTOverhead["XSBench"] {
+		t.Error("high-utilization MaxFlops pays more for RMT than idle-rich XSBench")
+	}
+}
+
+func TestAllRendersNonEmpty(t *testing.T) {
+	for _, e := range Experiments() {
+		out := e.Run().Render()
+		if len(out) < 40 {
+			t.Errorf("%s: render too short (%d bytes)", e.ID, len(out))
+		}
+		if !strings.Contains(out, "\n") {
+			t.Errorf("%s: render should be multi-line", e.ID)
+		}
+	}
+}
+
+func TestMigrationExperiment(t *testing.T) {
+	r := Migration()
+	if len(r.Rows) != 8 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	byName := map[string]MigrationRow{}
+	for _, row := range r.Rows {
+		byName[row.Kernel] = row
+		if row.SteadyState > row.ColdStart {
+			t.Errorf("%s: migration made things worse (%.2f -> %.2f)",
+				row.Kernel, row.ColdStart, row.SteadyState)
+		}
+	}
+	// Resident kernels converge to fully in-package service.
+	if byName["MaxFlops"].SteadyState > 0.01 {
+		t.Errorf("MaxFlops steady state = %v", byName["MaxFlops"].SteadyState)
+	}
+	// Random access (XSBench) cannot concentrate: steady state stays high,
+	// matching the paper's 89% worst case.
+	if byName["XSBench"].SteadyState < 0.5 {
+		t.Errorf("XSBench steady state = %v, random access should stay external-heavy",
+			byName["XSBench"].SteadyState)
+	}
+}
+
+func TestReconfigExperiment(t *testing.T) {
+	r := Reconfig()
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	byName := map[string]ReconfigRow{}
+	for _, row := range r.Rows {
+		byName[row.Controller] = row
+	}
+	st, or, re := byName["static"], byName["oracle"], byName["reactive"]
+	if or.SpeedupPct <= 5 {
+		t.Errorf("oracle speedup %v%% — Table II promises more", or.SpeedupPct)
+	}
+	if or.SpeedupPct > 60 {
+		t.Errorf("oracle speedup %v%% beyond the Table II regime", or.SpeedupPct)
+	}
+	if re.SpeedupPct <= 0 {
+		t.Errorf("reactive speedup %v%%", re.SpeedupPct)
+	}
+	if re.SpeedupPct >= or.SpeedupPct {
+		t.Error("the online controller cannot beat the oracle")
+	}
+	if st.Reconfigs != 1 {
+		t.Errorf("static reconfigs = %d", st.Reconfigs)
+	}
+	if or.Reconfigs < r.Phases {
+		t.Errorf("oracle should switch every phase: %d < %d", or.Reconfigs, r.Phases)
+	}
+}
+
+func TestAblationNoCTopology(t *testing.T) {
+	r := AblationNoC()
+	if len(r.Topology) != 2 {
+		t.Fatalf("topology rows = %d", len(r.Topology))
+	}
+	var p2p, chain TopologyRow
+	for _, row := range r.Topology {
+		switch row.Topology {
+		case "point-to-point":
+			p2p = row
+		case "chain":
+			chain = row
+		}
+	}
+	if chain.SustainedTBps >= p2p.SustainedTBps {
+		t.Error("chain should sustain less bandwidth (bisection limit)")
+	}
+	if chain.MeanLatencyNs <= p2p.MeanLatencyNs {
+		t.Error("chain should add latency")
+	}
+}
+
+func TestRASFailureInjection(t *testing.T) {
+	r := RAS()
+	fi := r.FailureInjection
+	if fi.Failures == 0 || fi.Checkpoints == 0 {
+		t.Fatalf("failure injection did not run: %+v", fi)
+	}
+	// The Monte Carlo result validates Daly's first-order model.
+	if fi.EstimationGapP > 6 {
+		t.Errorf("simulated efficiency %.3f vs analytic %.3f: gap %.1f pp",
+			fi.Efficiency, fi.AnalyticEst, fi.EstimationGapP)
+	}
+}
+
+func TestThermalDSE(t *testing.T) {
+	r := ThermalDSE()
+	if r.PowerFeasible == 0 || r.PowerFeasible > r.PointsTotal {
+		t.Fatalf("feasible = %d of %d", r.PowerFeasible, r.PointsTotal)
+	}
+	// §V-D takeaway: with high-end air cooling the whole power-feasible
+	// sweep stays under the DRAM limit...
+	if r.ThermallyRejected != 0 {
+		t.Errorf("%d points thermally rejected with the default cooler", r.ThermallyRejected)
+	}
+	if r.BestMeanBoth != r.BestMean {
+		t.Errorf("thermal constraint moved the best-mean: %v -> %v", r.BestMean, r.BestMeanBoth)
+	}
+	// ...but the margin is thin (the hottest point runs close to 85 C)...
+	if r.HottestTempC < thermal.DRAMTempLimitC-8 || r.HottestTempC >= thermal.DRAMTempLimitC {
+		t.Errorf("hottest point %.1f C", r.HottestTempC)
+	}
+	// ...and a weaker cooler starts rejecting designs ("more advanced
+	// cooling solutions may become necessary").
+	if r.WeakCoolerRejected == 0 {
+		t.Error("weak cooler should reject some design points")
+	}
+	if r.WeakCoolerRejected >= r.PowerFeasible {
+		t.Error("weak cooler rejected everything")
+	}
+}
+
+func TestAblationDRAM(t *testing.T) {
+	r := AblationDRAM()
+	if len(r.Rows) != 8 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	byName := map[string]DRAMRow{}
+	for _, row := range r.Rows {
+		byName[row.Kernel] = row
+		if row.EffHot > row.EffCool {
+			t.Errorf("%s: hotter DRAM delivered more bandwidth", row.Kernel)
+		}
+		if row.RefreshCost < 0 || row.RefreshCost > 0.3 {
+			t.Errorf("%s: refresh cost %v", row.Kernel, row.RefreshCost)
+		}
+	}
+	// Streaming kernels exploit row buffers far better than random ones.
+	if byName["XSBench"].RowHitRate >= byName["MaxFlops"].RowHitRate {
+		t.Error("random XSBench should have the worst row locality")
+	}
+}
+
+func TestAblationExtNet(t *testing.T) {
+	r := AblationExtNet()
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	plain, cross := r.Rows[0], r.Rows[1]
+	if plain.AlwaysReachable {
+		t.Error("plain chains must lose capacity under some single failure")
+	}
+	if !cross.AlwaysReachable {
+		t.Error("cross-links must preserve reachability (the §II-B2 claim)")
+	}
+	if cross.WorstCapacityGB <= plain.WorstCapacityGB {
+		t.Error("redundancy should improve worst-case capacity")
+	}
+	if cross.Links <= plain.Links {
+		t.Error("cross-links add links")
+	}
+	if r.HealthyGBps < 700 || r.HealthyGBps > 900 {
+		t.Errorf("healthy aggregate = %v GB/s", r.HealthyGBps)
+	}
+}
+
+func TestYieldExperiment(t *testing.T) {
+	r := Yield()
+	c := r.Comparison
+	if c.CostRatio <= 1.5 {
+		t.Errorf("chiplets should win on cost: ratio %v", c.CostRatio)
+	}
+	if c.MonolithicYield >= c.ChipletWorstYield {
+		t.Error("monolithic yield should be the worst in the comparison")
+	}
+	if !strings.Contains(r.Render(), "ratio") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestAppsExperiment(t *testing.T) {
+	r := Apps()
+	if len(r.Rows) < 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	sawOverstatement := false
+	for _, row := range r.Rows {
+		if row.AppTFLOPs <= 0 {
+			t.Errorf("%s: no throughput", row.App)
+		}
+		// The dominant-kernel shortcut can over- or understate the whole
+		// app (secondary phases may be faster or slower), but not wildly.
+		if row.GapPct < -40 || row.GapPct > 250 {
+			t.Errorf("%s: dominant-kernel gap %v%%", row.App, row.GapPct)
+		}
+		if row.GapPct > 10 {
+			sawOverstatement = true
+		}
+	}
+	if !sawOverstatement {
+		t.Error("at least one app should be overstated by its dominant kernel")
+	}
+}

@@ -1,0 +1,82 @@
+package exp
+
+import (
+	"fmt"
+
+	"ena/internal/arch"
+	"ena/internal/dse"
+	"ena/internal/reconfig"
+	"ena/internal/workload"
+)
+
+// ReconfigRow is one controller's outcome on the mixed-phase workload.
+type ReconfigRow struct {
+	Controller    string
+	TotalS        float64
+	EnergyJ       float64
+	MeanPowerW    float64
+	Reconfigs     int
+	SpeedupPct    float64 // over the static baseline
+	EnergySavePct float64 // over the static baseline
+}
+
+// ReconfigResult is the §VI dynamic-reconfiguration runtime study.
+type ReconfigResult struct {
+	Phases int
+	Rows   []ReconfigRow
+}
+
+// Render implements Result.
+func (r ReconfigResult) Render() string {
+	t := &table{header: []string{"controller", "time (s)", "energy (J)", "mean W", "reconfigs", "speedup", "energy saved"}}
+	for _, row := range r.Rows {
+		t.addRow(row.Controller,
+			fmt.Sprintf("%.3f", row.TotalS),
+			fmt.Sprintf("%.0f", row.EnergyJ),
+			fmt.Sprintf("%.1f", row.MeanPowerW),
+			fmt.Sprintf("%d", row.Reconfigs),
+			fmt.Sprintf("%+.1f%%", row.SpeedupPct),
+			fmt.Sprintf("%+.1f%%", row.EnergySavePct))
+	}
+	return fmt.Sprintf("Extension: dynamic resource reconfiguration runtime (§VI), %d phases\n", r.Phases) + t.String()
+}
+
+// Reconfig runs the phase-based reconfiguration study: a mixed workload
+// cycling through four representative kernels, executed under the static
+// best-mean configuration, the Table II oracle, and the online reactive
+// controller.
+func Reconfig() ReconfigResult {
+	base, _ := explorations()
+	var mix []workload.Kernel
+	for _, n := range []string{"CoMD", "LULESH", "XSBench", "SNAP"} {
+		k, err := workload.ByName(n)
+		if err != nil {
+			panic(err)
+		}
+		mix = append(mix, k)
+	}
+	w := reconfig.Repeat(mix, 25, 5e12)
+
+	static := reconfig.Run(w, reconfig.NewStaticBestMean(), arch.NodePowerBudgetW, 0)
+	oracle := reconfig.Run(w, reconfig.NewOracle(base), arch.NodePowerBudgetW, 0)
+	reactive := reconfig.Run(w, reconfig.NewReactive(arch.NodePowerBudgetW, dse.DefaultSpace(), 0), arch.NodePowerBudgetW, 0)
+
+	out := ReconfigResult{Phases: len(w)}
+	for _, rr := range []reconfig.RunResult{static, oracle, reactive} {
+		row := ReconfigRow{
+			Controller: rr.Controller,
+			TotalS:     rr.TotalS,
+			EnergyJ:    rr.EnergyJ,
+			MeanPowerW: rr.MeanPowerW(),
+			Reconfigs:  rr.Reconfigs,
+		}
+		row.SpeedupPct = (rr.SpeedupOver(static) - 1) * 100
+		if static.EnergyJ > 0 {
+			// All runs perform the same total work, so energy compares
+			// directly.
+			row.EnergySavePct = (1 - rr.EnergyJ/static.EnergyJ) * 100
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}

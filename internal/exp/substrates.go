@@ -1,0 +1,132 @@
+package exp
+
+import (
+	"fmt"
+
+	"ena/internal/arch"
+	"ena/internal/dram"
+	"ena/internal/extnet"
+	"ena/internal/workload"
+)
+
+// DRAMRow is one kernel's bank-level channel behaviour.
+type DRAMRow struct {
+	Kernel      string
+	RowHitRate  float64
+	EffCool     float64 // delivered/peak below the refresh threshold
+	EffHot      float64 // delivered/peak above 85 C (double refresh)
+	RefreshCost float64 // fractional bandwidth lost to hot refresh
+}
+
+// DRAMResult is the bank-level DRAM substrate study: access-pattern
+// efficiency per kernel and the quantified cost of crossing the §V-D 85 C
+// refresh threshold.
+type DRAMResult struct {
+	Rows []DRAMRow
+}
+
+// Render implements Result.
+func (r DRAMResult) Render() string {
+	t := &table{header: []string{"kernel", "row-hit rate", "eff (cool)", "eff (>85C)", "refresh cost"}}
+	for _, row := range r.Rows {
+		t.addRow(row.Kernel, fmtPct(row.RowHitRate), fmtPct(row.EffCool),
+			fmtPct(row.EffHot), fmtPct(row.RefreshCost))
+	}
+	return "Ablation: bank-level DRAM behaviour and the 85 C refresh threshold (§V-D)\n" + t.String()
+}
+
+// AblationDRAM replays each kernel's pattern through the bank-level channel
+// model at normal and above-threshold temperatures.
+func AblationDRAM() DRAMResult {
+	const accesses = 30000
+	var out DRAMResult
+	for _, k := range workload.Suite() {
+		ch, err := dram.NewChannel(16, dram.DefaultTiming(), 70)
+		if err != nil {
+			panic(fmt.Sprintf("exp: dram: %v", err))
+		}
+		rep := dram.Replay(ch, k.Trace(7, accesses), ch.PeakGBps())
+		cool, err := dram.EfficiencyAtTemp(k, 70, accesses)
+		if err != nil {
+			panic(fmt.Sprintf("exp: dram: %v", err))
+		}
+		hot, err := dram.EfficiencyAtTemp(k, 90, accesses)
+		if err != nil {
+			panic(fmt.Sprintf("exp: dram: %v", err))
+		}
+		row := DRAMRow{
+			Kernel:     k.Name,
+			RowHitRate: rep.Stats.RowHitRate(),
+			EffCool:    cool,
+			EffHot:     hot,
+		}
+		if cool > 0 {
+			row.RefreshCost = (cool - hot) / cool
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// ExtNetRow summarizes one network variant's single-failure survey.
+type ExtNetRow struct {
+	Variant         string
+	Links           int
+	WorstCapacityGB float64
+	MeanCapacityGB  float64
+	WorstGBps       float64
+	AlwaysReachable bool
+}
+
+// ExtNetResult is the §II-B2 redundancy study: what the optional
+// cross-connect links buy under link failures.
+type ExtNetResult struct {
+	TotalCapacityGB float64
+	HealthyGBps     float64
+	Rows            []ExtNetRow
+}
+
+// Render implements Result.
+func (r ExtNetResult) Render() string {
+	t := &table{header: []string{"network", "links", "worst capacity GB", "mean capacity GB", "worst GB/s", "always reachable"}}
+	for _, row := range r.Rows {
+		t.addRow(row.Variant, fmt.Sprintf("%d", row.Links),
+			fmt.Sprintf("%.0f", row.WorstCapacityGB),
+			fmt.Sprintf("%.0f", row.MeanCapacityGB),
+			fmt.Sprintf("%.0f", row.WorstGBps),
+			fmt.Sprintf("%v", row.AlwaysReachable))
+	}
+	return fmt.Sprintf("Ablation: external-memory network redundancy (§II-B2); %0.f GB total, %.0f GB/s healthy\n",
+		r.TotalCapacityGB, r.HealthyGBps) + t.String()
+}
+
+// AblationExtNet surveys every single-link failure on the default network,
+// with and without the optional cross-connect links.
+func AblationExtNet() ExtNetResult {
+	cfg := arch.BestMeanEHP()
+	var out ExtNetResult
+	for _, cross := range []bool{false, true} {
+		n, err := extnet.Build(cfg, cross)
+		if err != nil {
+			panic(fmt.Sprintf("exp: extnet: %v", err))
+		}
+		if !cross {
+			out.TotalCapacityGB = n.TotalCapacityGB()
+			out.HealthyGBps = n.DeliverableGBps()
+		}
+		rep := n.SurveySingleFailures()
+		name := "chains only"
+		if cross {
+			name = "chains + cross-links"
+		}
+		out.Rows = append(out.Rows, ExtNetRow{
+			Variant:         name,
+			Links:           n.Links(),
+			WorstCapacityGB: rep.WorstCapacityGB,
+			MeanCapacityGB:  rep.MeanCapacityGB,
+			WorstGBps:       rep.WorstBandwidthGB,
+			AlwaysReachable: rep.AlwaysReachable,
+		})
+	}
+	return out
+}

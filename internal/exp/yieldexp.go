@@ -1,0 +1,37 @@
+package exp
+
+import (
+	"fmt"
+
+	"ena/internal/yield"
+)
+
+// YieldResult is the §II-A2 die-yield/cost argument quantified: the
+// monolithic EHP-equivalent versus the chiplet + active-interposer assembly.
+type YieldResult struct {
+	Comparison yield.Comparison
+}
+
+// Render implements Result.
+func (r YieldResult) Render() string {
+	c := r.Comparison
+	s := "Ablation: chiplet decomposition vs monolithic SOC (§II-A2 yield/cost)\n"
+	s += fmt.Sprintf("  monolithic equivalent: %.1f cm^2 die, yield %s, %s per good die\n",
+		c.MonolithicAreaCm2, fmtPct(c.MonolithicYield), fmtUSD(c.MonolithicUSD))
+	s += fmt.Sprintf("  chiplet assembly:      worst die yield %s, %s per assembled EHP\n",
+		fmtPct(c.ChipletWorstYield), fmtUSD(c.ChipletTotalUSD))
+	s += fmt.Sprintf("  silicon-cost ratio (monolithic / chiplets): %.1fx\n", c.CostRatio)
+	return s
+}
+
+func fmtUSD(v float64) string { return fmt.Sprintf("$%.0f", v) }
+
+// Yield evaluates the default EHP assembly against its monolithic
+// equivalent on the advanced/mature process pair.
+func Yield() YieldResult {
+	c, err := yield.Compare(yield.EHPAssembly(), yield.AdvancedNode(), yield.MatureNode())
+	if err != nil {
+		panic(fmt.Sprintf("exp: yield: %v", err))
+	}
+	return YieldResult{Comparison: c}
+}

@@ -1,0 +1,267 @@
+package hsa
+
+import (
+	"testing"
+
+	"ena/internal/arch"
+	"ena/internal/workload"
+)
+
+func runtimeFor(m MemoryModel) *Runtime {
+	return NewRuntime(arch.BestMeanEHP(), workload.CoMD(), m)
+}
+
+func chain(g *Graph, n int) []*Task {
+	var prev *Task
+	var out []*Task
+	for i := 0; i < n; i++ {
+		kind := GPUTask
+		if i%2 == 0 {
+			kind = CPUTask
+		}
+		t := g.Add("t", kind, 1e9, 1e6)
+		if prev != nil {
+			t.After(prev)
+		}
+		out = append(out, t)
+		prev = t
+	}
+	return out
+}
+
+func TestTopoOrder(t *testing.T) {
+	var g Graph
+	a := g.Add("a", CPUTask, 1, 0)
+	b := g.Add("b", GPUTask, 1, 0).After(a)
+	c := g.Add("c", GPUTask, 1, 0).After(a)
+	d := g.Add("d", CPUTask, 1, 0).After(b, c)
+	order, err := topoOrder(&g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[*Task]int{}
+	for i, task := range order {
+		pos[task] = i
+	}
+	if !(pos[a] < pos[b] && pos[a] < pos[c] && pos[b] < pos[d] && pos[c] < pos[d]) {
+		t.Error("topological order violated")
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	var g Graph
+	a := g.Add("a", CPUTask, 1, 0)
+	b := g.Add("b", CPUTask, 1, 0).After(a)
+	a.After(b)
+	if _, err := runtimeFor(Unified).Execute(&g); err != ErrCycle {
+		t.Errorf("expected ErrCycle, got %v", err)
+	}
+}
+
+func TestForeignDependency(t *testing.T) {
+	var g1, g2 Graph
+	alien := g1.Add("alien", CPUTask, 1, 0)
+	g2.Add("x", GPUTask, 1, 0).After(alien)
+	if _, err := runtimeFor(Unified).Execute(&g2); err != ErrForeign {
+		t.Errorf("expected ErrForeign, got %v", err)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	var g Graph
+	s, err := runtimeFor(Unified).Execute(&g)
+	if err != nil || s.MakespanUs != 0 {
+		t.Errorf("empty graph: %v, %v", s, err)
+	}
+}
+
+func TestDependenciesRespected(t *testing.T) {
+	var g Graph
+	chain(&g, 6)
+	s, err := runtimeFor(Unified).Execute(&g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := map[*Task]float64{}
+	for _, iv := range s.Intervals {
+		end[iv.Task] = iv.EndUs
+		for _, d := range iv.Task.deps {
+			if iv.StartUs < end[d]-1e-9 {
+				t.Fatalf("%s started before its dependency finished", iv.Task.Name)
+			}
+		}
+	}
+}
+
+func TestParallelFanOutUsesAllGPUs(t *testing.T) {
+	var g Graph
+	root := g.Add("root", CPUTask, 1e8, 0)
+	for i := 0; i < 8; i++ {
+		g.Add("gpu", GPUTask, 1e10, 0).After(root)
+	}
+	s, err := runtimeFor(Unified).Execute(&g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devices := map[string]bool{}
+	for _, iv := range s.Intervals {
+		if iv.Task.Kind == GPUTask {
+			devices[iv.Resource] = true
+		}
+	}
+	if len(devices) != 8 {
+		t.Errorf("fan-out used %d GPU chiplets, want 8", len(devices))
+	}
+	// Eight equal tasks on eight chiplets: makespan ~ root + one task.
+	var gpuDur float64
+	for _, iv := range s.Intervals {
+		if iv.Task.Kind == GPUTask {
+			gpuDur = iv.EndUs - iv.StartUs
+			break
+		}
+	}
+	serialized := s.MakespanUs > 4*gpuDur
+	if serialized {
+		t.Error("independent tasks should run in parallel")
+	}
+}
+
+func TestUnifiedBeatsCopyBased(t *testing.T) {
+	build := func() *Graph {
+		var g Graph
+		prep := g.Add("prep", CPUTask, 1e8, 1e8)
+		var fs []*Task
+		for i := 0; i < 16; i++ {
+			fs = append(fs, g.Add("f", GPUTask, 1e9, 5e8).After(prep))
+		}
+		g.Add("post", CPUTask, 1e8, 1e8).After(fs...)
+		return &g
+	}
+	u, err := runtimeFor(Unified).Execute(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := runtimeFor(CopyBased).Execute(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.MakespanUs >= c.MakespanUs {
+		t.Errorf("unified %v us should beat copy-based %v us (HSA's point)",
+			u.MakespanUs, c.MakespanUs)
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	var g Graph
+	chain(&g, 10)
+	s, err := runtimeFor(Unified).Execute(&g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := arch.BestMeanEHP()
+	cpu, gpu := s.Utilization(cfg.CPUCores(), len(cfg.GPU))
+	if cpu < 0 || cpu > 1 || gpu < 0 || gpu > 1 {
+		t.Errorf("utilization out of range: cpu %v, gpu %v", cpu, gpu)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	build := func() *Graph {
+		var g Graph
+		chain(&g, 12)
+		return &g
+	}
+	a, err := runtimeFor(Unified).Execute(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runtimeFor(Unified).Execute(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MakespanUs != b.MakespanUs || len(a.Intervals) != len(b.Intervals) {
+		t.Error("execution must be deterministic")
+	}
+}
+
+func TestNoDevices(t *testing.T) {
+	cfg := arch.BestMeanEHP()
+	cfg.CPU = nil
+	rt := NewRuntime(cfg, workload.CoMD(), Unified)
+	var g Graph
+	g.Add("x", CPUTask, 1, 0)
+	if _, err := rt.Execute(&g); err != ErrNoDevices {
+		t.Errorf("expected ErrNoDevices, got %v", err)
+	}
+}
+
+func TestKindAndModelStrings(t *testing.T) {
+	if CPUTask.String() != "cpu" || GPUTask.String() != "gpu" {
+		t.Error("Kind strings")
+	}
+	if Unified.String() != "unified" || CopyBased.String() != "copy-based" {
+		t.Error("MemoryModel strings")
+	}
+}
+
+func TestSyncModelStrings(t *testing.T) {
+	if QuickRelease.String() != "quick-release" || HeavyFlush.String() != "heavy-flush" {
+		t.Error("sync model strings wrong")
+	}
+}
+
+func TestQuickReleaseBeatsHeavyFlush(t *testing.T) {
+	// The §II-A1 mechanisms quantified: on a fine-grained dependent graph,
+	// heavyweight cache flushes at every join dominate; QuickRelease makes
+	// the same graph cheap.
+	build := func() *Graph {
+		var g Graph
+		prev := g.Add("seed", GPUTask, 1e8, 2e8)
+		for i := 0; i < 40; i++ {
+			prev = g.Add("step", GPUTask, 1e8, 2e8).After(prev)
+		}
+		return &g
+	}
+	qr := runtimeFor(Unified)
+	qr.Sync = QuickRelease
+	sq, err := qr.Execute(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hf := runtimeFor(Unified)
+	hf.Sync = HeavyFlush
+	sh, err := hf.Execute(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sq.MakespanUs >= sh.MakespanUs {
+		t.Errorf("QuickRelease %v us should beat heavy flush %v us", sq.MakespanUs, sh.MakespanUs)
+	}
+	// The gap should be material for fine-grained graphs (the paper's
+	// motivation for building the mechanism).
+	if sh.MakespanUs/sq.MakespanUs < 1.2 {
+		t.Errorf("sync mechanism gap too small: %v vs %v", sq.MakespanUs, sh.MakespanUs)
+	}
+}
+
+func TestSyncFreeForIndependentTasks(t *testing.T) {
+	// Tasks without dependencies pay no synchronization regardless of model.
+	var g1, g2 Graph
+	g1.Add("a", GPUTask, 1e9, 0)
+	g2.Add("a", GPUTask, 1e9, 0)
+	qr := runtimeFor(Unified)
+	hf := runtimeFor(Unified)
+	hf.Sync = HeavyFlush
+	s1, err := qr.Execute(&g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := hf.Execute(&g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.MakespanUs != s2.MakespanUs {
+		t.Errorf("independent task cost differs by sync model: %v vs %v",
+			s1.MakespanUs, s2.MakespanUs)
+	}
+}

@@ -1,0 +1,171 @@
+package memsys
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ena/internal/arch"
+	"ena/internal/perf"
+	"ena/internal/workload"
+)
+
+func TestEnvZeroMiss(t *testing.T) {
+	cfg := arch.BestMeanEHP()
+	k := workload.CoMD()
+	env := Env(cfg, k, 0)
+	if math.Abs(env.BWTBps-cfg.InPackageBWTBps()) > 1e-9 {
+		t.Errorf("zero-miss bandwidth = %v", env.BWTBps)
+	}
+	def := perf.DefaultEnv(cfg, k)
+	if math.Abs(env.LatencyNs-def.LatencyNs) > 1e-9 {
+		t.Errorf("zero-miss latency %v != default %v", env.LatencyNs, def.LatencyNs)
+	}
+}
+
+func TestEnvHarmonicBlend(t *testing.T) {
+	cfg := arch.BestMeanEHP() // 3 TB/s in-package, 0.8 TB/s external
+	env := Env(cfg, workload.CoMD(), 0.5)
+	want := 1 / (0.5/3.0 + 0.5/0.8)
+	if math.Abs(env.BWTBps-want) > 1e-6 {
+		t.Errorf("blended bandwidth = %v, want %v", env.BWTBps, want)
+	}
+}
+
+func TestEnvClampsMissFrac(t *testing.T) {
+	cfg := arch.BestMeanEHP()
+	k := workload.CoMD()
+	if Env(cfg, k, -1) != Env(cfg, k, 0) {
+		t.Error("negative miss should clamp to 0")
+	}
+	if Env(cfg, k, 2) != Env(cfg, k, 1) {
+		t.Error("miss > 1 should clamp to 1")
+	}
+}
+
+func TestEnvLatencyMonotoneInMiss(t *testing.T) {
+	cfg := arch.BestMeanEHP()
+	k := workload.LULESH()
+	f := func(a, b float64) bool {
+		m1 := math.Abs(math.Mod(a, 1))
+		m2 := math.Abs(math.Mod(b, 1))
+		if m1 > m2 {
+			m1, m2 = m2, m1
+		}
+		e1, e2 := Env(cfg, k, m1), Env(cfg, k, m2)
+		return e2.LatencyNs >= e1.LatencyNs-1e-9 && e2.BWTBps <= e1.BWTBps+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDegradationShapes(t *testing.T) {
+	cfg := arch.BestMeanEHP()
+	// MaxFlops is flat (Fig. 8); memory-intensive kernels lose most.
+	if got := DegradationAtMiss(cfg, workload.MaxFlops(), 1.0); got < 0.95 {
+		t.Errorf("MaxFlops at 100%% miss = %v, should stay ~flat", got)
+	}
+	snap := DegradationAtMiss(cfg, workload.SNAP(), 1.0)
+	if snap > 0.45 {
+		t.Errorf("SNAP at 100%% miss = %v, should degrade hard", snap)
+	}
+	// §V-B: LULESH (latency-sensitive) is less bandwidth-sensitive than
+	// CoMD under the miss sweep.
+	lul := DegradationAtMiss(cfg, workload.LULESH(), 1.0)
+	comd := DegradationAtMiss(cfg, workload.CoMD(), 1.0)
+	if lul <= comd {
+		t.Errorf("LULESH %v should retain more than CoMD %v", lul, comd)
+	}
+}
+
+func TestDegradationMonotone(t *testing.T) {
+	cfg := arch.BestMeanEHP()
+	for _, k := range workload.Suite() {
+		prev := math.Inf(1)
+		for _, m := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			got := DegradationAtMiss(cfg, k, m)
+			if got > prev+1e-9 {
+				t.Errorf("%s: degradation not monotone at %v", k.Name, m)
+			}
+			prev = got
+		}
+		if DegradationAtMiss(cfg, k, 0) != 1 {
+			t.Errorf("%s: zero-miss must normalize to 1", k.Name)
+		}
+	}
+}
+
+func TestMissFracPolicies(t *testing.T) {
+	cfg := arch.BestMeanEHP()
+	small := workload.MaxFlops()
+	if MissFrac(cfg, small, SoftwareManaged) != 0 {
+		t.Error("in-package-resident kernel must not miss")
+	}
+	big := workload.XSBench() // 1 TB footprint
+	static := MissFrac(cfg, big, StaticInterleave)
+	sw := MissFrac(cfg, big, SoftwareManaged)
+	if sw > static {
+		t.Errorf("software management %v must not exceed static interleave %v", sw, static)
+	}
+	wantStatic := 1 - cfg.InPackageCapacityGB()/big.FootprintGB
+	if math.Abs(static-wantStatic) > 1e-9 {
+		t.Errorf("static miss = %v, want capacity share %v", static, wantStatic)
+	}
+	hw := MissFrac(cfg, big, HardwareCache)
+	if hw > static {
+		t.Errorf("hardware cache %v must not exceed static %v", hw, static)
+	}
+}
+
+func TestUsableCapacity(t *testing.T) {
+	cfg := arch.BestMeanEHP()
+	if got := UsableCapacityGB(cfg, SoftwareManaged); got != cfg.TotalCapacityGB() {
+		t.Errorf("software-managed usable = %v", got)
+	}
+	// §II-B3: cache mode sacrifices 20% of addressable capacity
+	// (256 GB of 1.25 TB).
+	got := UsableCapacityGB(cfg, HardwareCache)
+	if got != cfg.ExtCapacityGB() {
+		t.Errorf("cache-mode usable = %v", got)
+	}
+	frac := 1 - got/cfg.TotalCapacityGB()
+	if math.Abs(frac-0.2) > 0.01 {
+		t.Errorf("capacity sacrifice = %v, paper says 20%%", frac)
+	}
+}
+
+func TestFitsProblem(t *testing.T) {
+	cfg := arch.BestMeanEHP()
+	xs := workload.XSBench() // 1024 GB
+	if !FitsProblem(cfg, xs, SoftwareManaged) {
+		t.Error("1 TB problem fits the 1.25 TB software-managed node")
+	}
+	big := xs
+	big.FootprintGB = 1100 // between cache-mode (1.0 TB) and full (1.25 TB)
+	if !FitsProblem(cfg, big, SoftwareManaged) {
+		t.Error("1.1 TB problem fits the software-managed node")
+	}
+	if FitsProblem(cfg, big, HardwareCache) {
+		t.Error("1.1 TB problem must NOT fit in cache mode (1.0 TB usable)")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if StaticInterleave.String() != "static-interleave" ||
+		SoftwareManaged.String() != "software-managed" ||
+		HardwareCache.String() != "hardware-cache" ||
+		Policy(9).String() == "" {
+		t.Error("policy strings wrong")
+	}
+}
+
+func TestEnvUnderPolicyOverhead(t *testing.T) {
+	cfg := arch.BestMeanEHP()
+	k := workload.LULESH()
+	raw := Env(cfg, k, MissFrac(cfg, k, SoftwareManaged))
+	taxed := EnvUnderPolicy(cfg, k, SoftwareManaged)
+	if taxed.BWTBps >= raw.BWTBps {
+		t.Error("policy overhead must tax bandwidth")
+	}
+}

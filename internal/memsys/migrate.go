@@ -1,0 +1,202 @@
+package memsys
+
+import (
+	"sort"
+
+	"ena/internal/arch"
+	"ena/internal/units"
+	"ena/internal/workload"
+)
+
+// This file implements the software-managed two-level memory mechanism the
+// paper's primary mode relies on (§II-B3, [26], [27]): the OS monitors page
+// heat over epochs and migrates the hottest pages into in-package DRAM. The
+// simulator replays a workload trace through that mechanism and reports the
+// achieved external-traffic fraction, validating the analytic MissFrac
+// model and quantifying migration traffic.
+
+// MigrationConfig parameterizes the epoch-based migrator.
+type MigrationConfig struct {
+	// PageBytes is the migration granule (default 2 MiB huge pages, as
+	// HMA-style proposals use).
+	PageBytes uint64
+	// EpochAccesses is the monitoring window length in trace accesses.
+	EpochAccesses int
+	// MaxMigrationsPerEpoch bounds migration bandwidth per epoch.
+	MaxMigrationsPerEpoch int
+	// InPackagePages overrides the fast-tier capacity in pages (0 derives
+	// it from the node's in-package capacity scaled to the trace's
+	// footprint — traces are miniatures of the real problem).
+	InPackagePages int
+}
+
+// DefaultMigrationConfig returns the standard HMA-style setup.
+func DefaultMigrationConfig() MigrationConfig {
+	return MigrationConfig{
+		PageBytes:             2 << 20,
+		EpochAccesses:         4096,
+		MaxMigrationsPerEpoch: 64,
+	}
+}
+
+// MigrationResult summarizes a migration-simulation run.
+type MigrationResult struct {
+	Accesses        int
+	Epochs          int
+	ExtAccessFrac   float64 // fraction of accesses served by external memory
+	ColdStartFrac   float64 // same, measured over the first epoch only
+	SteadyStateFrac float64 // same, over the last quarter of the trace
+	Migrations      int
+	// MigrationTrafficFrac is migration bytes relative to demand bytes.
+	MigrationTrafficFrac float64
+	DistinctPages        int
+	FastTierPages        int
+}
+
+// SimulateMigration replays a kernel trace through the epoch-based hot-page
+// migrator on the given node.
+func SimulateMigration(cfg *arch.NodeConfig, k workload.Kernel, traceLen int, mc MigrationConfig) MigrationResult {
+	if mc.PageBytes == 0 {
+		mc = DefaultMigrationConfig()
+	}
+	tr := k.Trace(1, traceLen)
+
+	// Discover the trace's page population.
+	pageOf := func(a workload.Access) uint64 { return a.Addr / mc.PageBytes }
+	distinct := map[uint64]bool{}
+	for _, a := range tr {
+		distinct[pageOf(a)] = true
+	}
+
+	// Fast-tier size: scale the node's in-package share of total capacity
+	// to the trace's footprint, so the miniature problem exercises the
+	// same capacity pressure as the real one.
+	fastPages := mc.InPackagePages
+	if fastPages == 0 {
+		share := cfg.InPackageCapacityGB() / cfg.TotalCapacityGB()
+		if k.FootprintGB > 0 && k.FootprintGB < cfg.TotalCapacityGB() {
+			// Problems that fit in-package entirely keep share 1.
+			if k.FootprintGB <= cfg.InPackageCapacityGB() {
+				share = 1
+			} else {
+				share = cfg.InPackageCapacityGB() / k.FootprintGB
+			}
+		}
+		fastPages = int(share * float64(len(distinct)))
+		if fastPages < 1 {
+			fastPages = 1
+		}
+	}
+
+	res := MigrationResult{
+		Accesses:      len(tr),
+		DistinctPages: len(distinct),
+		FastTierPages: fastPages,
+	}
+	if len(tr) == 0 {
+		return res
+	}
+
+	inFast := make(map[uint64]bool, fastPages)
+	heat := map[uint64]int{}
+	extAccesses := 0
+	firstEpochExt, firstEpochN := 0, 0
+	tailExt, tailN := 0, 0
+	tailStart := len(tr) * 3 / 4
+
+	epochEnd := mc.EpochAccesses
+	for i, a := range tr {
+		p := pageOf(a)
+		heat[p]++
+		if !inFast[p] {
+			extAccesses++
+			if i < mc.EpochAccesses {
+				firstEpochExt++
+			}
+			if i >= tailStart {
+				tailExt++
+			}
+		}
+		if i < mc.EpochAccesses {
+			firstEpochN++
+		}
+		if i >= tailStart {
+			tailN++
+		}
+
+		if i+1 == epochEnd || i+1 == len(tr) {
+			res.Epochs++
+			res.Migrations += rebalance(inFast, heat, fastPages, mc.MaxMigrationsPerEpoch)
+			heat = map[uint64]int{}
+			epochEnd += mc.EpochAccesses
+		}
+	}
+
+	res.ExtAccessFrac = float64(extAccesses) / float64(len(tr))
+	if firstEpochN > 0 {
+		res.ColdStartFrac = float64(firstEpochExt) / float64(firstEpochN)
+	}
+	if tailN > 0 {
+		res.SteadyStateFrac = float64(tailExt) / float64(tailN)
+	}
+	demandBytes := float64(len(tr)) * units.CacheLineBytes
+	res.MigrationTrafficFrac = float64(res.Migrations) * float64(mc.PageBytes) / demandBytes
+	return res
+}
+
+// rebalance promotes the hottest pages of the finished epoch into the fast
+// tier, evicting the coldest residents, bounded by the migration budget. It
+// returns the number of page moves (promotions; each implies an eviction
+// once the tier is full).
+func rebalance(inFast map[uint64]bool, heat map[uint64]int, capPages, budget int) int {
+	type ph struct {
+		page uint64
+		n    int
+	}
+	hot := make([]ph, 0, len(heat))
+	for p, n := range heat {
+		hot = append(hot, ph{p, n})
+	}
+	sort.Slice(hot, func(i, j int) bool {
+		if hot[i].n != hot[j].n {
+			return hot[i].n > hot[j].n
+		}
+		return hot[i].page < hot[j].page // deterministic ties
+	})
+
+	// Residents not seen this epoch are eviction candidates first; then
+	// the coldest observed residents.
+	coldFirst := make([]ph, 0, len(inFast))
+	for p := range inFast {
+		coldFirst = append(coldFirst, ph{p, heat[p]})
+	}
+	sort.Slice(coldFirst, func(i, j int) bool {
+		if coldFirst[i].n != coldFirst[j].n {
+			return coldFirst[i].n < coldFirst[j].n
+		}
+		return coldFirst[i].page < coldFirst[j].page
+	})
+
+	moves := 0
+	evictIdx := 0
+	for _, c := range hot {
+		if moves >= budget {
+			break
+		}
+		if inFast[c.page] {
+			continue
+		}
+		if len(inFast) >= capPages {
+			// Evict only if the candidate is strictly hotter than the
+			// coldest resident.
+			if evictIdx >= len(coldFirst) || coldFirst[evictIdx].n >= c.n {
+				break
+			}
+			delete(inFast, coldFirst[evictIdx].page)
+			evictIdx++
+		}
+		inFast[c.page] = true
+		moves++
+	}
+	return moves
+}

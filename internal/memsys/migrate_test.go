@@ -1,0 +1,122 @@
+package memsys
+
+import (
+	"testing"
+
+	"ena/internal/arch"
+	"ena/internal/workload"
+)
+
+func TestMigrationBasics(t *testing.T) {
+	cfg := arch.BestMeanEHP()
+	k := workload.XSBench()
+	r := SimulateMigration(cfg, k, 30000, DefaultMigrationConfig())
+	if r.Accesses != 30000 {
+		t.Fatalf("accesses = %d", r.Accesses)
+	}
+	if r.Epochs < 5 {
+		t.Errorf("epochs = %d", r.Epochs)
+	}
+	if r.ExtAccessFrac < 0 || r.ExtAccessFrac > 1 {
+		t.Errorf("ext fraction = %v", r.ExtAccessFrac)
+	}
+	if r.FastTierPages <= 0 || r.FastTierPages > r.DistinctPages {
+		t.Errorf("fast tier %d of %d pages", r.FastTierPages, r.DistinctPages)
+	}
+}
+
+func TestMigrationLearns(t *testing.T) {
+	// For kernels with stable hot sets, steady-state external traffic must
+	// undercut the cold start (the whole point of the HMA mechanism).
+	cfg := arch.BestMeanEHP()
+	for _, name := range []string{"MiniAMR", "CoMD"} {
+		k, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := SimulateMigration(cfg, k, 40000, DefaultMigrationConfig())
+		if r.SteadyStateFrac > r.ColdStartFrac {
+			t.Errorf("%s: steady state %.3f worse than cold start %.3f",
+				name, r.SteadyStateFrac, r.ColdStartFrac)
+		}
+	}
+}
+
+func TestMigrationRandomAccessGainsLittle(t *testing.T) {
+	// XSBench's uniformly random lookups have no hot pages: migration
+	// cannot beat the capacity share by much — consistent with the paper
+	// reporting up to 89% of traffic still going off-package.
+	cfg := arch.BestMeanEHP()
+	k := workload.XSBench()
+	r := SimulateMigration(cfg, k, 40000, DefaultMigrationConfig())
+	capacityShare := 1 - float64(r.FastTierPages)/float64(r.DistinctPages)
+	if r.SteadyStateFrac < capacityShare-0.25 {
+		t.Errorf("random access should not concentrate: steady %.3f vs capacity share %.3f",
+			r.SteadyStateFrac, capacityShare)
+	}
+}
+
+func TestMigrationSmallFootprintAllFast(t *testing.T) {
+	cfg := arch.BestMeanEHP()
+	k := workload.MaxFlops()
+	r := SimulateMigration(cfg, k, 20000, DefaultMigrationConfig())
+	// The tiny working set lands entirely in-package after warm-up.
+	if r.SteadyStateFrac > 0.01 {
+		t.Errorf("MaxFlops steady-state external fraction = %v", r.SteadyStateFrac)
+	}
+}
+
+func TestMigrationBudgetBounds(t *testing.T) {
+	cfg := arch.BestMeanEHP()
+	k := workload.MiniAMR()
+	mc := DefaultMigrationConfig()
+	mc.MaxMigrationsPerEpoch = 4
+	r := SimulateMigration(cfg, k, 20000, mc)
+	if r.Migrations > r.Epochs*4 {
+		t.Errorf("migrations %d exceed budget %d", r.Migrations, r.Epochs*4)
+	}
+	// A generous budget must migrate at least as much as a tight one.
+	mc2 := DefaultMigrationConfig()
+	mc2.MaxMigrationsPerEpoch = 256
+	r2 := SimulateMigration(cfg, k, 20000, mc2)
+	if r2.Migrations < r.Migrations {
+		t.Errorf("larger budget migrated less: %d vs %d", r2.Migrations, r.Migrations)
+	}
+}
+
+func TestMigrationValidatesAnalyticModel(t *testing.T) {
+	// The trace-driven migrator and the analytic MissFrac should agree on
+	// the regime: both far from zero for capacity-pressured kernels, both
+	// zero-ish for resident ones.
+	cfg := arch.BestMeanEHP()
+	for _, name := range []string{"XSBench", "MiniAMR"} {
+		k, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		analytic := MissFrac(cfg, k, SoftwareManaged)
+		r := SimulateMigration(cfg, k, 40000, DefaultMigrationConfig())
+		if analytic > 0.4 && r.SteadyStateFrac < 0.3 {
+			t.Errorf("%s: analytic %.2f vs simulated steady state %.2f disagree on regime",
+				name, analytic, r.SteadyStateFrac)
+		}
+	}
+}
+
+func TestMigrationDeterministic(t *testing.T) {
+	cfg := arch.BestMeanEHP()
+	k := workload.LULESH()
+	a := SimulateMigration(cfg, k, 20000, DefaultMigrationConfig())
+	b := SimulateMigration(cfg, k, 20000, DefaultMigrationConfig())
+	if a != b {
+		t.Error("migration simulation must be deterministic")
+	}
+}
+
+func TestMigrationEmptyTrace(t *testing.T) {
+	cfg := arch.BestMeanEHP()
+	r := SimulateMigration(cfg, workload.CoMD(), 0, DefaultMigrationConfig())
+	if r.Accesses != 0 || r.Migrations != 0 {
+		t.Error("empty trace should be a no-op")
+	}
+}

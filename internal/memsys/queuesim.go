@@ -1,0 +1,216 @@
+package memsys
+
+import (
+	"math"
+
+	"ena/internal/arch"
+	"ena/internal/dram"
+	"ena/internal/event"
+	"ena/internal/perf"
+	"ena/internal/units"
+	"ena/internal/workload"
+)
+
+// QueueSim is the detailed, event-driven model of the memory system: HBM
+// stacks decomposed into independent channels and external interfaces
+// modeled as SerDes-rate-limited FIFO chains. It plays the role the AMD gem5
+// APU simulator plays in the paper's methodology (§III): validating and
+// adjusting the first-order analytic model.
+
+// SimResult summarizes one queue-simulation run.
+type SimResult struct {
+	Requests       int
+	AchievedGBps   float64 // serviced traffic over the simulated interval
+	MeanLatencyNs  float64
+	MaxLatencyNs   float64
+	ExtFracActual  float64 // fraction of requests routed externally
+	HBMUtilization float64 // mean busy fraction across HBM channels
+}
+
+// server is a single-resource FIFO queue with deterministic service time.
+type server struct {
+	freeAt float64 // next time the server can start a new request
+	busyNs float64 // accumulated busy time
+}
+
+// serve returns the completion time of a request arriving at t.
+func (s *server) serve(t, serviceNs float64) float64 {
+	start := t
+	if s.freeAt > start {
+		start = s.freeAt
+	}
+	s.freeAt = start + serviceNs
+	s.busyNs += serviceNs
+	return s.freeAt
+}
+
+// SimOptions configures a queue-simulation run.
+type SimOptions struct {
+	// MissFrac routes this fraction of lines to external memory
+	// (deterministically by address hash, so the same line always misses).
+	MissFrac float64
+	// OfferedGBps is the open-loop request injection rate; zero selects
+	// 90% of the in-package bandwidth.
+	OfferedGBps float64
+	// FixedServiceNs overrides per-request base latency (zero keeps the
+	// calibrated defaults).
+	FixedServiceNs float64
+	// BankLevel replaces the fixed-rate channel servers with the
+	// bank-level DRAM timing model (internal/dram): row-buffer locality,
+	// bank conflicts and refresh become visible in latency and
+	// throughput. TempC selects the refresh regime (0 = 60 C).
+	BankLevel bool
+	TempC     float64
+}
+
+// SimulateTrace replays a workload trace through the queuing model.
+func SimulateTrace(cfg *arch.NodeConfig, tr []workload.Access, opt SimOptions) SimResult {
+	res := SimResult{Requests: len(tr)}
+	if len(tr) == 0 {
+		return res
+	}
+	offered := opt.OfferedGBps
+	if offered <= 0 {
+		offered = 0.9 * cfg.InPackageBWTBps() * 1000
+	}
+	interArrivalNs := float64(units.CacheLineBytes) / (offered * units.GB) * 1e9
+
+	// Build servers: one per HBM channel, one per external interface.
+	nStacks := len(cfg.HBM)
+	channels := make([][]*server, nStacks)
+	var banked [][]*dram.Channel
+	var chService []float64 // per-stack per-channel service ns per line
+	for i, h := range cfg.HBM {
+		chs := make([]*server, h.Channels)
+		for j := range chs {
+			chs[j] = &server{}
+		}
+		channels[i] = chs
+		perChGBps := h.BandwidthGBps / float64(h.Channels)
+		chService = append(chService, float64(units.CacheLineBytes)/(perChGBps*units.GB)*1e9)
+		if opt.BankLevel {
+			t := dram.DefaultTiming()
+			// Scale the burst so the bank-level channel peaks at the
+			// configured per-channel bandwidth.
+			t.TBurst = float64(units.CacheLineBytes) / perChGBps
+			temp := opt.TempC
+			if temp == 0 {
+				temp = 60
+			}
+			bank := make([]*dram.Channel, h.Channels)
+			for j := range bank {
+				c, err := dram.NewChannel(8, t, temp)
+				if err != nil {
+					panic(err) // bank count is a positive constant
+				}
+				bank[j] = c
+			}
+			banked = append(banked, bank)
+		}
+	}
+	ext := make([]*server, len(cfg.Ext))
+	extService := make([]float64, len(cfg.Ext))
+	for i, c := range cfg.Ext {
+		ext[i] = &server{}
+		if c.LinkGBps > 0 {
+			extService[i] = float64(units.CacheLineBytes) / (c.LinkGBps * units.GB) * 1e9
+		}
+	}
+
+	sim := event.NewSim()
+	var (
+		sumLat, maxLat float64
+		extCount       int
+		lastDone       float64
+	)
+	for i, a := range tr {
+		acc := a
+		arrive := float64(i) * interArrivalNs
+		_, err := sim.At(arrive, func() {
+			now := sim.Now()
+			line := acc.Addr / units.CacheLineBytes
+			var done float64
+			if isMiss(line, opt.MissFrac) && len(ext) > 0 {
+				extCount++
+				iface := int(line % uint64(len(ext)))
+				svc := extService[iface]
+				if svc == 0 {
+					svc = 1
+				}
+				base := float64(perf.ExtLatencyNs)
+				if opt.FixedServiceNs > 0 {
+					base = opt.FixedServiceNs
+				}
+				done = ext[iface].serve(now, svc) + base
+			} else {
+				stack := int(line % uint64(nStacks))
+				ch := int((line / uint64(nStacks)) % uint64(len(channels[stack])))
+				base := float64(perf.HBMLatencyNs)
+				if opt.FixedServiceNs > 0 {
+					base = opt.FixedServiceNs
+				}
+				if opt.BankLevel {
+					// The bank-level model owns timing: base covers
+					// only the controller/PHY portion ahead of it.
+					done = banked[stack][ch].Access(now, line/uint64(nStacks)) + base/2
+				} else {
+					done = channels[stack][ch].serve(now, chService[stack]) + base
+				}
+			}
+			lat := done - now
+			sumLat += lat
+			if lat > maxLat {
+				maxLat = lat
+			}
+			if done > lastDone {
+				lastDone = done
+			}
+		})
+		if err != nil {
+			// Arrival times are monotonically increasing from zero;
+			// scheduling can only fail on programmer error.
+			panic(err)
+		}
+	}
+	sim.Run(0)
+
+	res.MeanLatencyNs = sumLat / float64(len(tr))
+	res.MaxLatencyNs = maxLat
+	res.ExtFracActual = float64(extCount) / float64(len(tr))
+	if lastDone > 0 {
+		bytes := float64(len(tr)) * units.CacheLineBytes
+		res.AchievedGBps = bytes / (lastDone * 1e-9) / units.GB
+	}
+	var busy, horizon float64
+	for _, chs := range channels {
+		for _, s := range chs {
+			busy += s.busyNs
+			horizon += lastDone
+		}
+	}
+	if horizon > 0 {
+		res.HBMUtilization = busy / horizon
+	}
+	return res
+}
+
+// isMiss hashes the line address to decide deterministically whether it is
+// served externally, hitting the requested miss fraction in expectation.
+func isMiss(line uint64, missFrac float64) bool {
+	if missFrac <= 0 {
+		return false
+	}
+	if missFrac >= 1 {
+		return true
+	}
+	h := line * 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	return float64(h%10000) < missFrac*10000
+}
+
+// CalibrateLatency runs a low-load simulation and returns the unloaded mean
+// latency, which the analytic model's HBMLatencyNs should approximate.
+func CalibrateLatency(cfg *arch.NodeConfig, tr []workload.Access) float64 {
+	r := SimulateTrace(cfg, tr, SimOptions{OfferedGBps: math.Max(1, 0.05*cfg.InPackageBWTBps()*1000)})
+	return r.MeanLatencyNs
+}

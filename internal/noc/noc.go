@@ -1,0 +1,369 @@
+// Package noc models the EHP's chiplet/interposer interconnect (paper §II-A2,
+// §II-A3, §V-A): GPU and CPU chiplets stacked on active interposers, with
+// remote accesses paying two TSV hops plus interposer-link traversal. A
+// closed-loop, event-driven simulation with per-kernel memory-level
+// parallelism measures the sustainable memory throughput and loaded latency
+// of the chiplet organization versus a hypothetical monolithic EHP — the
+// Fig. 7 experiment.
+package noc
+
+import (
+	"math/rand"
+
+	"ena/internal/arch"
+	"ena/internal/event"
+	"ena/internal/perf"
+	"ena/internal/units"
+	"ena/internal/workload"
+)
+
+// Physical-layer parameters of the interposer network. Interposers connect
+// with wide, short-distance, point-to-point paths (§II-A): every interposer
+// pair has a direct link, so a remote access crosses exactly one link but
+// pays distance-proportional wire latency.
+const (
+	// TSVHopNs is one vertical chiplet<->interposer crossing including
+	// the narrow-interface serialization.
+	TSVHopNs = 4.0
+	// RouterHopNs is one interposer router traversal (ingress + egress).
+	RouterHopNs = 4.0
+	// WireNsPerPosition is the wire latency per interposer position of
+	// horizontal distance.
+	WireNsPerPosition = 2.0
+	// LinkGBps is the bandwidth of one point-to-point interposer link per
+	// direction.
+	LinkGBps = 512.0
+	// EgressGBps is a chiplet's TSV egress bandwidth to its interposer.
+	EgressGBps = 768.0
+	// CrossbarNs is the single-hop latency of the monolithic baseline.
+	CrossbarNs = 4.0
+	// CPUTrafficFrac adds CPU-to-GPU-memory coherence/command traffic on
+	// top of the GPU streams; it always crosses chiplets.
+	CPUTrafficFrac = 0.05
+)
+
+// interposerOf maps GPU chiplet index (0..7) to its interposer position in
+// the EHP floorplan row: [G G | C C | G G] with two GPU chiplets per GPU
+// interposer (Fig. 2): interposers 0,1 on the left, 2,3 CPU in the center,
+// 4,5 on the right.
+func interposerOf(chiplet int) int {
+	switch chiplet / 2 {
+	case 0:
+		return 0
+	case 1:
+		return 1
+	case 2:
+		return 4
+	default:
+		return 5
+	}
+}
+
+// cpuInterposers are the central interposer positions.
+var cpuInterposers = []int{2, 3}
+
+// hops returns the number of interposer-to-interposer links between two
+// interposer positions (a linear chain of six positions).
+func hops(a, b int) int {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// Result summarizes one traffic simulation.
+type Result struct {
+	Requests        int
+	OutOfChiplet    float64 // fraction of requests leaving their source chiplet
+	SustainedGBps   float64 // closed-loop memory throughput
+	MeanLatencyNs   float64
+	MeanHops        float64
+	LinkUtilization float64
+}
+
+type server struct {
+	freeAt float64
+	busyNs float64
+}
+
+func (s *server) serve(t, ns float64) float64 {
+	start := t
+	if s.freeAt > start {
+		start = s.freeAt
+	}
+	s.freeAt = start + ns
+	s.busyNs += ns
+	return s.freeAt
+}
+
+// Topology selects the interposer-to-interposer wiring.
+type Topology int
+
+const (
+	// PointToPoint is the EHP's design: a direct wide link between every
+	// interposer pair (§II-A: "wide, short-distance, point-to-point
+	// paths").
+	PointToPoint Topology = iota
+	// Chain wires only adjacent interposers, forcing multi-hop routing —
+	// the cheaper alternative the ablation compares against.
+	Chain
+)
+
+// String implements fmt.Stringer.
+func (t Topology) String() string {
+	if t == Chain {
+		return "chain"
+	}
+	return "point-to-point"
+}
+
+// Options configures a simulation run.
+type Options struct {
+	// Tokens is the number of concurrent request tokens (defaults to the
+	// node's total outstanding capacity CUs x MLP, capped for runtime).
+	Tokens int
+	// Requests is the total number of requests to complete (default 200k).
+	Requests int
+	// Seed drives the random source/destination draws.
+	Seed int64
+	// Topology selects the interposer wiring (default PointToPoint).
+	Topology Topology
+}
+
+// Simulate runs the closed-loop chiplet-network simulation for a kernel on a
+// configuration. The kernel's CacheLocality decides how often a request is
+// satisfied by chiplet-local cache/DRAM; remote requests target a uniformly
+// random HBM stack, reflecting capacity-interleaved addressing (§V-A
+// Finding 1 observes a fairly even distribution across chiplets).
+func Simulate(cfg *arch.NodeConfig, k workload.Kernel, opt Options) Result {
+	nChiplets := len(cfg.GPU)
+	if opt.Requests == 0 {
+		opt.Requests = 200_000
+	}
+	if opt.Tokens == 0 {
+		opt.Tokens = cfg.TotalCUs() * int(k.MLPPerCU)
+		if opt.Tokens > 8192 {
+			opt.Tokens = 8192
+		}
+	}
+	rng := rand.New(rand.NewSource(opt.Seed + 1))
+
+	// Scale per-resource bandwidth so the reduced token population still
+	// exercises the same tokens-per-bandwidth ratio as the real machine.
+	realTokens := float64(cfg.TotalCUs()) * k.MLPPerCU
+	scale := float64(opt.Tokens) / realTokens
+	if scale > 1 {
+		scale = 1
+	}
+
+	// Resources.
+	egress := make([]*server, nChiplets)
+	hbm := make([]*server, nChiplets)
+	hbmSvc := make([]float64, nChiplets)
+	for i := range egress {
+		egress[i] = &server{}
+		hbm[i] = &server{}
+		perStack := cfg.HBM[i].BandwidthGBps * scale
+		hbmSvc[i] = float64(units.CacheLineBytes) / (perStack * units.GB) * 1e9
+	}
+	egressSvc := float64(units.CacheLineBytes) / (EgressGBps * scale * units.GB) * 1e9
+	// Direct point-to-point links between every ordered pair of the six
+	// interposer positions.
+	const positions = 6
+	linkSvc := float64(units.CacheLineBytes) / (LinkGBps * scale * units.GB) * 1e9
+	links := make(map[[2]int]*server)
+	for i := 0; i < positions; i++ {
+		for j := 0; j < positions; j++ {
+			if i != j {
+				links[[2]int{i, j}] = &server{}
+			}
+		}
+	}
+
+	sim := event.NewSim()
+	var (
+		done, outOf int
+		sumLat      float64
+		sumHops     float64
+		lastDone    float64
+	)
+
+	// path computes the completion time of a request issued at t from
+	// srcPos to the HBM stack on chiplet dst, and its hop count.
+	path := func(t float64, srcPos, dst int) (float64, int) {
+		dstPos := interposerOf(dst)
+		if cfg.Monolithic {
+			// Single die: one crossbar hop, then DRAM.
+			tt := t + CrossbarNs
+			return hbm[dst].serve(tt, hbmSvc[dst]) + perf.HBMLatencyNs, 0
+		}
+		tt := t + TSVHopNs // descend into the source interposer
+		h := hops(srcPos, dstPos)
+		switch {
+		case h == 0:
+			// Same interposer: no link traversal.
+		case opt.Topology == Chain:
+			// Hop through every adjacent interposer; each hop pays a
+			// router traversal and queues on its own link.
+			pos := srcPos
+			for pos != dstPos {
+				next := pos + 1
+				if dstPos < pos {
+					next = pos - 1
+				}
+				wire := RouterHopNs + WireNsPerPosition
+				tt = links[[2]int{pos, next}].serve(tt+wire, linkSvc)
+				pos = next
+			}
+		default:
+			wire := RouterHopNs + WireNsPerPosition*float64(h)
+			tt = links[[2]int{srcPos, dstPos}].serve(tt+wire, linkSvc)
+		}
+		tt += TSVHopNs // ascend into the destination chiplet/stack
+		return hbm[dst].serve(tt, hbmSvc[dst]) + perf.HBMLatencyNs, h
+	}
+
+	var issue func()
+	issue = func() {
+		t0 := sim.Now()
+		fromCPU := rng.Float64() < CPUTrafficFrac
+		var srcChiplet int
+		var srcPos int
+		if fromCPU {
+			srcPos = cpuInterposers[rng.Intn(len(cpuInterposers))]
+			srcChiplet = -1
+		} else {
+			srcChiplet = rng.Intn(nChiplets)
+			srcPos = interposerOf(srcChiplet)
+		}
+		dst := srcChiplet
+		local := !fromCPU && rng.Float64() < k.CacheLocality
+		if !local {
+			dst = rng.Intn(nChiplets)
+		}
+		remote := fromCPU || dst != srcChiplet
+		var t1 float64
+		var h int
+		if !remote && !cfg.Monolithic {
+			// Chiplet-local access: straight down to the local slice.
+			t1 = hbm[dst].serve(egress[dst].serve(t0, egressSvc), hbmSvc[dst]) + perf.HBMLatencyNs
+		} else if !cfg.Monolithic {
+			t1, h = path(egress[max0(srcChiplet)].serve(t0, egressSvc), srcPos, dst)
+		} else {
+			t1, h = path(t0, srcPos, dst)
+		}
+		// Return trip: fixed per-hop latency (response rides dedicated
+		// response wires; their bandwidth is charged on the forward
+		// path servers already, which carry the 64 B line).
+		if !cfg.Monolithic && remote {
+			t1 += 2 * TSVHopNs
+			if h > 0 {
+				if opt.Topology == Chain {
+					t1 += float64(h) * (RouterHopNs + WireNsPerPosition)
+				} else {
+					t1 += RouterHopNs + WireNsPerPosition*float64(h)
+				}
+			}
+		}
+		sim.After(t1-t0, func() {
+			done++
+			lat := sim.Now() - t0
+			sumLat += lat
+			sumHops += float64(h)
+			if remote {
+				outOf++
+			}
+			if sim.Now() > lastDone {
+				lastDone = sim.Now()
+			}
+			if done+sim.Pending() < opt.Requests {
+				issue()
+			}
+		})
+	}
+
+	for i := 0; i < opt.Tokens && i < opt.Requests; i++ {
+		issue()
+	}
+	sim.Run(0)
+
+	r := Result{Requests: done}
+	if done == 0 {
+		return r
+	}
+	r.OutOfChiplet = float64(outOf) / float64(done)
+	r.MeanLatencyNs = sumLat / float64(done)
+	r.MeanHops = sumHops / float64(done)
+	if lastDone > 0 {
+		// Scale the simulated throughput back to machine size.
+		bytes := float64(done) * units.CacheLineBytes
+		r.SustainedGBps = bytes / (lastDone * 1e-9) / units.GB / scale
+	}
+	var busy float64
+	for _, l := range links {
+		busy += l.busyNs
+	}
+	if lastDone > 0 && len(links) > 0 {
+		r.LinkUtilization = busy / (lastDone * float64(len(links)))
+	}
+	return r
+}
+
+func max0(v int) int {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Comparison holds the Fig. 7 quantities for one kernel.
+type Comparison struct {
+	Kernel         string
+	OutOfChiplet   float64 // fraction of traffic leaving the source chiplet
+	PerfVsMonolith float64 // chiplet-EHP performance / monolithic-EHP performance
+	ChipletLatNs   float64
+	MonoLatNs      float64
+}
+
+// Compare runs the chiplet and monolithic simulations for a kernel and
+// derives the performance ratio by feeding each organization's measured
+// loaded latency and sustainable bandwidth into the roofline model.
+func Compare(cfg *arch.NodeConfig, k workload.Kernel, seed int64) Comparison {
+	chipletRes := Simulate(cfg, k, Options{Seed: seed})
+	mono := arch.Monolithic(cfg)
+	monoRes := Simulate(mono, k, Options{Seed: seed})
+
+	envC := envFrom(cfg, chipletRes)
+	envM := envFrom(mono, monoRes)
+	pc := perf.Estimate(cfg, k, envC)
+	pm := perf.Estimate(mono, k, envM)
+
+	c := Comparison{
+		Kernel:       k.Name,
+		OutOfChiplet: chipletRes.OutOfChiplet,
+		ChipletLatNs: chipletRes.MeanLatencyNs,
+		MonoLatNs:    monoRes.MeanLatencyNs,
+	}
+	if pm.TFLOPs > 0 {
+		c.PerfVsMonolith = pc.TFLOPs / pm.TFLOPs
+		if c.PerfVsMonolith > 1 {
+			c.PerfVsMonolith = 1
+		}
+	}
+	return c
+}
+
+// envFrom converts a simulation result into the analytic model's memory
+// environment: measured loaded latency, and bandwidth capped by what the
+// network sustained.
+func envFrom(cfg *arch.NodeConfig, r Result) perf.MemEnv {
+	bw := cfg.InPackageBWTBps()
+	if s := r.SustainedGBps / 1000; s > 0 && s < bw {
+		bw = s
+	}
+	eff := 0.0
+	if bw > 0 {
+		eff = float64(cfg.TotalCUs()) * cfg.GPUFreqMHz() * 1e6 / (bw * 1e12)
+	}
+	return perf.MemEnv{BWTBps: bw, LatencyNs: r.MeanLatencyNs, EffOpsPerByte: eff}
+}

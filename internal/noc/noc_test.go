@@ -1,0 +1,205 @@
+package noc
+
+import (
+	"math"
+	"testing"
+
+	"ena/internal/arch"
+	"ena/internal/workload"
+)
+
+func TestInterposerMapping(t *testing.T) {
+	// Chiplets 0-3 on the left interposers, 4-7 on the right, CPUs in the
+	// middle (Fig. 2).
+	want := map[int]int{0: 0, 1: 0, 2: 1, 3: 1, 4: 4, 5: 4, 6: 5, 7: 5}
+	for ch, pos := range want {
+		if got := interposerOf(ch); got != pos {
+			t.Errorf("interposerOf(%d) = %d, want %d", ch, got, pos)
+		}
+	}
+	for _, p := range cpuInterposers {
+		if p != 2 && p != 3 {
+			t.Errorf("CPU interposer at %d, want center", p)
+		}
+	}
+}
+
+func TestHops(t *testing.T) {
+	if hops(0, 5) != 5 || hops(5, 0) != 5 || hops(3, 3) != 0 {
+		t.Error("hops arithmetic wrong")
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	cfg := arch.BestMeanEHP()
+	k := workload.CoMD()
+	a := Simulate(cfg, k, Options{Seed: 1, Requests: 20000})
+	b := Simulate(cfg, k, Options{Seed: 1, Requests: 20000})
+	if a != b {
+		t.Error("same seed must reproduce the same result")
+	}
+	c := Simulate(cfg, k, Options{Seed: 2, Requests: 20000})
+	if a == c {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestSimulateBasics(t *testing.T) {
+	cfg := arch.BestMeanEHP()
+	for _, k := range workload.Suite() {
+		r := Simulate(cfg, k, Options{Seed: 3, Requests: 30000})
+		if r.Requests != 30000 {
+			t.Errorf("%s: completed %d", k.Name, r.Requests)
+		}
+		if r.OutOfChiplet < 0 || r.OutOfChiplet > 1 {
+			t.Errorf("%s: out-of-chiplet = %v", k.Name, r.OutOfChiplet)
+		}
+		if r.MeanLatencyNs <= 0 || r.SustainedGBps <= 0 {
+			t.Errorf("%s: degenerate result %+v", k.Name, r)
+		}
+		// Out-of-chiplet fraction tracks (1 - locality) * 7/8 plus CPU
+		// traffic.
+		want := (1-k.CacheLocality)*7/8*(1-CPUTrafficFrac) + CPUTrafficFrac
+		if math.Abs(r.OutOfChiplet-want) > 0.05 {
+			t.Errorf("%s: out-of-chiplet %v, expected ~%v", k.Name, r.OutOfChiplet, want)
+		}
+	}
+}
+
+func TestMonolithicFasterOrEqual(t *testing.T) {
+	cfg := arch.BestMeanEHP()
+	for _, name := range []string{"XSBench", "CoMD", "SNAP"} {
+		k, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch := Simulate(cfg, k, Options{Seed: 7, Requests: 40000})
+		mo := Simulate(arch.Monolithic(cfg), k, Options{Seed: 7, Requests: 40000})
+		if mo.MeanLatencyNs > ch.MeanLatencyNs*1.02 {
+			t.Errorf("%s: monolithic latency %v exceeds chiplet %v",
+				name, mo.MeanLatencyNs, ch.MeanLatencyNs)
+		}
+	}
+}
+
+func TestCompareFig7Shape(t *testing.T) {
+	cfg := arch.BestMeanEHP()
+	results := map[string]Comparison{}
+	for _, name := range []string{"XSBench", "SNAP", "CoMD"} {
+		k, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[name] = Compare(cfg, k, 42)
+	}
+	for name, c := range results {
+		// Fig. 7: out-of-chiplet traffic dominates (paper: 60-95%).
+		if c.OutOfChiplet < 0.5 || c.OutOfChiplet > 0.97 {
+			t.Errorf("%s: out-of-chiplet = %v", name, c.OutOfChiplet)
+		}
+		// Largest perf impact in the paper is 13%; allow a little slack.
+		if c.PerfVsMonolith < 0.82 || c.PerfVsMonolith > 1.0 {
+			t.Errorf("%s: perf vs monolithic = %v", name, c.PerfVsMonolith)
+		}
+	}
+	// SNAP's abundant parallelism hides the chiplet latency (negligible
+	// impact); XSBench, latency-bound, suffers the most.
+	if results["SNAP"].PerfVsMonolith < 0.97 {
+		t.Errorf("SNAP impact should be negligible: %v", results["SNAP"].PerfVsMonolith)
+	}
+	if results["XSBench"].PerfVsMonolith >= results["SNAP"].PerfVsMonolith {
+		t.Error("XSBench should suffer more than SNAP")
+	}
+	// XSBench generates the most out-of-chiplet traffic of the three.
+	if results["XSBench"].OutOfChiplet <= results["CoMD"].OutOfChiplet {
+		t.Error("XSBench (random) should exceed CoMD (clustered) in remote traffic")
+	}
+}
+
+func TestTokenScalingConsistency(t *testing.T) {
+	// Halving the simulated token population (with proportionally scaled
+	// resources) should preserve the out-of-chiplet fraction and keep
+	// latency in the same regime.
+	cfg := arch.BestMeanEHP()
+	k := workload.SNAP()
+	big := Simulate(cfg, k, Options{Seed: 5, Requests: 30000, Tokens: 4096})
+	small := Simulate(cfg, k, Options{Seed: 5, Requests: 30000, Tokens: 2048})
+	if math.Abs(big.OutOfChiplet-small.OutOfChiplet) > 0.03 {
+		t.Errorf("out-of-chiplet changed with token scale: %v vs %v",
+			big.OutOfChiplet, small.OutOfChiplet)
+	}
+	if small.MeanLatencyNs > big.MeanLatencyNs*1.5 || big.MeanLatencyNs > small.MeanLatencyNs*1.5 {
+		t.Errorf("latency regime shifted: %v vs %v", big.MeanLatencyNs, small.MeanLatencyNs)
+	}
+}
+
+func TestTopologyString(t *testing.T) {
+	if PointToPoint.String() != "point-to-point" || Chain.String() != "chain" {
+		t.Error("topology strings wrong")
+	}
+}
+
+func TestChainTopologyWorse(t *testing.T) {
+	// The chain funnels cross-package traffic through its middle links:
+	// under heavy traffic it must sustain less bandwidth at higher
+	// latency than the EHP's point-to-point wiring (the §II-A rationale).
+	cfg := arch.BestMeanEHP()
+	k := workload.SNAP()
+	p2p := Simulate(cfg, k, Options{Seed: 9, Requests: 60000})
+	chain := Simulate(cfg, k, Options{Seed: 9, Requests: 60000, Topology: Chain})
+	if chain.SustainedGBps >= p2p.SustainedGBps {
+		t.Errorf("chain sustained %v >= point-to-point %v", chain.SustainedGBps, p2p.SustainedGBps)
+	}
+	if chain.MeanLatencyNs <= p2p.MeanLatencyNs {
+		t.Errorf("chain latency %v <= point-to-point %v", chain.MeanLatencyNs, p2p.MeanLatencyNs)
+	}
+	// Out-of-chiplet traffic is a workload property, not a topology one.
+	if d := chain.OutOfChiplet - p2p.OutOfChiplet; d > 0.02 || d < -0.02 {
+		t.Errorf("topology changed traffic mix: %v", d)
+	}
+}
+
+func TestChainLowLoadStillWorks(t *testing.T) {
+	// Latency-bound, low-traffic kernels survive the chain with only a
+	// latency penalty — no throughput collapse.
+	cfg := arch.BestMeanEHP()
+	k := workload.XSBench()
+	chain := Simulate(cfg, k, Options{Seed: 9, Requests: 40000, Topology: Chain})
+	p2p := Simulate(cfg, k, Options{Seed: 9, Requests: 40000})
+	if chain.SustainedGBps < p2p.SustainedGBps*0.7 {
+		t.Errorf("low-load chain collapsed: %v vs %v", chain.SustainedGBps, p2p.SustainedGBps)
+	}
+}
+
+func TestNoCEnergyConsistentWithPowerModel(t *testing.T) {
+	// Cross-validation of the two layers (the paper derives interconnect
+	// power from distance-based energy [41]): the remote-traffic fraction
+	// the event-driven simulator measures should match the fraction the
+	// power model assumes from the kernel characterization.
+	cfg := arch.BestMeanEHP()
+	for _, name := range []string{"CoMD", "XSBench", "SNAP"} {
+		k, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim := Simulate(cfg, k, Options{Seed: 11, Requests: 40000})
+		analytic := (1-k.CacheLocality)*7.0/8.0*(1-CPUTrafficFrac) + CPUTrafficFrac
+		if math.Abs(sim.OutOfChiplet-analytic) > 0.04 {
+			t.Errorf("%s: simulated remote fraction %.3f vs power-model assumption %.3f",
+				name, sim.OutOfChiplet, analytic)
+		}
+	}
+}
+
+func TestMeanHopsReasonable(t *testing.T) {
+	// With point-to-point links every remote access crosses at most one
+	// link; mean hops must sit between 0 and the diameter.
+	cfg := arch.BestMeanEHP()
+	r := Simulate(cfg, workload.XSBench(), Options{Seed: 2, Requests: 30000})
+	if r.MeanHops < 0.5 || r.MeanHops > 5 {
+		t.Errorf("mean hops = %v", r.MeanHops)
+	}
+	if r.LinkUtilization < 0 || r.LinkUtilization > 1 {
+		t.Errorf("link utilization = %v", r.LinkUtilization)
+	}
+}

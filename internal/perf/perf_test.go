@@ -1,0 +1,237 @@
+package perf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ena/internal/arch"
+	"ena/internal/workload"
+)
+
+func TestMaxFlopsAnchor(t *testing.T) {
+	// Paper §V-F: 320 CUs at 1 GHz reach ~18.6 DP TFLOP/s on MaxFlops.
+	cfg := arch.EHP(320, 1000, 1)
+	r := EstimateDefault(cfg, workload.MaxFlops())
+	if r.TFLOPs < 18.0 || r.TFLOPs > 19.2 {
+		t.Errorf("MaxFlops @ 320/1000/1 = %.2f TF, want ~18.6", r.TFLOPs)
+	}
+	if r.Bound != ComputeBound {
+		t.Errorf("MaxFlops bound = %v", r.Bound)
+	}
+}
+
+func TestMaxFlopsBandwidthInsensitive(t *testing.T) {
+	mf := workload.MaxFlops()
+	base := EstimateDefault(arch.EHP(320, 1000, 1), mf).TFLOPs
+	for _, bw := range []float64{3, 5, 7} {
+		got := EstimateDefault(arch.EHP(320, 1000, bw), mf).TFLOPs
+		if math.Abs(got-base)/base > 0.02 {
+			t.Errorf("MaxFlops at %v TB/s = %.2f, differs from %v by >2%%", bw, got, base)
+		}
+	}
+}
+
+func TestMaxFlopsLinearInCUs(t *testing.T) {
+	// Fig. 14: linear scaling with CU count (gamma = 0 for MaxFlops).
+	mf := workload.MaxFlops()
+	p192 := EstimateDefault(arch.EHP(192, 1000, 1), mf).TFLOPs
+	p384 := EstimateDefault(arch.EHP(384, 1000, 1), mf).TFLOPs
+	if ratio := p384 / p192; math.Abs(ratio-2) > 0.05 {
+		t.Errorf("384/192 CU ratio = %v, want ~2", ratio)
+	}
+}
+
+func TestBalancedPlateau(t *testing.T) {
+	// CoMD at fixed bandwidth: raising frequency eventually stops paying
+	// (Fig. 5): the last doubling of ops-per-byte yields much less than
+	// proportional gain at 1 TB/s.
+	comd := workload.CoMD()
+	lo := EstimateDefault(arch.EHP(320, 700, 1), comd).TFLOPs
+	hi := EstimateDefault(arch.EHP(320, 1500, 1), comd).TFLOPs
+	if hi/lo > 1.3 {
+		t.Errorf("CoMD should plateau at 1 TB/s: 1500/700 MHz ratio = %v", hi/lo)
+	}
+	// At 7 TB/s the same frequency range keeps paying.
+	lo7 := EstimateDefault(arch.EHP(320, 700, 7), comd).TFLOPs
+	hi7 := EstimateDefault(arch.EHP(320, 1500, 7), comd).TFLOPs
+	if hi7/lo7 < 1.5 {
+		t.Errorf("CoMD at 7 TB/s should keep scaling: ratio = %v", hi7/lo7)
+	}
+}
+
+func TestMemoryIntensiveDegrades(t *testing.T) {
+	// Fig. 6: LULESH at 1 TB/s peaks and then loses performance as the
+	// machine ops-per-byte grows.
+	lul := workload.LULESH()
+	mid := EstimateDefault(arch.EHP(320, 700, 1), lul).TFLOPs
+	high := EstimateDefault(arch.EHP(320, 1500, 1), lul).TFLOPs
+	if high >= mid {
+		t.Errorf("LULESH should degrade past its sweet spot: %v -> %v", mid, high)
+	}
+}
+
+func TestBandwidthMonotoneForBWBound(t *testing.T) {
+	snap := workload.SNAP()
+	prev := 0.0
+	for _, bw := range []float64{1, 2, 3, 4, 5} {
+		got := EstimateDefault(arch.EHP(320, 1000, bw), snap).TFLOPs
+		if got < prev-1e-9 {
+			t.Fatalf("SNAP perf decreased with bandwidth at %v TB/s", bw)
+		}
+		prev = got
+	}
+}
+
+func TestLatencyBound(t *testing.T) {
+	xs := workload.XSBench()
+	cfg := arch.EHP(320, 1000, 3)
+	r := EstimateDefault(cfg, xs)
+	if r.Bound != LatencyBound {
+		t.Errorf("XSBench bound = %v, want latency", r.Bound)
+	}
+	// Longer memory latency must reduce latency-bound throughput.
+	envSlow := DefaultEnv(cfg, xs)
+	envSlow.LatencyNs *= 2
+	slow := Estimate(cfg, xs, envSlow)
+	if slow.TFLOPs >= r.TFLOPs {
+		t.Errorf("doubling latency did not hurt: %v -> %v", r.TFLOPs, slow.TFLOPs)
+	}
+}
+
+func TestPerfNeverExceedsPeak(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cus := 64 + rng.Intn(320)
+		freq := 500 + rng.Float64()*1000
+		bw := 1 + rng.Float64()*6
+		cfg := arch.EHP(cus, freq, bw)
+		for _, k := range workload.Suite() {
+			r := EstimateDefault(cfg, k)
+			if r.TFLOPs > cfg.PeakTFLOPs()+1e-9 || r.TFLOPs < 0 {
+				return false
+			}
+			if r.UtilOfPeak < 0 || r.UtilOfPeak > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSoftminBelowHardMin(t *testing.T) {
+	got := softmin(10, 20, 30)
+	if got > 10 {
+		t.Errorf("softmin exceeded the hard min: %v", got)
+	}
+	if got < 9 {
+		t.Errorf("softmin too far below the min: %v", got)
+	}
+	if softmin(10, 0, 30) != 0 {
+		t.Error("zero bound must zero the softmin")
+	}
+}
+
+func TestMonolithicLatencyAdvantage(t *testing.T) {
+	xs := workload.XSBench()
+	chiplet := arch.EHP(320, 1000, 3)
+	mono := arch.Monolithic(chiplet)
+	ec := DefaultEnv(chiplet, xs)
+	em := DefaultEnv(mono, xs)
+	if em.LatencyNs >= ec.LatencyNs {
+		t.Errorf("monolithic latency %v should undercut chiplet %v", em.LatencyNs, ec.LatencyNs)
+	}
+}
+
+func TestTrafficConsistency(t *testing.T) {
+	cfg := arch.EHP(320, 1000, 3)
+	for _, k := range workload.Suite() {
+		r := EstimateDefault(cfg, k)
+		want := r.TFLOPs / k.Intensity // TB/s
+		if math.Abs(r.TrafficTBps-want)/want > 1e-6 {
+			t.Errorf("%s: traffic %v inconsistent with perf/intensity %v", k.Name, r.TrafficTBps, want)
+		}
+		if r.TrafficTBps > cfg.InPackageBWTBps()*1.001 && r.Bound == BandwidthBound {
+			t.Errorf("%s: bandwidth-bound kernel exceeds provisioned bandwidth", k.Name)
+		}
+	}
+}
+
+func TestContentionOnlyBeyondThrash(t *testing.T) {
+	lul := workload.LULESH()
+	low := EstimateDefault(arch.EHP(192, 700, 7), lul) // x ~ 0.019
+	if low.Contention != 1 {
+		t.Errorf("below-thrash contention = %v", low.Contention)
+	}
+	high := EstimateDefault(arch.EHP(384, 1500, 1), lul) // x ~ 0.576
+	if high.Contention <= 1 {
+		t.Errorf("above-thrash contention = %v", high.Contention)
+	}
+}
+
+func TestBoundString(t *testing.T) {
+	if ComputeBound.String() != "compute" || BandwidthBound.String() != "bandwidth" ||
+		LatencyBound.String() != "latency" || Bound(9).String() == "" {
+		t.Error("Bound strings wrong")
+	}
+}
+
+func TestSerialFractionAmdahl(t *testing.T) {
+	cfg := arch.EHP(320, 1000, 3)
+	k := workload.CoMD()
+	base := EstimateDefault(cfg, k).TFLOPs
+	serial := k
+	serial.SerialFrac = 0.05
+	withSerial := EstimateDefault(cfg, serial).TFLOPs
+	if withSerial >= base {
+		t.Error("serial sections must cost throughput")
+	}
+	// Amdahl bound: 5% serial at ~15x GPU/CPU speed ratio costs well over 5%.
+	if withSerial > base*0.95 {
+		t.Errorf("Amdahl penalty too small: %v -> %v", base, withSerial)
+	}
+}
+
+func TestContentionContinuity(t *testing.T) {
+	// The contention penalty must switch on smoothly at ThrashOPB: perf
+	// just above the threshold stays within a hair of perf just below.
+	lul := workload.LULESH()
+	env := DefaultEnv(arch.EHP(320, 1000, 3), lul)
+	below := env
+	below.EffOpsPerByte = lul.ThrashOPB * 0.999
+	above := env
+	above.EffOpsPerByte = lul.ThrashOPB * 1.001
+	cfg := arch.EHP(320, 1000, 3)
+	pb := Estimate(cfg, lul, below).TFLOPs
+	pa := Estimate(cfg, lul, above).TFLOPs
+	if rel := (pb - pa) / pb; rel > 0.01 {
+		t.Errorf("contention discontinuity: %.4f%% drop across the threshold", rel*100)
+	}
+}
+
+func TestUtilizationCap(t *testing.T) {
+	// At very low CU counts the scaling factor would push utilization
+	// past 1; the cap keeps it physical.
+	xs := workload.XSBench() // gamma 0.55
+	cfg := arch.EHP(32, 1000, 3)
+	r := EstimateDefault(cfg, xs)
+	if r.ComputeTFLOPs > cfg.PeakTFLOPs()*maxAchievableUtil+1e-9 {
+		t.Errorf("compute bound %v exceeds the %v utilization cap", r.ComputeTFLOPs, maxAchievableUtil)
+	}
+}
+
+func TestDefaultEnvMonolithic(t *testing.T) {
+	k := workload.XSBench()
+	chiplet := arch.EHP(320, 1000, 3)
+	mono := arch.Monolithic(chiplet)
+	if DefaultEnv(mono, k).LatencyNs != HBMLatencyNs {
+		t.Error("monolithic env must have no chiplet-hop latency")
+	}
+	if DefaultEnv(chiplet, k).LatencyNs <= HBMLatencyNs {
+		t.Error("chiplet env must include remote-hop latency")
+	}
+}

@@ -1,0 +1,226 @@
+package power
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ena/internal/arch"
+)
+
+func TestVoltageCurve(t *testing.T) {
+	if v := VoltageAt(1000); math.Abs(v-0.85) > 1e-9 {
+		t.Errorf("V(1000) = %v", v)
+	}
+	if v := VoltageAt(1500); math.Abs(v-1.0) > 1e-9 {
+		t.Errorf("V(1500) = %v", v)
+	}
+	if v := VoltageAt(700); math.Abs(v-0.76) > 1e-9 {
+		t.Errorf("V(700) = %v", v)
+	}
+	// The DVFS floor binds only at very low clocks.
+	if v := VoltageAt(100); v != VFloor {
+		t.Errorf("V(100) = %v, want the %v floor", v, VFloor)
+	}
+	// Monotone non-decreasing in frequency.
+	prev := 0.0
+	for f := 500.0; f <= 1600; f += 50 {
+		v := VoltageAt(f)
+		if v < prev {
+			t.Fatalf("voltage decreased at %v MHz", f)
+		}
+		prev = v
+	}
+}
+
+func TestExternalStaticAnchors(t *testing.T) {
+	// §V-C Finding 1: 27 W DRAM static/refresh + 10 W SerDes background
+	// for the default DRAM-only network.
+	cfg := arch.EHP(320, 1000, 3)
+	b := Compute(cfg, Demand{Activity: 0.5, TrafficTBps: 1})
+	if math.Abs(b.ExtStatic-27) > 0.5 {
+		t.Errorf("external DRAM static = %v W, want ~27", b.ExtStatic)
+	}
+	if math.Abs(b.SerDesStatic-10) > 0.5 {
+		t.Errorf("SerDes static = %v W, want ~10", b.SerDesStatic)
+	}
+}
+
+func TestExternalPowerRange(t *testing.T) {
+	// §V-C: total external power (static + dynamic) spans ~40-70 W across
+	// kernels on the DRAM-only configuration.
+	cfg := arch.EHP(320, 1000, 3)
+	idle := Compute(cfg, Demand{Activity: 0.5, TrafficTBps: 1})
+	if ext := idle.ExternalW(); ext < 35 || ext > 45 {
+		t.Errorf("idle external power = %v W", ext)
+	}
+	busy := Compute(cfg, Demand{Activity: 0.5, TrafficTBps: 2, ExtTrafficTBps: 0.4})
+	if ext := busy.ExternalW(); ext < 55 || ext > 85 {
+		t.Errorf("busy external power = %v W", ext)
+	}
+}
+
+func TestMaxFlopsPackageAnchor(t *testing.T) {
+	// Fig. 14: ~111 W compute-focused node power at 320 CUs / 1 GHz.
+	cfg := arch.EHP(320, 1000, 1)
+	b := Compute(cfg, Demand{Activity: 1.0, TrafficTBps: 0.39, RemoteFrac: 0.05, CPUActivity: 0.1})
+	if got := b.PackageW(); got < 103 || got > 120 {
+		t.Errorf("MaxFlops package power = %v W, want ~111", got)
+	}
+}
+
+func TestBreakdownAdditivity(t *testing.T) {
+	cfg := arch.EHP(320, 1000, 3)
+	b := Compute(cfg, Demand{Activity: 0.6, TrafficTBps: 2, ExtTrafficTBps: 0.5, RemoteFrac: 0.5, CPUActivity: 0.2})
+	sum := b.CUDynamic + b.CUStatic + b.CPU + b.NoCDynamic + b.NoCStatic +
+		b.HBMDynamic + b.HBMStatic + b.ExtDynamic + b.ExtStatic +
+		b.SerDesDynamic + b.SerDesStatic + b.Other
+	if math.Abs(sum-b.Total()) > 1e-9 {
+		t.Errorf("Total %v != sum of parts %v", b.Total(), sum)
+	}
+	if math.Abs(b.PackageW()+b.ExternalW()-b.Total()) > 1e-9 {
+		t.Error("package + external != total")
+	}
+	if math.Abs(b.OtherW()-(b.PackageW()-b.CUDynamic)) > 1e-9 {
+		t.Error("OtherW definition broken")
+	}
+}
+
+func TestHybridStaticHalves(t *testing.T) {
+	// §V-C Finding 2: the hybrid cuts external static power roughly in
+	// half (negligible NVM standby + fewer SerDes links).
+	base := arch.EHP(320, 1000, 3)
+	hyb := arch.WithHybridExternal(base)
+	d := Demand{Activity: 0.5, TrafficTBps: 1}
+	b0 := Compute(base, d)
+	b1 := Compute(hyb, d)
+	staticBase := b0.ExtStatic + b0.SerDesStatic
+	staticHyb := b1.ExtStatic + b1.SerDesStatic
+	if ratio := staticHyb / staticBase; ratio < 0.4 || ratio > 0.65 {
+		t.Errorf("hybrid static ratio = %v, want ~0.5", ratio)
+	}
+}
+
+func TestNVMDynamicExpensive(t *testing.T) {
+	base := arch.EHP(320, 1000, 3)
+	hyb := arch.WithHybridExternal(base)
+	d := Demand{Activity: 0.4, TrafficTBps: 2, ExtTrafficTBps: 0.7, ExtWriteFrac: 0.4}
+	b0 := Compute(base, d)
+	b1 := Compute(hyb, d)
+	if b1.ExtDynamic <= b0.ExtDynamic*1.5 {
+		t.Errorf("NVM dynamic %v should far exceed DRAM dynamic %v", b1.ExtDynamic, b0.ExtDynamic)
+	}
+	// Write-heavy traffic costs more than read-heavy on NVM.
+	dRead := d
+	dRead.ExtWriteFrac = 0.05
+	if r := Compute(hyb, dRead); r.ExtDynamic >= b1.ExtDynamic {
+		t.Error("NVM writes should dominate the dynamic cost")
+	}
+}
+
+func TestLeakageTemperature(t *testing.T) {
+	cfg := arch.EHP(320, 1000, 3)
+	cold := Compute(cfg, Demand{Activity: 0.5, TrafficTBps: 1, TempC: 50})
+	hot := Compute(cfg, Demand{Activity: 0.5, TrafficTBps: 1, TempC: 90})
+	if hot.CUStatic <= cold.CUStatic {
+		t.Error("leakage must grow with temperature")
+	}
+	if hot.CUDynamic != cold.CUDynamic {
+		t.Error("dynamic power must not depend on temperature")
+	}
+}
+
+func TestDVFSSuperlinearSavings(t *testing.T) {
+	// Dynamic power scales with f*V(f)^2: dropping from 1 GHz to 700 MHz
+	// saves more than the 30%% a pure frequency cut would.
+	cfg7 := arch.EHP(320, 700, 3)
+	cfg10 := arch.EHP(320, 1000, 3)
+	d := Demand{Activity: 1, TrafficTBps: 0.1}
+	want := 0.7 * (0.76 / 0.85) * (0.76 / 0.85)
+	r := Compute(cfg7, d).CUDynamic / Compute(cfg10, d).CUDynamic
+	if math.Abs(r-want) > 0.01 {
+		t.Errorf("700/1000 MHz dynamic ratio = %v, want %v (f*V^2)", r, want)
+	}
+}
+
+func TestPowerMonotoneInActivity(t *testing.T) {
+	cfg := arch.EHP(320, 1000, 3)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := rng.Float64()
+		b := a + rng.Float64()*(1-a)
+		d1 := Demand{Activity: a, TrafficTBps: 1}
+		d2 := Demand{Activity: b, TrafficTBps: 1}
+		return Compute(cfg, d2).Total() >= Compute(cfg, d1).Total()-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBusyFracDefaultsToOne(t *testing.T) {
+	cfg := arch.EHP(320, 1000, 3)
+	d := Demand{Activity: 0.5, TrafficTBps: 1}
+	explicit := d
+	explicit.BusyFrac = 1
+	if Compute(cfg, d).CUDynamic != Compute(cfg, explicit).CUDynamic {
+		t.Error("zero BusyFrac should default to 1")
+	}
+	half := d
+	half.BusyFrac = 0.5
+	if got := Compute(cfg, half).CUDynamic; math.Abs(got-Compute(cfg, d).CUDynamic/2) > 1e-9 {
+		t.Error("BusyFrac must scale CU dynamic power")
+	}
+}
+
+func TestHBMDynNeverNegative(t *testing.T) {
+	cfg := arch.EHP(320, 1000, 3)
+	// Degenerate demand: more external than total traffic.
+	b := Compute(cfg, Demand{Activity: 0.5, TrafficTBps: 1, ExtTrafficTBps: 2})
+	if b.HBMDynamic < 0 {
+		t.Errorf("HBM dynamic went negative: %v", b.HBMDynamic)
+	}
+}
+
+func TestAvgChainHops(t *testing.T) {
+	cfg := arch.EHP(320, 1000, 3)
+	// Uniform 4-module chains: mean hop index = (1+2+3+4)/4 = 2.5.
+	if got := avgChainHops(cfg); math.Abs(got-2.5) > 1e-9 {
+		t.Errorf("avgChainHops = %v", got)
+	}
+	// Hybrid: capacity-weighted: (32*1 + 32*2 + 64*3)/128 = 2.25.
+	hyb := arch.WithHybridExternal(cfg)
+	if got := avgChainHops(hyb); math.Abs(got-2.25) > 1e-9 {
+		t.Errorf("hybrid avgChainHops = %v", got)
+	}
+	bare := cfg.Clone()
+	bare.Ext = nil
+	if avgChainHops(bare) != 0 {
+		t.Error("no external network -> zero hops")
+	}
+}
+
+func TestSerDesDynamicScalesWithHops(t *testing.T) {
+	base := arch.EHP(320, 1000, 3)
+	hyb := arch.WithHybridExternal(base)
+	d := Demand{Activity: 0.4, TrafficTBps: 2, ExtTrafficTBps: 0.5}
+	b0 := Compute(base, d)
+	b1 := Compute(hyb, d)
+	// Shorter chains (2.25 vs 2.5 mean hops) move fewer SerDes bits.
+	if b1.SerDesDynamic >= b0.SerDesDynamic {
+		t.Errorf("hybrid SerDes dynamic %v should undercut %v", b1.SerDesDynamic, b0.SerDesDynamic)
+	}
+}
+
+func TestNoExternalNetworkPower(t *testing.T) {
+	cfg := arch.EHP(320, 1000, 3)
+	cfg.Ext = nil
+	b := Compute(cfg, Demand{Activity: 0.5, TrafficTBps: 1})
+	if b.ExternalW() != 0 {
+		t.Errorf("external power without a network = %v", b.ExternalW())
+	}
+	if b.PackageW() <= 0 {
+		t.Error("package power must survive")
+	}
+}

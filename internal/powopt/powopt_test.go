@@ -1,0 +1,209 @@
+package powopt
+
+import (
+	"testing"
+
+	"ena/internal/arch"
+	"ena/internal/power"
+	"ena/internal/stats"
+	"ena/internal/workload"
+)
+
+// breakdownAt computes the unoptimized best-mean breakdown for a kernel
+// using a representative demand (mirrors core.Simulate without the import
+// cycle).
+func breakdownAt(k workload.Kernel) power.Breakdown {
+	cfg := arch.BestMeanEHP()
+	traffic := 2.0
+	if k.Category == workload.ComputeIntensive {
+		traffic = 0.4
+	}
+	return power.Compute(cfg, power.Demand{
+		Activity:    k.Activity,
+		TrafficTBps: traffic,
+		RemoteFrac:  (1 - k.CacheLocality) * 7 / 8,
+		CPUActivity: 0.1,
+	})
+}
+
+func TestTechniqueString(t *testing.T) {
+	if NTC.String() != "NTC" {
+		t.Errorf("NTC = %q", NTC.String())
+	}
+	if s := (NTC | Compression).String(); s != "NTC+compression" {
+		t.Errorf("combined = %q", s)
+	}
+	if Technique(0).String() != "none" {
+		t.Error("empty set should render as none")
+	}
+	if len(Each) != 5 {
+		t.Errorf("Each has %d techniques", len(Each))
+	}
+}
+
+func TestApplyNeverIncreases(t *testing.T) {
+	for _, k := range workload.Suite() {
+		b := breakdownAt(k)
+		for _, set := range []Technique{NTC, AsyncCU, AsyncRouters, LowPowerLinks, Compression, All} {
+			o := Apply(b, k, 1000, set)
+			if o.Total() > b.Total()+1e-9 {
+				t.Errorf("%s/%v increased power", k.Name, set)
+			}
+			for _, pair := range [][2]float64{
+				{o.CUDynamic, b.CUDynamic}, {o.CUStatic, b.CUStatic},
+				{o.NoCDynamic, b.NoCDynamic}, {o.NoCStatic, b.NoCStatic},
+				{o.HBMDynamic, b.HBMDynamic}, {o.SerDesStatic, b.SerDesStatic},
+			} {
+				if pair[0] > pair[1]+1e-9 {
+					t.Errorf("%s/%v raised a component", k.Name, set)
+				}
+			}
+		}
+	}
+}
+
+func TestPaperSavingsBands(t *testing.T) {
+	// §V-E reported system-average savings: NTC 14%, async CUs 4.3%,
+	// async routers 3.0%, low-power links 1.6%, compression 1.7%; the
+	// combined stack spans 13-27% across kernels (Fig. 12).
+	var ntc, acu, art, lpl, cmp []float64
+	for _, k := range workload.Suite() {
+		b := breakdownAt(k)
+		ntc = append(ntc, SavingsFrac(b, k, 1000, NTC))
+		acu = append(acu, SavingsFrac(b, k, 1000, AsyncCU))
+		art = append(art, SavingsFrac(b, k, 1000, AsyncRouters))
+		lpl = append(lpl, SavingsFrac(b, k, 1000, LowPowerLinks))
+		cmp = append(cmp, SavingsFrac(b, k, 1000, Compression))
+
+		all := SavingsFrac(b, k, 1000, All)
+		if all < 0.12 || all > 0.31 {
+			t.Errorf("%s: combined savings %.3f outside the Fig. 12 band", k.Name, all)
+		}
+	}
+	checks := []struct {
+		name     string
+		vals     []float64
+		lo, hi   float64
+		paperAvg float64
+	}{
+		{"NTC", ntc, 0.09, 0.19, 0.14},
+		{"asyncCU", acu, 0.025, 0.065, 0.043},
+		{"asyncRouters", art, 0.015, 0.06, 0.03},
+		{"lpLinks", lpl, 0.005, 0.035, 0.016},
+		{"compression", cmp, 0.001, 0.045, 0.017},
+	}
+	for _, c := range checks {
+		avg := stats.Mean(c.vals)
+		if avg < c.lo || avg > c.hi {
+			t.Errorf("%s mean savings %.3f outside [%.3f, %.3f] (paper: %.3f)",
+				c.name, avg, c.lo, c.hi, c.paperAvg)
+		}
+	}
+}
+
+func TestCompressionFollowsCompressibility(t *testing.T) {
+	// LULESH (most compressible traffic) must benefit the most among the
+	// memory-intensive kernels; XSBench (random data) the least.
+	get := func(name string) float64 {
+		k, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return SavingsFrac(breakdownAt(k), k, 1000, Compression)
+	}
+	lul, xs := get("LULESH"), get("XSBench")
+	if lul <= xs {
+		t.Errorf("LULESH %.4f should beat XSBench %.4f", lul, xs)
+	}
+	for _, n := range []string{"MiniAMR", "SNAP", "XSBench"} {
+		if v := get(n); v > lul+1e-9 {
+			t.Errorf("%s compression savings %.4f exceed LULESH's %.4f", n, v, lul)
+		}
+	}
+}
+
+func TestNTCFrequencyLimit(t *testing.T) {
+	// NTC sustains near-threshold "at as high as 1 GHz" (§V-E); above
+	// 1.3 GHz it buys nothing.
+	k := workload.CoMD()
+	b := breakdownAt(k)
+	full := SavingsFrac(b, k, 900, NTC)
+	mid := SavingsFrac(b, k, 1150, NTC)
+	none := SavingsFrac(b, k, 1400, NTC)
+	if !(full > mid && mid > none) {
+		t.Errorf("NTC strength should fade with frequency: %v, %v, %v", full, mid, none)
+	}
+	if none > 1e-9 {
+		t.Errorf("NTC at 1.4 GHz should save nothing, got %v", none)
+	}
+	if s := ntcStrength(1000); s != 1 {
+		t.Errorf("ntcStrength(1000) = %v", s)
+	}
+	if s := ntcStrength(1300); s != 0 {
+		t.Errorf("ntcStrength(1300) = %v", s)
+	}
+}
+
+func TestApplyIdempotentComponents(t *testing.T) {
+	// Techniques not selected must leave their components untouched.
+	k := workload.SNAP()
+	b := breakdownAt(k)
+	o := Apply(b, k, 1000, NTC)
+	if o.NoCDynamic != b.NoCDynamic || o.HBMDynamic != b.HBMDynamic ||
+		o.ExtDynamic != b.ExtDynamic || o.SerDesStatic != b.SerDesStatic {
+		t.Error("NTC must only touch CU power")
+	}
+	o = Apply(b, k, 1000, Compression)
+	if o.CUDynamic != b.CUDynamic || o.CUStatic != b.CUStatic {
+		t.Error("compression must not touch CU power")
+	}
+}
+
+func TestSavingsZeroBase(t *testing.T) {
+	if s := SavingsFrac(power.Breakdown{}, workload.CoMD(), 1000, All); s != 0 {
+		t.Errorf("zero base savings = %v", s)
+	}
+}
+
+func TestEachMatchesAll(t *testing.T) {
+	var combined Technique
+	for _, tq := range Each {
+		combined |= tq
+	}
+	if combined != All {
+		t.Errorf("Each covers %v, All is %v", combined, All)
+	}
+}
+
+func TestApplyZeroBreakdown(t *testing.T) {
+	out := Apply(power.Breakdown{}, workload.CoMD(), 1000, All)
+	if out.Total() != 0 {
+		t.Errorf("zero in, %v out", out.Total())
+	}
+}
+
+func TestCompressionClampsRatio(t *testing.T) {
+	k := workload.CoMD()
+	k.Compressibility = 0.5 // invalid; Apply must clamp to 1 (no savings)
+	b := breakdownAt(workload.CoMD())
+	out := Apply(b, k, 1000, Compression)
+	if out.HBMDynamic != b.HBMDynamic {
+		t.Error("ratio below 1 must be treated as incompressible")
+	}
+}
+
+func TestSavingsMonotoneInStack(t *testing.T) {
+	// Adding techniques never reduces total savings.
+	k := workload.LULESH()
+	b := breakdownAt(k)
+	prev := 0.0
+	var set Technique
+	for _, tq := range Each {
+		set |= tq
+		s := SavingsFrac(b, k, 1000, set)
+		if s < prev-1e-12 {
+			t.Fatalf("savings decreased when adding %v: %v -> %v", tq, prev, s)
+		}
+		prev = s
+	}
+}

@@ -1,0 +1,96 @@
+package ras
+
+import (
+	"math"
+	"math/rand"
+)
+
+// This file adds a Monte Carlo failure-injection simulator for the
+// checkpoint/restart analysis: rather than trusting the first-order
+// formulas, it draws exponential failure times at the system MTTF and
+// replays a long job under periodic checkpointing, measuring realized
+// machine efficiency. Tests use it to validate Daly's approximation.
+
+// FailSimConfig parameterizes a failure-injection run.
+type FailSimConfig struct {
+	SystemMTTFMins float64
+	IntervalMins   float64 // checkpoint interval (useful work per checkpoint)
+	CheckpointMins float64 // cost of writing one checkpoint
+	// RestartMins is the cost of restarting after a failure (zero means
+	// one checkpoint-write equivalent).
+	RestartMins float64
+	JobWorkMins float64 // useful work the job must complete
+	Seed        int64
+}
+
+// FailSimResult summarizes a run.
+type FailSimResult struct {
+	WallClockMins  float64
+	UsefulMins     float64
+	Failures       int
+	Checkpoints    int
+	LostWorkMins   float64
+	Efficiency     float64 // UsefulMins / WallClockMins
+	AnalyticEst    float64 // CheckpointEfficiency for the same parameters
+	EstimationGapP float64 // |simulated - analytic| in percentage points
+}
+
+// SimulateFailures replays the job. Progress is only durable at checkpoint
+// boundaries: a failure rolls back to the last completed checkpoint and
+// pays the restart cost before resuming.
+func SimulateFailures(c FailSimConfig) FailSimResult {
+	rng := rand.New(rand.NewSource(c.Seed))
+	restart := c.RestartMins
+	if restart == 0 {
+		restart = c.CheckpointMins
+	}
+	var res FailSimResult
+	if c.IntervalMins <= 0 || c.SystemMTTFMins <= 0 || c.JobWorkMins <= 0 {
+		return res
+	}
+
+	var wall, durable float64
+	nextFailure := rng.ExpFloat64() * c.SystemMTTFMins
+	fail := func() {
+		res.Failures++
+		wall = nextFailure + restart
+		nextFailure = wall + rng.ExpFloat64()*c.SystemMTTFMins
+	}
+
+	for durable < c.JobWorkMins {
+		work := c.IntervalMins
+		if durable+work > c.JobWorkMins {
+			work = c.JobWorkMins - durable
+		}
+		if wall+work > nextFailure {
+			// Failure mid-interval: partial progress is lost.
+			res.LostWorkMins += nextFailure - wall
+			fail()
+			continue
+		}
+		wall += work
+		if durable+work >= c.JobWorkMins {
+			durable += work // final stretch needs no checkpoint
+			break
+		}
+		if wall+c.CheckpointMins > nextFailure {
+			// Failure while writing the checkpoint: the whole interval
+			// rolls back.
+			res.LostWorkMins += work + (nextFailure - wall)
+			fail()
+			continue
+		}
+		wall += c.CheckpointMins
+		res.Checkpoints++
+		durable += work
+	}
+
+	res.WallClockMins = wall
+	res.UsefulMins = c.JobWorkMins
+	if wall > 0 {
+		res.Efficiency = c.JobWorkMins / wall
+	}
+	res.AnalyticEst = CheckpointEfficiency(c.IntervalMins, c.CheckpointMins, c.SystemMTTFMins)
+	res.EstimationGapP = math.Abs(res.Efficiency-res.AnalyticEst) * 100
+	return res
+}

@@ -1,0 +1,119 @@
+package ras
+
+import (
+	"testing"
+)
+
+func baseCfg() FailSimConfig {
+	return FailSimConfig{
+		SystemMTTFMins: 112,
+		IntervalMins:   21,
+		CheckpointMins: 2,
+		JobWorkMins:    7 * 24 * 60,
+		Seed:           1,
+	}
+}
+
+func TestFailSimBasics(t *testing.T) {
+	r := SimulateFailures(baseCfg())
+	if r.WallClockMins <= r.UsefulMins {
+		t.Errorf("wall clock %v must exceed useful work %v", r.WallClockMins, r.UsefulMins)
+	}
+	if r.Failures == 0 {
+		t.Error("a week at ~2h MTTF must see failures")
+	}
+	if r.Checkpoints == 0 {
+		t.Error("no checkpoints written")
+	}
+	if r.Efficiency <= 0 || r.Efficiency >= 1 {
+		t.Errorf("efficiency = %v", r.Efficiency)
+	}
+}
+
+func TestFailSimMatchesDaly(t *testing.T) {
+	// Averaged over seeds, the simulated efficiency should track the
+	// first-order analytic model within a few percentage points.
+	var sim, n float64
+	c := baseCfg()
+	for seed := int64(1); seed <= 20; seed++ {
+		c.Seed = seed
+		r := SimulateFailures(c)
+		sim += r.Efficiency
+		n++
+	}
+	mean := sim / n
+	analytic := CheckpointEfficiency(c.IntervalMins, c.CheckpointMins, c.SystemMTTFMins)
+	if diff := mean - analytic; diff < -0.05 || diff > 0.05 {
+		t.Errorf("simulated %v vs analytic %v (diff %v)", mean, analytic, diff)
+	}
+}
+
+func TestFailSimOptimalIntervalNearBest(t *testing.T) {
+	// Sweeping the interval, the Daly optimum should be within noise of
+	// the empirically best interval.
+	c := baseCfg()
+	opt, err := OptimalCheckpointMins(c.CheckpointMins, c.SystemMTTFMins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	effAt := func(interval float64) float64 {
+		var sum float64
+		cc := c
+		cc.IntervalMins = interval
+		for seed := int64(1); seed <= 10; seed++ {
+			cc.Seed = seed
+			sum += SimulateFailures(cc).Efficiency
+		}
+		return sum / 10
+	}
+	atOpt := effAt(opt)
+	if far := effAt(opt * 6); far > atOpt+0.02 {
+		t.Errorf("6x interval (%v) beat the optimum: %v vs %v", opt*6, far, atOpt)
+	}
+	if frequent := effAt(opt / 6); frequent > atOpt+0.02 {
+		t.Errorf("interval/6 beat the optimum: %v vs %v", frequent, atOpt)
+	}
+}
+
+func TestFailSimNoFailuresWhenMTTFHuge(t *testing.T) {
+	c := baseCfg()
+	c.SystemMTTFMins = 1e12
+	r := SimulateFailures(c)
+	if r.Failures != 0 {
+		t.Errorf("failures = %d with an effectively infinite MTTF", r.Failures)
+	}
+	// Overhead is then pure checkpointing: interval/(interval+ckpt).
+	want := c.IntervalMins / (c.IntervalMins + c.CheckpointMins)
+	if d := r.Efficiency - want; d < -0.01 || d > 0.01 {
+		t.Errorf("failure-free efficiency %v, want ~%v", r.Efficiency, want)
+	}
+}
+
+func TestFailSimDegenerateInputs(t *testing.T) {
+	if r := SimulateFailures(FailSimConfig{}); r.WallClockMins != 0 {
+		t.Error("zero config should no-op")
+	}
+}
+
+func TestFailSimDeterministicPerSeed(t *testing.T) {
+	a := SimulateFailures(baseCfg())
+	b := SimulateFailures(baseCfg())
+	if a != b {
+		t.Error("same seed must reproduce")
+	}
+}
+
+func TestFailSimMoreFailuresLowerEfficiency(t *testing.T) {
+	good := baseCfg()
+	bad := baseCfg()
+	bad.SystemMTTFMins = 30
+	var eGood, eBad float64
+	for seed := int64(1); seed <= 10; seed++ {
+		good.Seed, bad.Seed = seed, seed
+		eGood += SimulateFailures(good).Efficiency
+		eBad += SimulateFailures(bad).Efficiency
+	}
+	if eBad >= eGood {
+		t.Errorf("short MTTF should hurt: %v vs %v", eBad/10, eGood/10)
+	}
+}

@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram accumulates observations into fixed-width bins over [Lo, Hi).
+// Values outside the range are counted in the under/overflow buckets so no
+// observation is ever silently dropped.
+type Histogram struct {
+	Lo, Hi    float64
+	Bins      []uint64
+	Underflow uint64
+	Overflow  uint64
+	count     uint64
+	sum       float64
+}
+
+// NewHistogram creates a histogram with n bins spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 {
+		n = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return &Histogram{Lo: lo, Hi: hi, Bins: make([]uint64, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	h.count++
+	h.sum += v
+	switch {
+	case v < h.Lo:
+		h.Underflow++
+	case v >= h.Hi:
+		h.Overflow++
+	default:
+		i := int((v - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Bins)))
+		if i >= len(h.Bins) { // float rounding at the upper edge
+			i = len(h.Bins) - 1
+		}
+		h.Bins[i]++
+	}
+}
+
+// Count returns the number of observations recorded, including out-of-range.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the mean of all recorded observations.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// CDFAt returns the fraction of in-range observations that fall below x.
+func (h *Histogram) CDFAt(x float64) float64 {
+	inRange := h.count - h.Underflow - h.Overflow
+	if inRange == 0 {
+		return 0
+	}
+	var below uint64
+	w := (h.Hi - h.Lo) / float64(len(h.Bins))
+	for i, c := range h.Bins {
+		edge := h.Lo + w*float64(i+1)
+		if edge <= x {
+			below += c
+		}
+	}
+	return float64(below) / float64(inRange)
+}
+
+// String renders a compact single-line summary for logs and test failures.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hist[%g,%g) n=%d mean=%.3g", h.Lo, h.Hi, h.count, h.Mean())
+	return b.String()
+}
+
+// Series is an ordered (x, y) sequence used for figure data.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Add appends a point to the series.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// SortByX orders the points by ascending x coordinate (stable on equal x).
+func (s *Series) SortByX() {
+	idx := make([]int, len(s.X))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return s.X[idx[a]] < s.X[idx[b]] })
+	nx := make([]float64, len(s.X))
+	ny := make([]float64, len(s.Y))
+	for i, j := range idx {
+		nx[i], ny[i] = s.X[j], s.Y[j]
+	}
+	s.X, s.Y = nx, ny
+}
+
+// PeakX returns the x coordinate of the series' maximum y value.
+func (s *Series) PeakX() float64 {
+	if len(s.X) == 0 {
+		return math.NaN()
+	}
+	return s.X[ArgMax(s.Y)]
+}
+
+// MaxY returns the maximum y value (NaN for an empty series).
+func (s *Series) MaxY() float64 {
+	if len(s.Y) == 0 {
+		return math.NaN()
+	}
+	m, _ := Max(s.Y)
+	return m
+}

@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for _, v := range []float64{-1, 0, 5, 9.99, 10, 100} {
+		h.Add(v)
+	}
+	if h.Count() != 6 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Underflow != 1 {
+		t.Errorf("Underflow = %d", h.Underflow)
+	}
+	if h.Overflow != 2 {
+		t.Errorf("Overflow = %d", h.Overflow)
+	}
+	var inRange uint64
+	for _, c := range h.Bins {
+		inRange += c
+	}
+	if inRange != 3 {
+		t.Errorf("in-range = %d", inRange)
+	}
+}
+
+// Conservation: every added value lands in exactly one bucket.
+func TestHistogramConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHistogram(-1, 1, 7)
+		const n = 200
+		for i := 0; i < n; i++ {
+			h.Add(rng.NormFloat64())
+		}
+		var total uint64 = h.Underflow + h.Overflow
+		for _, c := range h.Bins {
+			total += c
+		}
+		return total == n && h.Count() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramCDFMonotone(t *testing.T) {
+	h := NewHistogram(0, 100, 20)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		h.Add(rng.Float64() * 100)
+	}
+	prev := -1.0
+	for x := 0.0; x <= 100; x += 5 {
+		c := h.CDFAt(x)
+		if c < prev {
+			t.Fatalf("CDF not monotone at %v: %v < %v", x, c, prev)
+		}
+		if c < 0 || c > 1 {
+			t.Fatalf("CDF out of range: %v", c)
+		}
+		prev = c
+	}
+}
+
+func TestHistogramDegenerateArgs(t *testing.T) {
+	h := NewHistogram(5, 5, 0) // invalid range and bin count get fixed up
+	h.Add(5)
+	if h.Count() != 1 {
+		t.Error("degenerate histogram should still count")
+	}
+	if h.String() == "" {
+		t.Error("String should describe the histogram")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Add(3, 30)
+	s.Add(1, 10)
+	s.Add(2, 99)
+	s.SortByX()
+	if s.X[0] != 1 || s.X[1] != 2 || s.X[2] != 3 {
+		t.Errorf("SortByX order: %v", s.X)
+	}
+	if s.Y[1] != 99 {
+		t.Errorf("SortByX must keep pairs together: %v", s.Y)
+	}
+	if s.PeakX() != 2 {
+		t.Errorf("PeakX = %v", s.PeakX())
+	}
+	if s.MaxY() != 99 {
+		t.Errorf("MaxY = %v", s.MaxY())
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}

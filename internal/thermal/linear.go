@@ -1,0 +1,120 @@
+package thermal
+
+import "errors"
+
+// The steady-state RC network is linear in the injected power, so the
+// temperature field is a superposition of per-source unit responses. A
+// LinearModel precomputes those responses once (a handful of full solves)
+// and then evaluates arbitrary power assignments in microseconds — fast
+// enough to put a thermal-feasibility constraint inside the design-space
+// exploration (the §V-D analysis applied at §V scale).
+type LinearModel struct {
+	fp       *Floorplan
+	ambientC float64
+	// Unit responses: temperature rise per watt, per DRAM-layer cell,
+	// for power injected into each GPU chiplet, each HBM stack, the CPU
+	// clusters, and the interposer.
+	gpuResp [][]float64 // [chiplet][layer-cell index over DRAM layers]
+	hbmResp [][]float64
+	cpuResp []float64
+	ipResp  []float64
+}
+
+// dramCells is the flattened index space the model tracks: all four DRAM
+// layers' cells (peak DRAM temperature is the §V-D metric).
+const dramCells = 4 * NX * NY
+
+// NewLinearModel builds the superposition model for a floorplan by solving
+// unit-power cases with the given boundary parameters.
+func NewLinearModel(fp *Floorplan, ambientC float64, prm Params) (*LinearModel, error) {
+	m := &LinearModel{fp: fp, ambientC: ambientC}
+	n := len(fp.GPU)
+
+	zero := func() PowerAssignment {
+		return PowerAssignment{
+			GPUChipletW: make([]float64, n),
+			HBMStackW:   make([]float64, n),
+		}
+	}
+	rise := func(pa PowerAssignment) ([]float64, error) {
+		sol, err := SolveWithParams(fp, pa, ambientC, prm)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, 0, dramCells)
+		for l := LayerDRAM0; l <= LayerDRAM3; l++ {
+			for _, t := range sol.TempC[l] {
+				out = append(out, t-ambientC)
+			}
+		}
+		return out, nil
+	}
+
+	// Exploit the floorplan's left/right mirror symmetry? Keep it simple
+	// and exact: one solve per chiplet, plus CPU and interposer.
+	for i := 0; i < n; i++ {
+		pa := zero()
+		pa.GPUChipletW[i] = 1
+		r, err := rise(pa)
+		if err != nil {
+			return nil, err
+		}
+		m.gpuResp = append(m.gpuResp, r)
+
+		pa = zero()
+		pa.HBMStackW[i] = 1
+		r, err = rise(pa)
+		if err != nil {
+			return nil, err
+		}
+		m.hbmResp = append(m.hbmResp, r)
+	}
+	pa := zero()
+	pa.CPUW = 1
+	r, err := rise(pa)
+	if err != nil {
+		return nil, err
+	}
+	m.cpuResp = r
+
+	pa = zero()
+	pa.InterposerW = 1
+	if m.ipResp, err = rise(pa); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ErrBadAssignment reports a power assignment whose shape does not match
+// the model's floorplan.
+var ErrBadAssignment = errors.New("thermal: power assignment shape mismatch")
+
+// PeakDRAMTempC evaluates the peak in-package DRAM temperature for a power
+// assignment by superposing the unit responses. It matches Solve exactly
+// (the network is linear) up to solver tolerance.
+func (m *LinearModel) PeakDRAMTempC(p PowerAssignment) (float64, error) {
+	n := len(m.fp.GPU)
+	if len(p.GPUChipletW) != n || len(p.HBMStackW) != n {
+		return 0, ErrBadAssignment
+	}
+	peak := 0.0
+	// Only cells over GPU stacks can be the DRAM peak; iterate those.
+	for l := 0; l < 4; l++ {
+		for _, g := range m.fp.GPU {
+			for y := g.Y0; y < g.Y1; y++ {
+				for x := g.X0; x < g.X1; x++ {
+					idx := l*NX*NY + y*NX + x
+					t := m.cpuResp[idx]*p.CPUW + m.ipResp[idx]*p.InterposerW
+					for i := 0; i < n; i++ {
+						t += m.gpuResp[i][idx]*p.GPUChipletW[i] +
+							m.hbmResp[i][idx]*p.HBMStackW[i]
+					}
+					if t > peak {
+						peak = t
+					}
+				}
+			}
+		}
+	}
+	return m.ambientC + peak, nil
+}

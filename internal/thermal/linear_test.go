@@ -1,0 +1,91 @@
+package thermal
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// The linear model takes ~18 full solves to build; share it across tests.
+var (
+	lmOnce sync.Once
+	lm     *LinearModel
+	lmErr  error
+)
+
+func linearModel(t *testing.T) *LinearModel {
+	t.Helper()
+	lmOnce.Do(func() {
+		lm, lmErr = NewLinearModel(EHPFloorplan(), DefaultAmbientC, DefaultParams())
+	})
+	if lmErr != nil {
+		t.Fatal(lmErr)
+	}
+	return lm
+}
+
+func TestLinearModelMatchesFullSolve(t *testing.T) {
+	m := linearModel(t)
+	fp := EHPFloorplan()
+	cases := []PowerAssignment{
+		uniformAssignment(fp, 10, 3, 8, 9),
+		uniformAssignment(fp, 5, 1, 12, 4),
+		uniformAssignment(fp, 14, 0.5, 2, 15),
+	}
+	// A deliberately non-uniform case.
+	skew := uniformAssignment(fp, 6, 2, 8, 8)
+	skew.GPUChipletW[0] = 18
+	skew.HBMStackW[7] = 6
+	cases = append(cases, skew)
+
+	for i, pa := range cases {
+		want, err := Solve(fp, pa, DefaultAmbientC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.PeakDRAMTempC(pa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(got - want.PeakDRAMTempC()); d > 0.3 {
+			t.Errorf("case %d: linear %v vs full %v (d=%.3f)", i, got, want.PeakDRAMTempC(), d)
+		}
+	}
+}
+
+func TestLinearModelZeroPower(t *testing.T) {
+	m := linearModel(t)
+	fp := EHPFloorplan()
+	got, err := m.PeakDRAMTempC(uniformAssignment(fp, 0, 0, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-DefaultAmbientC) > 0.2 {
+		t.Errorf("zero power peak = %v", got)
+	}
+}
+
+func TestLinearModelShapeMismatch(t *testing.T) {
+	m := linearModel(t)
+	if _, err := m.PeakDRAMTempC(PowerAssignment{}); err != ErrBadAssignment {
+		t.Errorf("expected ErrBadAssignment, got %v", err)
+	}
+}
+
+func TestLinearModelSuperposition(t *testing.T) {
+	// f(a+b) = f(a)+f(b)-ambient for peak taken at the same cell; verify
+	// with proportional scaling where the identity is exact.
+	m := linearModel(t)
+	fp := EHPFloorplan()
+	one, err := m.PeakDRAMTempC(uniformAssignment(fp, 4, 1, 4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	three, err := m.PeakDRAMTempC(uniformAssignment(fp, 12, 3, 12, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs((three - DefaultAmbientC) - 3*(one-DefaultAmbientC)); d > 1e-6 {
+		t.Errorf("scaling identity violated by %v", d)
+	}
+}

@@ -1,0 +1,400 @@
+// Package thermal implements a HotSpot-style compact thermal model of the
+// EHP package (paper §V-D): a layered 3D resistance grid covering the active
+// interposer, the compute (GPU/CPU chiplet) layer, the four in-package DRAM
+// dies stacked above each GPU chiplet, and a copper spreader cooled by a
+// high-end air cooler at 50 C ambient in a 2U chassis. A successive
+// over-relaxation solve yields the steady-state temperature field, from
+// which peak DRAM temperature (Fig. 10) and the bottom-most DRAM die's heat
+// map (Fig. 11) are extracted. DRAM must stay below 85 C to avoid raising
+// the refresh rate.
+package thermal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Package geometry: 1 mm grid cells over a 56 x 32 mm package substrate.
+const (
+	NX     = 56
+	NY     = 32
+	CellMM = 1.0
+)
+
+// Layer indices (bottom to top).
+const (
+	LayerInterposer = 0
+	LayerCompute    = 1
+	LayerDRAM0      = 2 // bottom-most DRAM die — the Fig. 11 subject
+	LayerDRAM1      = 3
+	LayerDRAM2      = 4
+	LayerDRAM3      = 5
+	LayerSpreader   = 6
+	NumLayers       = 7
+)
+
+// DRAMTempLimitC is the refresh-rate threshold (§V-D).
+const DRAMTempLimitC = 85.0
+
+// DefaultAmbientC is the 2U-chassis ambient assumed by the paper.
+const DefaultAmbientC = 50.0
+
+// Material parameters.
+const (
+	kSilicon   = 120.0 // W/(m K)
+	kUnderfill = 1.2
+	kCopper    = 400.0
+	hBoardWm2K = 150 // leakage path into the board below the interposer
+)
+
+// Params are the calibratable boundary parameters of the package model.
+type Params struct {
+	// RContact is the bond/TIM interface resistance per face (m^2 K/W);
+	// microbump + underfill layers between stacked dies.
+	RContact float64
+	// HSink is the effective air-cooler convection coefficient at the
+	// spreader top (W/(m^2 K)).
+	HSink float64
+}
+
+// DefaultParams returns the calibration used for the paper reproduction
+// (high-end air cooling, §V-D).
+func DefaultParams() Params {
+	return Params{RContact: 5e-5, HSink: 5800}
+}
+
+// layerThicknessM lists each layer's thickness in meters.
+var layerThicknessM = [NumLayers]float64{
+	0.15e-3,                            // interposer
+	0.20e-3,                            // compute dies
+	0.06e-3, 0.06e-3, 0.06e-3, 0.06e-3, // DRAM dies
+	1.00e-3, // spreader
+}
+
+// Rect is a placed die region in grid cells ([X0,X1) x [Y0,Y1)).
+type Rect struct {
+	Name           string
+	X0, Y0, X1, Y1 int
+}
+
+// Contains reports whether cell (x, y) is inside the rectangle.
+func (r Rect) Contains(x, y int) bool {
+	return x >= r.X0 && x < r.X1 && y >= r.Y0 && y < r.Y1
+}
+
+// Cells returns the region's cell count.
+func (r Rect) Cells() int { return (r.X1 - r.X0) * (r.Y1 - r.Y0) }
+
+// Floorplan is the EHP package layout: 8 GPU chiplets (each with a DRAM
+// stack directly above), 2 CPU clusters in the center (§II-A: central
+// placement keeps CPU-to-DRAM distance uniform).
+type Floorplan struct {
+	GPU []Rect // 8 chiplets; DRAM stacks share the same footprint
+	CPU []Rect // 2 clusters
+}
+
+// EHPFloorplan builds the Fig. 2 layout: two GPU clusters (2 chiplets each)
+// per side, CPU clusters in the middle.
+func EHPFloorplan() *Floorplan {
+	fp := &Floorplan{}
+	gpuAt := func(name string, x, y int) {
+		fp.GPU = append(fp.GPU, Rect{Name: name, X0: x, Y0: y, X1: x + 10, Y1: y + 10})
+	}
+	// Left side: chiplets 0-3; right side: 4-7.
+	gpuAt("G0", 2, 4)
+	gpuAt("G1", 2, 18)
+	gpuAt("G2", 13, 4)
+	gpuAt("G3", 13, 18)
+	gpuAt("G4", 33, 4)
+	gpuAt("G5", 33, 18)
+	gpuAt("G6", 44, 4)
+	gpuAt("G7", 44, 18)
+	fp.CPU = append(fp.CPU,
+		Rect{Name: "C0", X0: 24, Y0: 5, X1: 32, Y1: 15},
+		Rect{Name: "C1", X0: 24, Y0: 17, X1: 32, Y1: 27},
+	)
+	return fp
+}
+
+// PowerAssignment is the per-component dissipation fed into the grid.
+type PowerAssignment struct {
+	GPUChipletW []float64 // len 8: CU + chiplet-local NoC power
+	HBMStackW   []float64 // len 8: per-stack DRAM power (split over 4 dies)
+	CPUW        float64   // total CPU-cluster power
+	InterposerW float64   // NoC + system power in the interposer layer
+}
+
+// Solution is a solved steady-state temperature field.
+type Solution struct {
+	TempC      [NumLayers][]float64 // NX*NY per layer
+	AmbientC   float64
+	Iterations int
+	fp         *Floorplan
+}
+
+// at returns the temperature of cell (x,y) in a layer.
+func (s *Solution) at(layer, x, y int) float64 { return s.TempC[layer][y*NX+x] }
+
+// PeakDRAMTempC returns the hottest cell across all DRAM dies (the Fig. 10
+// metric: peak in-package 3D-DRAM temperature).
+func (s *Solution) PeakDRAMTempC() float64 {
+	peak := math.Inf(-1)
+	for l := LayerDRAM0; l <= LayerDRAM3; l++ {
+		for _, g := range s.fp.GPU {
+			for y := g.Y0; y < g.Y1; y++ {
+				for x := g.X0; x < g.X1; x++ {
+					if t := s.at(l, x, y); t > peak {
+						peak = t
+					}
+				}
+			}
+		}
+	}
+	return peak
+}
+
+// PeakLayerTempC returns the hottest cell in one layer.
+func (s *Solution) PeakLayerTempC(layer int) float64 {
+	peak := math.Inf(-1)
+	for _, t := range s.TempC[layer] {
+		if t > peak {
+			peak = t
+		}
+	}
+	return peak
+}
+
+// HeatMap returns a copy of one layer's temperature grid indexed [y][x]
+// (Fig. 11 uses LayerDRAM0, the bottom-most DRAM die).
+func (s *Solution) HeatMap(layer int) [][]float64 {
+	out := make([][]float64, NY)
+	for y := 0; y < NY; y++ {
+		row := make([]float64, NX)
+		for x := 0; x < NX; x++ {
+			row[x] = s.at(layer, x, y)
+		}
+		out[y] = row
+	}
+	return out
+}
+
+// ASCIIMap renders a layer as a coarse character heat map for terminals;
+// hotter cells get denser glyphs.
+func (s *Solution) ASCIIMap(layer int) string {
+	glyphs := []byte(" .:-=+*#%@")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, t := range s.TempC[layer] {
+		if t < lo {
+			lo = t
+		}
+		if t > hi {
+			hi = t
+		}
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "layer %d: %.1fC (light) .. %.1fC (dark)\n", layer, lo, hi)
+	for y := 0; y < NY; y += 2 { // halve vertical resolution for aspect ratio
+		for x := 0; x < NX; x++ {
+			t := (s.at(layer, x, y) + s.at(layer, x, min(y+1, NY-1))) / 2
+			idx := int((t - lo) / (hi - lo) * float64(len(glyphs)-1))
+			b.WriteByte(glyphs[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Solve computes the steady-state temperature field for a power assignment
+// with the default boundary parameters.
+func Solve(fp *Floorplan, p PowerAssignment, ambientC float64) (*Solution, error) {
+	return SolveWithParams(fp, p, ambientC, DefaultParams())
+}
+
+// SolveWithParams is Solve with explicit boundary parameters.
+func SolveWithParams(fp *Floorplan, p PowerAssignment, ambientC float64, prm Params) (*Solution, error) {
+	if len(p.GPUChipletW) != len(fp.GPU) {
+		return nil, errors.New("thermal: GPU power count mismatch")
+	}
+	if len(p.HBMStackW) != len(fp.GPU) {
+		return nil, errors.New("thermal: HBM power count mismatch")
+	}
+
+	n := NX * NY
+	cellA := (CellMM * 1e-3) * (CellMM * 1e-3) // m^2
+
+	// Conductivity per cell per layer (silicon where a die is present,
+	// underfill elsewhere, copper for the spreader).
+	kOf := func(layer, x, y int) float64 {
+		switch layer {
+		case LayerInterposer:
+			return kSilicon
+		case LayerSpreader:
+			return kCopper
+		case LayerCompute:
+			for _, r := range fp.GPU {
+				if r.Contains(x, y) {
+					return kSilicon
+				}
+			}
+			for _, r := range fp.CPU {
+				if r.Contains(x, y) {
+					return kSilicon
+				}
+			}
+			return kUnderfill
+		default:
+			// DRAM dies sit above the GPU chiplets; everywhere else
+			// the stack height is made up with dummy-silicon spacers
+			// (standard practice for planarity and heat removal), so
+			// CPU heat still has a low-resistance path to the sink.
+			return kSilicon
+		}
+	}
+
+	// Power per cell.
+	pw := [NumLayers][]float64{}
+	for l := range pw {
+		pw[l] = make([]float64, n)
+	}
+	// CU power concentrates in the chiplet's compute core (the SIMD array
+	// occupies the center; cache/IO periphery dissipates far less), which
+	// is what makes GPU-heavy operating points produce the Fig. 11 hot
+	// spots. DRAM power spreads over the whole stack footprint.
+	const coreShare = 0.85
+	for i, r := range fp.GPU {
+		core := Rect{X0: r.X0 + 1, Y0: r.Y0 + 1, X1: r.X1 - 1, Y1: r.Y1 - 1}
+		corePerCell := p.GPUChipletW[i] * coreShare / float64(core.Cells())
+		periCells := r.Cells() - core.Cells()
+		periPerCell := p.GPUChipletW[i] * (1 - coreShare) / float64(periCells)
+		hbmPerCellPerDie := p.HBMStackW[i] / float64(r.Cells()) / 4
+		for y := r.Y0; y < r.Y1; y++ {
+			for x := r.X0; x < r.X1; x++ {
+				if core.Contains(x, y) {
+					pw[LayerCompute][y*NX+x] += corePerCell
+				} else {
+					pw[LayerCompute][y*NX+x] += periPerCell
+				}
+				for l := LayerDRAM0; l <= LayerDRAM3; l++ {
+					pw[l][y*NX+x] += hbmPerCellPerDie
+				}
+			}
+		}
+	}
+	var cpuCells int
+	for _, r := range fp.CPU {
+		cpuCells += r.Cells()
+	}
+	for _, r := range fp.CPU {
+		perCell := p.CPUW / float64(cpuCells)
+		for y := r.Y0; y < r.Y1; y++ {
+			for x := r.X0; x < r.X1; x++ {
+				pw[LayerCompute][y*NX+x] += perCell
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		pw[LayerInterposer][i] += p.InterposerW / float64(n)
+	}
+
+	// Precompute conductances.
+	lateralG := func(layer, x1, y1, x2, y2 int) float64 {
+		// Series of two half-cells.
+		k1 := kOf(layer, x1, y1)
+		k2 := kOf(layer, x2, y2)
+		t := layerThicknessM[layer]
+		area := t * CellMM * 1e-3
+		halfL := CellMM * 1e-3 / 2
+		r := halfL/(k1*area) + halfL/(k2*area)
+		return 1 / r
+	}
+	verticalG := func(l1, l2, x, y int) float64 {
+		k1 := kOf(l1, x, y)
+		k2 := kOf(l2, x, y)
+		r := layerThicknessM[l1]/(2*k1*cellA) + layerThicknessM[l2]/(2*k2*cellA) + prm.RContact/cellA
+		return 1 / r
+	}
+	gSink := prm.HSink * cellA
+	gBoard := hBoardWm2K * cellA
+
+	var sol Solution
+	sol.AmbientC = ambientC
+	sol.fp = fp
+	for l := range sol.TempC {
+		sol.TempC[l] = make([]float64, n)
+		for i := range sol.TempC[l] {
+			sol.TempC[l][i] = ambientC + 10
+		}
+	}
+
+	const (
+		omega   = 1.85
+		maxIter = 20000
+		tol     = 1e-4
+	)
+	T := &sol.TempC
+	for iter := 0; iter < maxIter; iter++ {
+		maxDelta := 0.0
+		for l := 0; l < NumLayers; l++ {
+			for y := 0; y < NY; y++ {
+				for x := 0; x < NX; x++ {
+					i := y*NX + x
+					var gSum, gtSum float64
+					// Lateral neighbours.
+					if x > 0 {
+						g := lateralG(l, x, y, x-1, y)
+						gSum += g
+						gtSum += g * T[l][i-1]
+					}
+					if x < NX-1 {
+						g := lateralG(l, x, y, x+1, y)
+						gSum += g
+						gtSum += g * T[l][i+1]
+					}
+					if y > 0 {
+						g := lateralG(l, x, y, x, y-1)
+						gSum += g
+						gtSum += g * T[l][i-NX]
+					}
+					if y < NY-1 {
+						g := lateralG(l, x, y, x, y+1)
+						gSum += g
+						gtSum += g * T[l][i+NX]
+					}
+					// Vertical neighbours and boundaries.
+					if l > 0 {
+						g := verticalG(l, l-1, x, y)
+						gSum += g
+						gtSum += g * T[l-1][i]
+					} else {
+						gSum += gBoard
+						gtSum += gBoard * ambientC
+					}
+					if l < NumLayers-1 {
+						g := verticalG(l, l+1, x, y)
+						gSum += g
+						gtSum += g * T[l+1][i]
+					} else {
+						gSum += gSink
+						gtSum += gSink * ambientC
+					}
+					tNew := (gtSum + pw[l][i]) / gSum
+					tRelaxed := T[l][i] + omega*(tNew-T[l][i])
+					if d := math.Abs(tRelaxed - T[l][i]); d > maxDelta {
+						maxDelta = d
+					}
+					T[l][i] = tRelaxed
+				}
+			}
+		}
+		sol.Iterations = iter + 1
+		if maxDelta < tol {
+			return &sol, nil
+		}
+	}
+	return &sol, errors.New("thermal: SOR did not converge")
+}

@@ -1,0 +1,209 @@
+package thermal
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func uniformAssignment(fp *Floorplan, gpuW, hbmW, cpuW, ipW float64) PowerAssignment {
+	n := len(fp.GPU)
+	pa := PowerAssignment{
+		GPUChipletW: make([]float64, n),
+		HBMStackW:   make([]float64, n),
+		CPUW:        cpuW,
+		InterposerW: ipW,
+	}
+	for i := 0; i < n; i++ {
+		pa.GPUChipletW[i] = gpuW
+		pa.HBMStackW[i] = hbmW
+	}
+	return pa
+}
+
+func TestFloorplanLayout(t *testing.T) {
+	fp := EHPFloorplan()
+	if len(fp.GPU) != 8 || len(fp.CPU) != 2 {
+		t.Fatalf("floorplan has %d GPU, %d CPU regions", len(fp.GPU), len(fp.CPU))
+	}
+	// Regions stay on the package and do not overlap.
+	all := append(append([]Rect{}, fp.GPU...), fp.CPU...)
+	for i, r := range all {
+		if r.X0 < 0 || r.Y0 < 0 || r.X1 > NX || r.Y1 > NY {
+			t.Errorf("region %s out of bounds", r.Name)
+		}
+		for j, s := range all {
+			if i >= j {
+				continue
+			}
+			if r.X0 < s.X1 && s.X0 < r.X1 && r.Y0 < s.Y1 && s.Y0 < r.Y1 {
+				t.Errorf("regions %s and %s overlap", r.Name, s.Name)
+			}
+		}
+	}
+	// CPU clusters sit in the central band (uniform CPU-to-DRAM distance,
+	// §II-A).
+	for _, c := range fp.CPU {
+		if c.X0 < NX/3 || c.X1 > 2*NX/3 {
+			t.Errorf("CPU cluster %s not central: x [%d,%d)", c.Name, c.X0, c.X1)
+		}
+	}
+}
+
+func TestSolveConverges(t *testing.T) {
+	fp := EHPFloorplan()
+	sol, err := Solve(fp, uniformAssignment(fp, 10, 2, 10, 10), DefaultAmbientC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Iterations <= 0 || sol.Iterations >= 20000 {
+		t.Errorf("iterations = %d", sol.Iterations)
+	}
+	peak := sol.PeakDRAMTempC()
+	if peak <= DefaultAmbientC {
+		t.Errorf("peak %v not above ambient", peak)
+	}
+	if peak > 120 {
+		t.Errorf("peak %v implausibly hot for ~100 W", peak)
+	}
+}
+
+func TestZeroPowerIsAmbient(t *testing.T) {
+	fp := EHPFloorplan()
+	sol, err := Solve(fp, uniformAssignment(fp, 0, 0, 0, 0), DefaultAmbientC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 0; l < NumLayers; l++ {
+		if d := math.Abs(sol.PeakLayerTempC(l) - DefaultAmbientC); d > 0.1 {
+			t.Errorf("layer %d deviates from ambient by %v with zero power", l, d)
+		}
+	}
+}
+
+func TestMorePowerHotter(t *testing.T) {
+	fp := EHPFloorplan()
+	lo, err := Solve(fp, uniformAssignment(fp, 6, 1, 8, 8), DefaultAmbientC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := Solve(fp, uniformAssignment(fp, 12, 2, 8, 8), DefaultAmbientC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.PeakDRAMTempC() <= lo.PeakDRAMTempC() {
+		t.Error("doubling chiplet power must raise the peak DRAM temperature")
+	}
+}
+
+func TestLinearityInPower(t *testing.T) {
+	// The RC network is linear: scaling all power by k scales the rise
+	// over ambient by k.
+	fp := EHPFloorplan()
+	one, err := Solve(fp, uniformAssignment(fp, 5, 1, 4, 4), DefaultAmbientC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := Solve(fp, uniformAssignment(fp, 10, 2, 8, 8), DefaultAmbientC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rise1 := one.PeakDRAMTempC() - DefaultAmbientC
+	rise2 := two.PeakDRAMTempC() - DefaultAmbientC
+	if math.Abs(rise2-2*rise1) > 0.05*rise2 {
+		t.Errorf("linearity violated: rises %v and %v", rise1, rise2)
+	}
+}
+
+func TestLeftRightSymmetry(t *testing.T) {
+	// Uniform power over the mirrored floorplan should give (nearly)
+	// mirror-symmetric GPU hot spots.
+	fp := EHPFloorplan()
+	sol, err := Solve(fp, uniformAssignment(fp, 10, 2, 10, 10), DefaultAmbientC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm := sol.HeatMap(LayerDRAM0)
+	var maxDiff float64
+	for y := 0; y < NY; y++ {
+		for x := 0; x < NX/2; x++ {
+			d := math.Abs(hm[y][x] - hm[y][NX-1-x])
+			if d > maxDiff {
+				maxDiff = d
+			}
+		}
+	}
+	if maxDiff > 1.5 {
+		t.Errorf("left/right asymmetry = %v C", maxDiff)
+	}
+}
+
+func TestHotSpotsOverGPUs(t *testing.T) {
+	fp := EHPFloorplan()
+	sol, err := Solve(fp, uniformAssignment(fp, 12, 2, 5, 5), DefaultAmbientC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm := sol.HeatMap(LayerDRAM0)
+	over := hm[fp.GPU[0].Y0+5][fp.GPU[0].X0+5] // center of chiplet G0
+	corner := hm[0][0]                         // package corner, no die
+	if over <= corner {
+		t.Errorf("GPU hot spot %v not hotter than package corner %v", over, corner)
+	}
+}
+
+func TestGradientAcrossStack(t *testing.T) {
+	// Heat flows up to the sink: with GPU power below the DRAM stack, the
+	// compute layer is the hottest and the spreader the coolest.
+	fp := EHPFloorplan()
+	sol, err := Solve(fp, uniformAssignment(fp, 12, 1, 5, 5), DefaultAmbientC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compute := sol.PeakLayerTempC(LayerCompute)
+	dram := sol.PeakLayerTempC(LayerDRAM0)
+	spreader := sol.PeakLayerTempC(LayerSpreader)
+	if !(compute >= dram && dram >= spreader) {
+		t.Errorf("stack gradient wrong: compute %v, DRAM %v, spreader %v",
+			compute, dram, spreader)
+	}
+}
+
+func TestPowerMismatchErrors(t *testing.T) {
+	fp := EHPFloorplan()
+	if _, err := Solve(fp, PowerAssignment{GPUChipletW: make([]float64, 3)}, 50); err == nil {
+		t.Error("mismatched GPU power slice must error")
+	}
+	pa := PowerAssignment{GPUChipletW: make([]float64, 8), HBMStackW: make([]float64, 2)}
+	if _, err := Solve(fp, pa, 50); err == nil {
+		t.Error("mismatched HBM power slice must error")
+	}
+}
+
+func TestASCIIMap(t *testing.T) {
+	fp := EHPFloorplan()
+	sol, err := Solve(fp, uniformAssignment(fp, 10, 2, 10, 10), DefaultAmbientC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sol.ASCIIMap(LayerDRAM0)
+	lines := strings.Split(strings.TrimRight(m, "\n"), "\n")
+	if len(lines) != NY/2+1 {
+		t.Errorf("ASCII map has %d lines", len(lines))
+	}
+	for _, l := range lines[1:] {
+		if len(l) != NX {
+			t.Errorf("ASCII row width %d, want %d", len(l), NX)
+		}
+	}
+}
+
+func TestRectHelpers(t *testing.T) {
+	r := Rect{X0: 1, Y0: 2, X1: 4, Y1: 6}
+	if !r.Contains(1, 2) || r.Contains(4, 2) || r.Contains(1, 6) {
+		t.Error("Contains boundary semantics wrong (half-open)")
+	}
+	if r.Cells() != 12 {
+		t.Errorf("Cells = %d", r.Cells())
+	}
+}

@@ -1,0 +1,93 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstants(t *testing.T) {
+	if GiB != 1<<30 {
+		t.Errorf("GiB = %v", GiB)
+	}
+	if TB/GB != 1000 {
+		t.Errorf("TB/GB = %v", TB/GB)
+	}
+	if GHz != 1000*MHz {
+		t.Errorf("GHz = %v", GHz)
+	}
+	if EFLOPS/TFLOPS != 1e6 {
+		t.Errorf("EFLOPS/TFLOPS = %v", EFLOPS/TFLOPS)
+	}
+	if CacheLineBytes != 64 {
+		t.Errorf("CacheLineBytes = %d", CacheLineBytes)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ v, lo, hi, want float64 }{
+		{5, 0, 10, 5},
+		{-1, 0, 10, 0},
+		{11, 0, 10, 10},
+		{0, 0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.v, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%v,%v,%v) = %v, want %v", c.v, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestClampProperty(t *testing.T) {
+	f := func(v, a, b float64) bool {
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		got := Clamp(v, lo, hi)
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	if got := Lerp(2, 4, 0.5); got != 3 {
+		t.Errorf("Lerp midpoint = %v", got)
+	}
+	if got := Lerp(2, 4, 0); got != 2 {
+		t.Errorf("Lerp(..., 0) = %v", got)
+	}
+	if got := Lerp(2, 4, 1); got != 4 {
+		t.Errorf("Lerp(..., 1) = %v", got)
+	}
+}
+
+func TestMin3(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		m := Min3(a, b, c)
+		return m <= a && m <= b && m <= c && (m == a || m == b || m == c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	if !ApproxEqual(1.0, 1.0+1e-12, 1e-9) {
+		t.Error("tiny absolute difference should be equal")
+	}
+	if !ApproxEqual(1e12, 1.0005e12, 1e-3) {
+		t.Error("relative tolerance should apply to large values")
+	}
+	if ApproxEqual(1, 2, 1e-6) {
+		t.Error("1 and 2 are not approximately equal")
+	}
+	if !ApproxEqual(-5, -5, 0) {
+		t.Error("identical values must compare equal")
+	}
+	if !math.IsNaN(math.NaN()) {
+		t.Fatal("sanity")
+	}
+}

@@ -1,0 +1,229 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// The trace generators below synthesize the memory behaviour of each proxy
+// app at 64-bit-word granularity. They are deliberately small models — the
+// goal is to reproduce each kernel's *pattern class* (streaming, stencil,
+// neighbor gather, random table lookup, wavefront sweep) and *value
+// statistics* (smooth FP fields vs. high-entropy data), which is what the
+// locality, miss-rate, and compression analyses consume.
+
+const lineBytes = 64
+
+// smoothField returns a physically-plausible smooth double (bounded dynamic
+// range, slowly varying) whose bit pattern is highly compressible, as real
+// simulation fields are.
+func smoothField(base float64, i int) uint64 {
+	v := base + 1e-3*math.Sin(float64(i)*0.01) + 1e-6*float64(i%32)
+	return math.Float64bits(v)
+}
+
+// maxFlopsTrace: a tiny (~4 MiB) buffer traversed sequentially over and over;
+// virtually all accesses hit in cache, so DRAM sees almost nothing.
+func maxFlopsTrace(seed int64, n int) []Access {
+	rng := rand.New(rand.NewSource(seed))
+	const footprint = 4 << 20
+	out := make([]Access, 0, n)
+	addr := uint64(0)
+	for i := 0; i < n; i++ {
+		a := Access{Addr: addr % footprint, Value: smoothField(1.5, i)}
+		if rng.Float64() < 0.05 {
+			a.Write = true
+		}
+		out = append(out, a)
+		addr += 8
+	}
+	return out
+}
+
+// comdTrace: molecular dynamics with a link-cell neighbor list. Particles are
+// visited cell by cell; each particle gathers ~27 neighbor cells' particles —
+// spatially clustered reads with periodic jumps between cells, plus force
+// writebacks.
+func comdTrace(seed int64, n int) []Access {
+	rng := rand.New(rand.NewSource(seed))
+	const (
+		cells        = 1 << 14 // 16k cells
+		cellBytes    = 16 << 10
+		particleByte = 48 // pos+vel per particle (rounded to words)
+	)
+	out := make([]Access, 0, n)
+	for len(out) < n {
+		cell := uint64(rng.Intn(cells))
+		base := cell * cellBytes
+		// Gather this cell and a few neighbor cells.
+		for nb := 0; nb < 4 && len(out) < n; nb++ {
+			nbCell := (cell + uint64(rng.Intn(27))) % cells
+			nbBase := nbCell * cellBytes
+			for p := 0; p < 12 && len(out) < n; p++ {
+				off := uint64(p) * particleByte
+				out = append(out, Access{
+					Addr:  nbBase + off,
+					Value: smoothField(3.2, p),
+				})
+			}
+		}
+		// Write back forces for this cell's particles.
+		for p := 0; p < 6 && len(out) < n; p++ {
+			out = append(out, Access{
+				Addr:  base + uint64(p)*particleByte,
+				Write: true,
+				Value: smoothField(0.25, p),
+			})
+		}
+	}
+	return out
+}
+
+// hpgmgTrace: geometric multigrid — streaming 27-point stencil smooths over a
+// hierarchy of levels; each level is 1/8 the size of the finer one, so the
+// trace alternates long unit-stride runs over shrinking footprints.
+func hpgmgTrace(seed int64, n int) []Access {
+	rng := rand.New(rand.NewSource(seed))
+	levels := []uint64{1 << 30, 1 << 27, 1 << 24, 1 << 21}
+	out := make([]Access, 0, n)
+	lvl := 0
+	pos := uint64(0)
+	for len(out) < n {
+		span := levels[lvl]
+		base := uint64(lvl) << 32
+		// One plane of streaming stencil work: read three neighbouring
+		// planes, write one.
+		planeStride := span / 256
+		for i := 0; i < 48 && len(out) < n; i++ {
+			p := (pos + uint64(i)*8) % span
+			out = append(out, Access{Addr: base + p, Value: smoothField(1.0, i)})
+			out = append(out, Access{Addr: base + (p+planeStride)%span, Value: smoothField(1.0, i+1)})
+			out = append(out, Access{Addr: base + (p+2*planeStride)%span, Value: smoothField(1.0, i+2)})
+			out = append(out, Access{Addr: base + p, Write: true, Value: smoothField(1.0, i+3)})
+		}
+		pos += 48 * 8
+		if rng.Float64() < 0.02 { // V-cycle transition
+			lvl = (lvl + 1) % len(levels)
+			pos = 0
+		}
+	}
+	return out[:n]
+}
+
+// luleshTrace: unstructured-mesh hydrodynamics — element loops gather eight
+// node records through an indirection table (clustered but irregular reads)
+// and scatter updates back; the footprint is large.
+func luleshTrace(seed int64, n int) []Access {
+	rng := rand.New(rand.NewSource(seed))
+	const (
+		nodes     = 1 << 24 // node records
+		nodeBytes = 64
+	)
+	out := make([]Access, 0, n)
+	elem := uint64(0)
+	for len(out) < n {
+		// Nodes of an element are near each other, but mesh numbering
+		// makes some corners far away (irregular gather).
+		base := (elem * 8) % nodes
+		for c := 0; c < 8 && len(out) < n; c++ {
+			node := base + uint64(c)
+			if rng.Float64() < 0.3 { // far corner through indirection
+				node = uint64(rng.Intn(nodes))
+			}
+			out = append(out, Access{Addr: node * nodeBytes, Value: smoothField(2.0, c)})
+		}
+		// Scatter: accumulate forces back into half the element's nodes
+		// and update element-centred fields (irregular writes).
+		for c := 0; c < 3 && len(out) < n; c++ {
+			out = append(out, Access{
+				Addr:  (base + uint64(c)) * nodeBytes,
+				Write: true,
+				Value: smoothField(0.7, c),
+			})
+		}
+		if len(out) < n {
+			out = append(out, Access{
+				Addr:  (1 << 40) + elem*32,
+				Write: true,
+				Value: smoothField(0.5, int(elem%97)),
+			})
+		}
+		elem++
+	}
+	return out
+}
+
+// miniAMRTrace: block-structured AMR stencil — unit-stride sweeps within
+// fixed-size blocks, with refinement jumping between blocks at widely
+// separated base addresses.
+func miniAMRTrace(seed int64, n int) []Access {
+	rng := rand.New(rand.NewSource(seed))
+	const (
+		blocks     = 4096
+		blockBytes = 1 << 21 // 2 MiB per block
+	)
+	out := make([]Access, 0, n)
+	for len(out) < n {
+		b := uint64(rng.Intn(blocks))
+		base := b * blockBytes * 7 // spread blocks out (refinement holes)
+		for i := 0; i < 96 && len(out) < n; i++ {
+			off := uint64(i) * 8
+			out = append(out, Access{Addr: base + off, Value: smoothField(1.2, i)})
+			if i%3 == 2 {
+				out = append(out, Access{Addr: base + off, Write: true, Value: smoothField(1.2, i+1)})
+			}
+		}
+	}
+	return out
+}
+
+// xsbenchTrace: Monte Carlo cross-section lookups — uniformly random reads
+// into a huge nuclide grid whose entries are effectively incompressible.
+func xsbenchTrace(seed int64, n int) []Access {
+	rng := rand.New(rand.NewSource(seed))
+	const table = 200 << 30 // ~200 GB unionized energy grid
+	out := make([]Access, 0, n)
+	for i := 0; i < n; i++ {
+		a := Access{
+			Addr:  uint64(rng.Int63n(table/lineBytes)) * lineBytes,
+			Value: rng.Uint64(), // table entries look random
+		}
+		if i%64 == 63 {
+			a.Write = true // tally update
+			a.Addr = uint64(rng.Intn(1<<20)) * lineBytes
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// snapTrace: discrete-ordinates sweep — many concurrent (angle, group)
+// streams advance in lock-step through spatial planes; per-stream accesses
+// are unit-stride, and the interleaving provides abundant parallelism.
+func snapTrace(seed int64, n int) []Access {
+	rng := rand.New(rand.NewSource(seed))
+	const (
+		streams      = 64
+		streamStride = 1 << 26
+	)
+	pos := make([]uint64, streams)
+	for i := range pos {
+		pos[i] = uint64(rng.Intn(1<<16) * 8)
+	}
+	out := make([]Access, 0, n)
+	s := 0
+	for len(out) < n {
+		base := uint64(s) * streamStride
+		out = append(out, Access{Addr: base + pos[s], Value: smoothField(1.8, int(pos[s]%13))})
+		if len(out) < n {
+			out = append(out, Access{
+				Addr:  base + pos[s] + streamStride/2,
+				Write: true,
+				Value: smoothField(1.8, int(pos[s]%7)),
+			})
+		}
+		pos[s] += 8
+		s = (s + 1) % streams
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestTraceLengthAndDeterminism(t *testing.T) {
+	for _, k := range Suite() {
+		const n = 5000
+		a := k.Trace(7, n)
+		if len(a) != n {
+			t.Errorf("%s: trace length %d, want %d", k.Name, len(a), n)
+			continue
+		}
+		b := k.Trace(7, n)
+		same := len(a) == len(b)
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+		if !same {
+			t.Errorf("%s: trace not deterministic for equal seeds", k.Name)
+		}
+	}
+}
+
+func TestTraceSeedsDiffer(t *testing.T) {
+	// Kernels with random components must produce different traces for
+	// different seeds (deterministic streaming kernels are exempt).
+	for _, name := range []string{"CoMD", "LULESH", "MiniAMR", "XSBench"} {
+		k, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := k.Trace(1, 2000)
+		b := k.Trace(2, 2000)
+		diff := false
+		for i := range a {
+			if a[i] != b[i] {
+				diff = true
+				break
+			}
+		}
+		if !diff {
+			t.Errorf("%s: seeds 1 and 2 gave identical traces", name)
+		}
+	}
+}
+
+func TestTraceWriteFractions(t *testing.T) {
+	// Trace write mix should be in the same regime as the declared
+	// characterization (loose band: the generators are pattern models).
+	for _, k := range Suite() {
+		tr := k.Trace(3, 20000)
+		writes := 0
+		for _, a := range tr {
+			if a.Write {
+				writes++
+			}
+		}
+		got := float64(writes) / float64(len(tr))
+		lo, hi := k.WriteFrac-0.2, k.WriteFrac+0.2
+		if got < lo || got > hi {
+			t.Errorf("%s: trace write fraction %.3f vs declared %.2f", k.Name, got, k.WriteFrac)
+		}
+	}
+}
+
+func TestTraceFootprintRegimes(t *testing.T) {
+	span := func(tr []Access) uint64 {
+		var lo, hi uint64 = ^uint64(0), 0
+		for _, a := range tr {
+			if a.Addr < lo {
+				lo = a.Addr
+			}
+			if a.Addr > hi {
+				hi = a.Addr
+			}
+		}
+		return hi - lo
+	}
+	mf := MaxFlops()
+	if s := span(mf.Trace(1, 20000)); s > 8<<20 {
+		t.Errorf("MaxFlops address span %d exceeds its tiny working set", s)
+	}
+	xs := XSBench()
+	if s := span(xs.Trace(1, 20000)); s < 1<<36 {
+		t.Errorf("XSBench address span %d too small for a multi-GB table", s)
+	}
+}
+
+func TestXSBenchValuesHighEntropy(t *testing.T) {
+	// XSBench table entries should look random: adjacent values must not
+	// share their high 32 bits (which is what makes them incompressible).
+	tr := XSBench().Trace(5, 4096)
+	shared := 0
+	for i := 1; i < len(tr); i++ {
+		if tr[i].Value>>32 == tr[i-1].Value>>32 {
+			shared++
+		}
+	}
+	if frac := float64(shared) / float64(len(tr)); frac > 0.1 {
+		t.Errorf("XSBench values share high bits too often: %.3f", frac)
+	}
+}
+
+func TestSmoothKernelsLowEntropy(t *testing.T) {
+	// Simulation-field kernels produce smooth doubles; most consecutive
+	// values share exponent and high mantissa bits.
+	for _, name := range []string{"CoMD", "LULESH", "HPGMG"} {
+		k, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := k.Trace(5, 4096)
+		shared := 0
+		for i := 1; i < len(tr); i++ {
+			if tr[i].Value>>48 == tr[i-1].Value>>48 {
+				shared++
+			}
+		}
+		if frac := float64(shared) / float64(len(tr)); frac < 0.5 {
+			t.Errorf("%s: smooth values should share high bits, got %.3f", name, frac)
+		}
+	}
+}
+
+func TestSNAPStreams(t *testing.T) {
+	// SNAP's sweep advances many unit-stride streams; re-reading the
+	// trace should show strictly increasing offsets within a stream.
+	tr := SNAP().Trace(9, 10000)
+	const streamStride = 1 << 26
+	last := map[uint64]uint64{}
+	for _, a := range tr {
+		if a.Write {
+			continue
+		}
+		stream := a.Addr / streamStride
+		off := a.Addr % streamStride
+		if prev, ok := last[stream]; ok && off < prev {
+			t.Fatalf("stream %d went backwards: %d after %d", stream, off, prev)
+		}
+		last[stream] = off
+	}
+	if len(last) < 32 {
+		t.Errorf("SNAP should exercise many concurrent streams, got %d", len(last))
+	}
+}

@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestSuiteValid(t *testing.T) {
+	ks := Suite()
+	if len(ks) != 8 {
+		t.Fatalf("suite has %d kernels, want 8 (Table I)", len(ks))
+	}
+	for _, k := range ks {
+		if err := k.Validate(); err != nil {
+			t.Errorf("%s: %v", k.Name, err)
+		}
+	}
+}
+
+func TestTableIOrder(t *testing.T) {
+	want := []string{"MaxFlops", "CoMD", "CoMD-LJ", "HPGMG", "LULESH", "MiniAMR", "XSBench", "SNAP"}
+	got := Names()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("suite order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCategories(t *testing.T) {
+	wantCat := map[string]Category{
+		"MaxFlops": ComputeIntensive,
+		"CoMD":     Balanced,
+		"CoMD-LJ":  Balanced,
+		"HPGMG":    Balanced,
+		"LULESH":   MemoryIntensive,
+		"MiniAMR":  MemoryIntensive,
+		"XSBench":  MemoryIntensive,
+		"SNAP":     MemoryIntensive,
+	}
+	for _, k := range Suite() {
+		if k.Category != wantCat[k.Name] {
+			t.Errorf("%s category = %v, want %v", k.Name, k.Category, wantCat[k.Name])
+		}
+	}
+}
+
+func TestCategoryConsistency(t *testing.T) {
+	for _, k := range Suite() {
+		switch k.Category {
+		case ComputeIntensive:
+			if k.Intensity < 20 {
+				t.Errorf("%s: compute-intensive kernels need high intensity, got %v", k.Name, k.Intensity)
+			}
+			if k.ExtTrafficFrac > 0.05 {
+				t.Errorf("%s: compute-intensive kernels rarely touch external memory", k.Name)
+			}
+		case MemoryIntensive:
+			if k.Intensity > 3 {
+				t.Errorf("%s: memory-intensive intensity = %v", k.Name, k.Intensity)
+			}
+			if k.ThrashSlope == 0 {
+				t.Errorf("%s: memory-intensive kernels degrade past their sweet spot (§IV-C)", k.Name)
+			}
+			if k.ExtTrafficFrac < 0.4 {
+				t.Errorf("%s: paper reports 46-89%% external traffic for large problems", k.Name)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	k, err := ByName("LULESH")
+	if err != nil || k.Name != "LULESH" {
+		t.Errorf("ByName: %v, %v", k.Name, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown kernel must error")
+	}
+}
+
+func TestValidateRejectsBadKernels(t *testing.T) {
+	good := CoMD()
+	cases := []func(*Kernel){
+		func(k *Kernel) { k.Name = "" },
+		func(k *Kernel) { k.Intensity = 0 },
+		func(k *Kernel) { k.MaxUtilization = 1.5 },
+		func(k *Kernel) { k.MLPPerCU = 0 },
+		func(k *Kernel) { k.Activity = -0.1 },
+		func(k *Kernel) { k.CacheLocality = 2 },
+		func(k *Kernel) { k.ExtTrafficFrac = -1 },
+		func(k *Kernel) { k.WriteFrac = 1.1 },
+		func(k *Kernel) { k.ThrashSlope = -1 },
+		func(k *Kernel) { k.Compressibility = 0.5 },
+		func(k *Kernel) { k.Trace = nil },
+	}
+	for i, mutate := range cases {
+		k := good
+		mutate(&k)
+		if err := k.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if ComputeIntensive.String() != "compute-intensive" ||
+		Balanced.String() != "balanced" ||
+		MemoryIntensive.String() != "memory-intensive" {
+		t.Error("category strings wrong")
+	}
+	if Category(42).String() == "" {
+		t.Error("unknown category should render")
+	}
+}
+
+func TestPaperAnchors(t *testing.T) {
+	// MaxFlops is the peak-throughput probe: near-full utilization and
+	// activity, negligible footprint.
+	mf := MaxFlops()
+	if mf.MaxUtilization < 0.85 || mf.Activity != 1.0 || mf.FootprintGB > 0.1 {
+		t.Errorf("MaxFlops characterization off: %+v", mf)
+	}
+	// XSBench is the most latency-bound: lowest MLP among the
+	// memory-intensive kernels and lowest locality in the suite.
+	xs := XSBench()
+	for _, k := range Suite() {
+		if k.Name != xs.Name && k.CacheLocality < xs.CacheLocality {
+			t.Errorf("%s locality %v below XSBench's %v", k.Name, k.CacheLocality, xs.CacheLocality)
+		}
+	}
+	// SNAP hides chiplet latency with abundant parallelism (Fig. 7).
+	if SNAP().MLPPerCU < 48 {
+		t.Error("SNAP needs high MLP to make the chiplet overhead negligible")
+	}
+	// LULESH compresses best (Fig. 12: it benefits most from compression).
+	lu := LULESH()
+	for _, k := range Suite() {
+		if k.Name != lu.Name && k.Compressibility > lu.Compressibility {
+			t.Errorf("%s compressibility %v exceeds LULESH's %v", k.Name, k.Compressibility, lu.Compressibility)
+		}
+	}
+}
+
+func TestApplications(t *testing.T) {
+	apps := Applications()
+	if len(apps) < 4 {
+		t.Fatalf("applications = %d", len(apps))
+	}
+	for _, a := range apps {
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+		}
+		// The dominant kernel is the Table I entry.
+		if _, err := ByName(a.Dominant().Name); err != nil {
+			t.Errorf("%s: dominant kernel %q not in Table I", a.Name, a.Dominant().Name)
+		}
+		if a.Phases[0].Weight < 0.5 {
+			t.Errorf("%s: first phase should dominate (weight %v)", a.Name, a.Phases[0].Weight)
+		}
+	}
+	if _, err := ApplicationByName("CoMD"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ApplicationByName("nope"); err == nil {
+		t.Error("unknown application accepted")
+	}
+}
+
+func TestApplicationValidateRejects(t *testing.T) {
+	good, err := ApplicationByName("SNAP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := good
+	a.Name = ""
+	if a.Validate() == nil {
+		t.Error("nameless app accepted")
+	}
+	b := good
+	b.Phases = append([]AppPhase(nil), good.Phases...)
+	b.Phases[0].Weight = 0.5 // weights no longer sum to 1
+	if b.Validate() == nil {
+		t.Error("bad weight sum accepted")
+	}
+	c := good
+	c.Phases = nil
+	if c.Validate() == nil {
+		t.Error("phaseless app accepted")
+	}
+}

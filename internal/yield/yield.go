@@ -1,0 +1,198 @@
+// Package yield models the die-yield and silicon-cost argument behind the
+// EHP's chiplet decomposition (paper §II-A2): a monolithic SOC with the
+// EHP's capabilities "would result in an impractically large chip with
+// prohibitive costs", while "smaller chiplets have higher yield rates due to
+// their size, and when combined with known-good-die (KGD) testing
+// techniques, can be assembled into larger systems at reasonable cost."
+//
+// The model uses the negative-binomial (Murphy-style clustered) defect
+// yield formula standard in cost analyses, a wafer-area cost model, and a
+// per-die KGD test cost, and compares the monolithic EHP against the
+// chiplet + active-interposer assembly.
+package yield
+
+import (
+	"errors"
+	"math"
+)
+
+// Process describes the manufacturing assumptions.
+type Process struct {
+	// DefectsPerCm2 is the defect density of the logic process.
+	DefectsPerCm2 float64
+	// Clustering is the negative-binomial alpha (3 is customary).
+	Clustering float64
+	// WaferDiameterMM and WaferCost give the raw silicon cost basis.
+	WaferDiameterMM float64
+	WaferCostUSD    float64
+	// KGDTestUSD is the per-die known-good-die test cost.
+	KGDTestUSD float64
+}
+
+// AdvancedNode returns the cutting-edge logic process the compute chiplets
+// need (expensive wafers, non-trivial defect density).
+func AdvancedNode() Process {
+	return Process{
+		DefectsPerCm2:   0.12,
+		Clustering:      3,
+		WaferDiameterMM: 300,
+		WaferCostUSD:    12000,
+		KGDTestUSD:      2.0,
+	}
+}
+
+// MatureNode returns the older, cheaper process the active interposers use
+// (§II-A2: "the interposer layers can use a more mature (i.e., less
+// expensive) process technology node").
+func MatureNode() Process {
+	return Process{
+		DefectsPerCm2:   0.05,
+		Clustering:      3,
+		WaferDiameterMM: 300,
+		WaferCostUSD:    3500,
+		KGDTestUSD:      1.0,
+	}
+}
+
+// Errors.
+var ErrBadArea = errors.New("yield: die area must be positive")
+
+// DieYield returns the negative-binomial yield for a die of the given area
+// (cm^2): Y = (1 + D*A/alpha)^-alpha.
+func DieYield(p Process, areaCm2 float64) (float64, error) {
+	if areaCm2 <= 0 {
+		return 0, ErrBadArea
+	}
+	return math.Pow(1+p.DefectsPerCm2*areaCm2/p.Clustering, -p.Clustering), nil
+}
+
+// DiesPerWafer estimates gross dies per wafer with the standard edge-loss
+// correction.
+func DiesPerWafer(p Process, areaCm2 float64) (int, error) {
+	if areaCm2 <= 0 {
+		return 0, ErrBadArea
+	}
+	areaMM2 := areaCm2 * 100
+	d := p.WaferDiameterMM
+	gross := math.Pi*d*d/4/areaMM2 - math.Pi*d/math.Sqrt(2*areaMM2)
+	if gross < 1 {
+		return 0, nil
+	}
+	return int(gross), nil
+}
+
+// GoodDieCostUSD returns the cost of one known-good die: wafer cost
+// amortized over good dies, plus the KGD test cost (testing every gross die
+// to find the good ones).
+func GoodDieCostUSD(p Process, areaCm2 float64) (float64, error) {
+	y, err := DieYield(p, areaCm2)
+	if err != nil {
+		return 0, err
+	}
+	gross, err := DiesPerWafer(p, areaCm2)
+	if err != nil {
+		return 0, err
+	}
+	if gross == 0 || y == 0 {
+		return math.Inf(1), nil
+	}
+	good := float64(gross) * y
+	return p.WaferCostUSD/good + p.KGDTestUSD*float64(gross)/good, nil
+}
+
+// EHP die areas (cm^2): 8 GPU chiplets + 8 CPU chiplets + 6 interposers vs
+// one monolithic die with the same total compute silicon plus the
+// interposer functionality.
+type Assembly struct {
+	GPUChipletCm2  float64
+	CPUChipletCm2  float64
+	InterposerCm2  float64
+	GPUChiplets    int
+	CPUChiplets    int
+	Interposers    int
+	AssemblyPerDie float64 // bonding cost per placed die (USD)
+}
+
+// EHPAssembly returns the paper's configuration: 1 cm^2 GPU chiplets,
+// smaller CPU chiplets, and four-plus-two active interposers.
+func EHPAssembly() Assembly {
+	return Assembly{
+		GPUChipletCm2:  1.0,
+		CPUChipletCm2:  0.5,
+		InterposerCm2:  3.2,
+		GPUChiplets:    8,
+		CPUChiplets:    8,
+		Interposers:    6,
+		AssemblyPerDie: 3.0,
+	}
+}
+
+// MonolithicAreaCm2 returns the single-die equivalent area: all compute
+// silicon plus the interposer routing/IO functionality folded in.
+func (a Assembly) MonolithicAreaCm2() float64 {
+	compute := float64(a.GPUChiplets)*a.GPUChipletCm2 + float64(a.CPUChiplets)*a.CPUChipletCm2
+	// On-die integration of the interposer functions costs a fraction of
+	// the interposer area (no separate die boundaries).
+	return compute + 0.3*float64(a.Interposers)*a.InterposerCm2
+}
+
+// Comparison is the §II-A2 cost argument quantified.
+type Comparison struct {
+	MonolithicAreaCm2 float64
+	MonolithicYield   float64
+	MonolithicUSD     float64
+
+	ChipletWorstYield float64 // lowest per-die yield in the assembly
+	ChipletTotalUSD   float64 // all known-good dies + bonding
+	CostRatio         float64 // monolithic / chiplet
+}
+
+// Compare evaluates the assembly against its monolithic equivalent, using
+// the advanced node for compute silicon and the mature node for
+// interposers.
+func Compare(a Assembly, adv, mature Process) (Comparison, error) {
+	var c Comparison
+	c.MonolithicAreaCm2 = a.MonolithicAreaCm2()
+	y, err := DieYield(adv, c.MonolithicAreaCm2)
+	if err != nil {
+		return c, err
+	}
+	c.MonolithicYield = y
+	c.MonolithicUSD, err = GoodDieCostUSD(adv, c.MonolithicAreaCm2)
+	if err != nil {
+		return c, err
+	}
+
+	type die struct {
+		p     Process
+		area  float64
+		count int
+	}
+	dies := []die{
+		{adv, a.GPUChipletCm2, a.GPUChiplets},
+		{adv, a.CPUChipletCm2, a.CPUChiplets},
+		{mature, a.InterposerCm2, a.Interposers},
+	}
+	c.ChipletWorstYield = 1
+	totalDies := 0
+	for _, d := range dies {
+		y, err := DieYield(d.p, d.area)
+		if err != nil {
+			return c, err
+		}
+		if y < c.ChipletWorstYield {
+			c.ChipletWorstYield = y
+		}
+		cost, err := GoodDieCostUSD(d.p, d.area)
+		if err != nil {
+			return c, err
+		}
+		c.ChipletTotalUSD += cost * float64(d.count)
+		totalDies += d.count
+	}
+	c.ChipletTotalUSD += a.AssemblyPerDie * float64(totalDies)
+	if c.ChipletTotalUSD > 0 {
+		c.CostRatio = c.MonolithicUSD / c.ChipletTotalUSD
+	}
+	return c, nil
+}

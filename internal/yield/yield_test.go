@@ -1,0 +1,132 @@
+package yield
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDieYieldBasics(t *testing.T) {
+	p := AdvancedNode()
+	small, err := DieYield(p, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := DieYield(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small <= big {
+		t.Errorf("smaller dies must yield better: %v vs %v", small, big)
+	}
+	if small <= 0 || small > 1 || big <= 0 || big > 1 {
+		t.Errorf("yields out of range: %v, %v", small, big)
+	}
+	if _, err := DieYield(p, 0); err != ErrBadArea {
+		t.Errorf("zero area: %v", err)
+	}
+}
+
+func TestYieldMonotoneInArea(t *testing.T) {
+	p := AdvancedNode()
+	f := func(a, b float64) bool {
+		x := math.Abs(math.Mod(a, 10)) + 0.01
+		y := x + math.Abs(math.Mod(b, 10)) + 0.01
+		yx, err1 := DieYield(p, x)
+		yy, err2 := DieYield(p, y)
+		return err1 == nil && err2 == nil && yx >= yy
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiesPerWafer(t *testing.T) {
+	p := AdvancedNode()
+	small, err := DiesPerWafer(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := DiesPerWafer(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small <= big || big < 1 {
+		t.Errorf("dies per wafer: %d vs %d", small, big)
+	}
+	// A 300 mm wafer holds several hundred 1 cm^2 dies.
+	if small < 400 || small > 800 {
+		t.Errorf("1 cm^2 dies per wafer = %d", small)
+	}
+	// Absurdly large dies fit zero times.
+	huge, err := DiesPerWafer(p, 800)
+	if err != nil || huge != 0 {
+		t.Errorf("huge die count = %d, %v", huge, err)
+	}
+}
+
+func TestGoodDieCost(t *testing.T) {
+	p := AdvancedNode()
+	c1, err := GoodDieCostUSD(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c8, err := GoodDieCostUSD(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cost grows superlinearly with area (fewer dies AND worse yield).
+	if c8 < 8*c1 {
+		t.Errorf("8 cm^2 die at %v should cost more than 8x a 1 cm^2 die (%v)", c8, c1)
+	}
+	inf, err := GoodDieCostUSD(p, 800)
+	if err != nil || !math.IsInf(inf, 1) {
+		t.Errorf("unbuildable die should cost infinity: %v, %v", inf, err)
+	}
+}
+
+func TestMatureNodeCheaper(t *testing.T) {
+	adv, err := GoodDieCostUSD(AdvancedNode(), 3.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := GoodDieCostUSD(MatureNode(), 3.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat >= adv {
+		t.Errorf("mature-node interposer (%v) should undercut advanced (%v)", mat, adv)
+	}
+}
+
+func TestCompareFavorsChiplets(t *testing.T) {
+	c, err := Compare(EHPAssembly(), AdvancedNode(), MatureNode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The monolithic EHP-equivalent is enormous.
+	if c.MonolithicAreaCm2 < 10 {
+		t.Errorf("monolithic area = %v cm^2", c.MonolithicAreaCm2)
+	}
+	if c.MonolithicYield > 0.35 {
+		t.Errorf("monolithic yield %v — should be poor (§II-A2)", c.MonolithicYield)
+	}
+	if c.ChipletWorstYield < 0.75 {
+		t.Errorf("chiplet yields should be high, worst = %v", c.ChipletWorstYield)
+	}
+	// The §II-A2 claim: decomposition wins on cost.
+	if c.CostRatio <= 1.5 {
+		t.Errorf("monolithic/chiplet cost ratio = %v, expected a clear win", c.CostRatio)
+	}
+	if c.CostRatio > 20 {
+		t.Errorf("cost ratio %v implausibly extreme", c.CostRatio)
+	}
+}
+
+func TestCompareBadAssembly(t *testing.T) {
+	a := EHPAssembly()
+	a.GPUChipletCm2 = 0
+	if _, err := Compare(a, AdvancedNode(), MatureNode()); err == nil {
+		t.Error("zero-area chiplet accepted")
+	}
+}
