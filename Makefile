@@ -1,6 +1,6 @@
 # Convenience targets for the ENA reproduction.
 
-.PHONY: all build test vet bench experiments csv examples clean
+.PHONY: all build test test-race vet fuzz-short verify bench experiments csv examples clean
 
 all: build vet test
 
@@ -12,6 +12,19 @@ vet:
 
 test:
 	go test ./...
+
+# Full suite under the race detector; the obs registry and the simulator
+# worker pools are exercised concurrently by internal/obs and internal/dse.
+test-race:
+	go test -race ./...
+
+# Short fuzz pass over the compression codec (round-trip + ratio bounds).
+fuzz-short:
+	go test -run='^$$' -fuzz=FuzzLineRoundTrip -fuzztime=10s ./internal/compress
+	go test -run='^$$' -fuzz=FuzzDecodeNeverPanics -fuzztime=5s ./internal/compress
+
+# Tier-1 verification gate: everything must build, vet clean, and pass.
+verify: build vet test
 
 # Regenerate every table/figure and record the outputs (the reproduction log).
 bench:

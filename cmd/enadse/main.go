@@ -9,14 +9,18 @@
 //	enadse -budget 180 -opts                # looser budget, optimizations on
 //	enadse -cus 256,320,384 -freqs 800,1000,1200 -bws 2,4,6
 //	enadse -kernels CoMD,LULESH
+//	enadse -metrics                         # sweep telemetry report
+//	enadse -trace sweep.json -pprof cpu.out # Chrome trace + CPU profile
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"ena"
 )
@@ -52,6 +56,9 @@ func main() {
 	freqs := flag.String("freqs", "", "comma-separated frequencies in MHz (default: paper grid)")
 	bws := flag.String("bws", "", "comma-separated bandwidths in TB/s (default: paper grid)")
 	kernels := flag.String("kernels", "", "comma-separated kernel names (default: full suite)")
+	metrics := flag.Bool("metrics", false, "print a metrics report after the sweep")
+	traceOut := flag.String("trace", "", "write Chrome trace_event JSON to this file")
+	pprofOut := flag.String("pprof", "", "write a CPU profile to this file")
 	flag.Parse()
 
 	space := ena.DefaultSpace()
@@ -84,11 +91,33 @@ func main() {
 		}
 	}
 
+	var reg *ena.MetricsRegistry
+	var tr *ena.Tracer
+	if *metrics {
+		reg = ena.NewMetricsRegistry()
+	}
+	if *traceOut != "" {
+		tr = ena.NewTracer()
+	}
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	var tech ena.Technique
 	if *opts {
 		tech = ena.AllOptimizations
 	}
-	out := ena.Explore(space, ks, *budget, tech)
+	start := time.Now()
+	out := ena.ExploreObserved(space, ks, *budget, tech, reg, tr)
+	wall := time.Since(start)
 
 	fmt.Printf("explored %d design points, budget %.0f W, optimizations: %v\n",
 		len(out.Evals), *budget, *opts)
@@ -97,6 +126,24 @@ func main() {
 	for i, k := range ks {
 		e := out.BestPerKernel[i]
 		fmt.Printf("%-10s  %-18s  %12.2f  %10.1f\n", k.Name, e.Point.String(), e.PerfTFLOPs[i], e.BudgetW[i])
+	}
+
+	if reg != nil {
+		fmt.Println()
+		fmt.Print(ena.NewRunReport("enadse", reg, wall).Render())
+	}
+	if tr != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := tr.WriteJSON(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("\nwrote %d trace events to %s\n", tr.Len(), *traceOut)
 	}
 }
 

@@ -6,12 +6,17 @@
 //	enasim -list             # show available experiments
 //	enasim -run fig7         # run one experiment
 //	enasim -all              # run everything in paper order
+//	enasim -run fig7 -metrics           # plus a metrics report
+//	enasim -run fig7 -trace out.json    # plus a Chrome trace (chrome://tracing)
+//	enasim -all -pprof cpu.out          # plus a CPU profile
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
+	"time"
 
 	"ena"
 )
@@ -20,27 +25,80 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	run := flag.String("run", "", "run one experiment by id (e.g. fig7, table2)")
 	all := flag.Bool("all", false, "run every experiment in paper order")
+	metrics := flag.Bool("metrics", false, "print a metrics report after the run")
+	traceOut := flag.String("trace", "", "write Chrome trace_event JSON to this file")
+	pprofOut := flag.String("pprof", "", "write a CPU profile to this file")
 	flag.Parse()
 
+	var reg *ena.MetricsRegistry
+	var tr *ena.Tracer
+	if *metrics {
+		reg = ena.NewMetricsRegistry()
+	}
+	if *traceOut != "" {
+		tr = ena.NewTracer()
+	}
+	// The simulators buried inside experiments pick these up as the
+	// process-default observability scope.
+	ena.EnableObservability(reg, tr)
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	start := time.Now()
 	switch {
 	case *list:
 		for _, e := range ena.Experiments() {
 			fmt.Printf("%-14s %s\n", e.ID, e.Title)
 		}
 	case *run != "":
+		done := tr.Span(*run, "experiment", 0, 0)
 		out, err := ena.RunExperiment(*run)
+		done()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "enasim:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Println(out)
 	case *all:
 		for _, e := range ena.Experiments() {
 			fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+			done := tr.Span(e.ID, "experiment", 0, 0)
 			fmt.Println(e.Run().Render())
+			done()
 		}
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	if reg != nil {
+		fmt.Println()
+		fmt.Print(ena.NewRunReport("enasim", reg, time.Since(start)).Render())
+	}
+	if tr != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := tr.WriteJSON(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "enasim: wrote %d trace events to %s\n", tr.Len(), *traceOut)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "enasim:", err)
+	os.Exit(1)
 }

@@ -6,12 +6,15 @@
 //
 //	enatherm                               # CoMD on the best-mean config
 //	enatherm -kernel SNAP -cus 384 -freq 700 -bw 5
+//	enatherm -metrics -trace solve.json    # solver telemetry + Chrome trace
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
+	"time"
 
 	"ena"
 )
@@ -21,7 +24,34 @@ func main() {
 	cus := flag.Int("cus", 320, "total CU count")
 	freq := flag.Float64("freq", 1000, "GPU frequency (MHz)")
 	bw := flag.Float64("bw", 3, "in-package bandwidth (TB/s)")
+	metrics := flag.Bool("metrics", false, "print a metrics report after the solve")
+	traceOut := flag.String("trace", "", "write Chrome trace_event JSON to this file")
+	pprofOut := flag.String("pprof", "", "write a CPU profile to this file")
 	flag.Parse()
+
+	var reg *ena.MetricsRegistry
+	var tr *ena.Tracer
+	if *metrics {
+		reg = ena.NewMetricsRegistry()
+	}
+	if *traceOut != "" {
+		tr = ena.NewTracer()
+	}
+	ena.EnableObservability(reg, tr)
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "enatherm:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "enatherm:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	start := time.Now()
 
 	k, err := ena.WorkloadByName(*kernel)
 	if err != nil {
@@ -52,4 +82,25 @@ func main() {
 	fmt.Println()
 	fmt.Println()
 	fmt.Print(sol.ASCIIMap(2)) // bottom-most DRAM die
+
+	if reg != nil {
+		fmt.Println()
+		fmt.Print(ena.NewRunReport("enatherm", reg, time.Since(start)).Render())
+	}
+	if tr != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "enatherm:", err)
+			os.Exit(1)
+		}
+		if err := tr.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "enatherm:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "enatherm:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "enatherm: wrote %d trace events to %s\n", tr.Len(), *traceOut)
+	}
 }

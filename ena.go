@@ -18,6 +18,8 @@
 package ena
 
 import (
+	"time"
+
 	"ena/internal/arch"
 	"ena/internal/core"
 	"ena/internal/dse"
@@ -25,6 +27,7 @@ import (
 	"ena/internal/hsa"
 	"ena/internal/memsys"
 	"ena/internal/noc"
+	"ena/internal/obs"
 	"ena/internal/perf"
 	"ena/internal/power"
 	"ena/internal/powopt"
@@ -167,6 +170,47 @@ func DefaultSpace() Space { return dse.DefaultSpace() }
 // (Watts), optionally with power optimizations enabled.
 func Explore(space Space, kernels []Kernel, budgetW float64, opts Technique) Exploration {
 	return dse.Explore(space, kernels, budgetW, opts)
+}
+
+// ExploreObserved is Explore with observability attached: sweep metrics
+// (points evaluated, eval rate, worker utilization) land in reg and one span
+// per design point lands in tr. Either sink may be nil.
+func ExploreObserved(space Space, kernels []Kernel, budgetW float64, opts Technique, reg *MetricsRegistry, tr *Tracer) Exploration {
+	return dse.ExploreObserved(space, kernels, budgetW, opts, dse.Instr{Reg: reg, Tracer: tr})
+}
+
+// Observability (internal/obs).
+type (
+	// MetricsRegistry is a concurrency-safe collection of named counters,
+	// gauges and histograms with snapshot/reset semantics.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry.
+	MetricsSnapshot = obs.Snapshot
+	// Tracer records simulator events and exports Chrome trace_event JSON
+	// (loadable in chrome://tracing and Perfetto).
+	Tracer = obs.Tracer
+	// RunReport aggregates one run's metrics into text and JSON summaries.
+	RunReport = obs.Report
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTracer returns an empty trace recorder.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// NewRunReport snapshots a registry into a named report; wall is the run's
+// wall-clock duration.
+func NewRunReport(name string, reg *MetricsRegistry, wall time.Duration) *RunReport {
+	return obs.NewReport(name, reg, wall)
+}
+
+// EnableObservability installs process-default observability sinks. Every
+// instrumented simulator (NoC, memory system, DSE sweep, thermal solver,
+// event kernel) that is not handed explicit sinks records into these; pass
+// two nils to disable again. Intended for CLI -metrics/-trace wiring.
+func EnableObservability(reg *MetricsRegistry, tr *Tracer) {
+	obs.SetDefault(&obs.Scope{Reg: reg, Tr: tr})
 }
 
 // NodePowerBudgetW is the paper's 160 W per-node design budget.

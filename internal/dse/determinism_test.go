@@ -1,0 +1,95 @@
+package dse
+
+// The sweep fans out over a worker pool; these tests pin down that its
+// results are a pure function of the inputs — independent of worker count,
+// scheduling order, and attached instrumentation.
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"ena/internal/arch"
+	"ena/internal/obs"
+	"ena/internal/workload"
+)
+
+// detSpace is small enough to sweep twice per test but still multi-axis.
+func detSpace() Space {
+	return Space{
+		CUs:      []int{256, 320, 384},
+		FreqsMHz: []float64{900, 1000, 1100},
+		BWsTBps:  []float64{2, 3, 5},
+	}
+}
+
+// requireBitIdentical compares two outcomes down to the float bit pattern.
+func requireBitIdentical(t *testing.T, a, b Outcome) {
+	t.Helper()
+	if len(a.Evals) != len(b.Evals) {
+		t.Fatalf("eval counts differ: %d vs %d", len(a.Evals), len(b.Evals))
+	}
+	if a.BestMean.Point != b.BestMean.Point {
+		t.Fatalf("best-mean differs: %v vs %v", a.BestMean.Point, b.BestMean.Point)
+	}
+	for i := range a.Evals {
+		ea, eb := a.Evals[i], b.Evals[i]
+		if ea.Point != eb.Point || ea.FeasibleAll != eb.FeasibleAll {
+			t.Fatalf("eval %d differs: %+v vs %+v", i, ea, eb)
+		}
+		if math.Float64bits(ea.MeanScore) != math.Float64bits(eb.MeanScore) {
+			t.Fatalf("eval %d score not bit-identical: %x vs %x",
+				i, math.Float64bits(ea.MeanScore), math.Float64bits(eb.MeanScore))
+		}
+		for ki := range ea.PerfTFLOPs {
+			if math.Float64bits(ea.PerfTFLOPs[ki]) != math.Float64bits(eb.PerfTFLOPs[ki]) ||
+				math.Float64bits(ea.BudgetW[ki]) != math.Float64bits(eb.BudgetW[ki]) {
+				t.Fatalf("eval %d kernel %d not bit-identical", i, ki)
+			}
+		}
+	}
+	for ki := range a.BestPerKernel {
+		if a.BestPerKernel[ki].Point != b.BestPerKernel[ki].Point {
+			t.Fatalf("kernel %d best point differs: %v vs %v",
+				ki, a.BestPerKernel[ki].Point, b.BestPerKernel[ki].Point)
+		}
+	}
+}
+
+func TestExploreBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	ks := workload.Suite()
+	orig := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(orig)
+
+	runtime.GOMAXPROCS(1)
+	serial := Explore(detSpace(), ks, arch.NodePowerBudgetW, 0)
+	runtime.GOMAXPROCS(8)
+	parallel := Explore(detSpace(), ks, arch.NodePowerBudgetW, 0)
+
+	requireBitIdentical(t, serial, parallel)
+}
+
+func TestExploreInstrumentationDoesNotChangeResults(t *testing.T) {
+	ks := workload.Suite()[:4]
+	plain := Explore(detSpace(), ks, arch.NodePowerBudgetW, 0)
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer()
+	observed := ExploreObserved(detSpace(), ks, arch.NodePowerBudgetW, 0, Instr{Reg: reg, Tracer: tr})
+
+	requireBitIdentical(t, plain, observed)
+
+	snap := reg.Snapshot()
+	nPts := len(detSpace().Points())
+	if got := snap.Counters["dse.points_evaluated"]; got != int64(nPts) {
+		t.Errorf("points_evaluated = %d, want %d", got, nPts)
+	}
+	if got := snap.Counters["dse.kernel_evals"]; got != int64(nPts*len(ks)) {
+		t.Errorf("kernel_evals = %d, want %d", got, nPts*len(ks))
+	}
+	if u := snap.Gauges["dse.worker_utilization"]; u <= 0 || u > 1 {
+		t.Errorf("worker_utilization = %v, want (0,1]", u)
+	}
+	if tr.Len() != nPts {
+		t.Errorf("trace spans = %d, want one per point (%d)", tr.Len(), nPts)
+	}
+}

@@ -10,9 +10,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"ena/internal/arch"
 	"ena/internal/core"
+	"ena/internal/obs"
 	"ena/internal/powopt"
 	"ena/internal/stats"
 	"ena/internal/workload"
@@ -90,30 +92,86 @@ type Outcome struct {
 	BestPerKernel []Eval
 }
 
+// Instr bundles the observability sinks of a sweep. The zero value falls
+// back to the process-default scope (obs.Default), which is disabled unless
+// a CLI enabled it; sweeps then run uninstrumented at full speed.
+type Instr struct {
+	Reg    *obs.Registry
+	Tracer *obs.Tracer
+}
+
 // Explore sweeps the space for the kernels under the power budget, using all
 // CPUs. Optimizations change the feasible region (they lower power), not the
 // performance of a point.
 func Explore(space Space, kernels []workload.Kernel, budgetW float64, opts powopt.Technique) Outcome {
+	return ExploreObserved(space, kernels, budgetW, opts, Instr{})
+}
+
+// ExploreObserved is Explore with explicit observability sinks: it counts
+// points and kernel evaluations, measures the sweep's wall time, eval rate
+// and worker-pool utilization, and (when tracing) emits one span per design
+// point on the worker's track. Results are identical to Explore's — the
+// instrumentation never influences evaluation or selection.
+func ExploreObserved(space Space, kernels []workload.Kernel, budgetW float64, opts powopt.Technique, ins Instr) Outcome {
+	reg, tracer := ins.Reg, ins.Tracer
+	if reg == nil && tracer == nil {
+		sc := obs.Default()
+		reg, tracer = sc.Reg, sc.Tr
+	}
+	instrumented := reg != nil || tracer != nil
+	start := time.Now()
+
 	pts := space.Points()
 	evals := make([]Eval, len(pts))
 
 	var wg sync.WaitGroup
 	work := make(chan int)
 	workers := runtime.GOMAXPROCS(0)
+	busyNs := make([]int64, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(wid int) {
 			defer wg.Done()
+			var busy time.Duration
 			for i := range work {
+				if !instrumented {
+					evals[i] = evaluate(pts[i], kernels, budgetW, opts)
+					continue
+				}
+				t0 := time.Now()
 				evals[i] = evaluate(pts[i], kernels, budgetW, opts)
+				d := time.Since(t0)
+				busy += d
+				tracer.Complete("dse.evaluate", "dse",
+					float64(t0.Sub(start))/1e3, float64(d)/1e3,
+					obs.PIDDSE, wid, map[string]any{"point": pts[i].String()})
 			}
-		}()
+			busyNs[wid] = int64(busy)
+		}(w)
 	}
 	for i := range pts {
 		work <- i
 	}
 	close(work)
 	wg.Wait()
+
+	if reg != nil {
+		wall := time.Since(start)
+		reg.Counter("dse.points_evaluated").Add(int64(len(pts)))
+		reg.Counter("dse.kernel_evals").Add(int64(len(pts) * len(kernels)))
+		reg.Counter("dse.sweeps").Inc()
+		reg.Gauge("dse.workers").Set(float64(workers))
+		reg.Gauge("dse.wall_seconds").Set(wall.Seconds())
+		if wall > 0 {
+			reg.Gauge("dse.points_per_sec").Set(float64(len(pts)) / wall.Seconds())
+			var busyTotal int64
+			for _, b := range busyNs {
+				busyTotal += b
+			}
+			reg.Gauge("dse.worker_utilization").Set(
+				float64(busyTotal) / (float64(wall.Nanoseconds()) * float64(workers)))
+		}
+	}
 
 	// Score: normalize each kernel by its best performance anywhere in
 	// the space, then average.

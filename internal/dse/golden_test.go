@@ -1,0 +1,68 @@
+package dse
+
+// Golden regression snapshot of the full DefaultSpace exploration. The
+// paper's headline result (§V: 320 CUs / 1000 MHz / 3 TB/s best on average)
+// and the per-application Table II winners are locked down here so
+// instrumentation changes and future hot-path optimization work cannot
+// silently shift the selected design points. If a deliberate model change
+// moves a winner, update the snapshot in the same commit and say why.
+
+import (
+	"math"
+	"testing"
+)
+
+// goldenBase are the per-kernel best configurations without power
+// optimizations; goldenOpt with the full §V-E stack enabled.
+var (
+	goldenBase = map[string]Point{
+		"MaxFlops": {CUs: 384, FreqMHz: 925, BWTBps: 1},
+		"CoMD":     {CUs: 224, FreqMHz: 1300, BWTBps: 4},
+		"CoMD-LJ":  {CUs: 192, FreqMHz: 1400, BWTBps: 4},
+		"HPGMG":    {CUs: 384, FreqMHz: 1000, BWTBps: 4},
+		"LULESH":   {CUs: 384, FreqMHz: 1100, BWTBps: 5},
+		"MiniAMR":  {CUs: 384, FreqMHz: 1000, BWTBps: 5},
+		"XSBench":  {CUs: 384, FreqMHz: 1400, BWTBps: 7},
+		"SNAP":     {CUs: 352, FreqMHz: 1100, BWTBps: 4},
+	}
+	goldenOpt = map[string]Point{
+		"MaxFlops": {CUs: 384, FreqMHz: 1100, BWTBps: 7},
+		"CoMD":     {CUs: 384, FreqMHz: 1200, BWTBps: 4},
+		"CoMD-LJ":  {CUs: 352, FreqMHz: 1200, BWTBps: 4},
+		"HPGMG":    {CUs: 384, FreqMHz: 1200, BWTBps: 7},
+		"LULESH":   {CUs: 384, FreqMHz: 1300, BWTBps: 5},
+		"MiniAMR":  {CUs: 384, FreqMHz: 1200, BWTBps: 7},
+		"XSBench":  {CUs: 384, FreqMHz: 1500, BWTBps: 7},
+		"SNAP":     {CUs: 384, FreqMHz: 1200, BWTBps: 7},
+	}
+	// goldenBestMeanScore is the best-mean point's normalized score.
+	goldenBestMeanScore = 0.661074349184913
+)
+
+func TestGoldenBestMean(t *testing.T) {
+	b, _ := explored()
+	want := Point{CUs: 320, FreqMHz: 1000, BWTBps: 3}
+	if b.BestMean.Point != want {
+		t.Fatalf("best-mean moved: got %v, want the paper's %v", b.BestMean.Point, want)
+	}
+	if d := math.Abs(b.BestMean.MeanScore - goldenBestMeanScore); d > 1e-9 {
+		t.Errorf("best-mean score drifted: got %.15g, golden %.15g (|d|=%g)",
+			b.BestMean.MeanScore, goldenBestMeanScore, d)
+	}
+}
+
+func TestGoldenTableIIWinners(t *testing.T) {
+	b, o := explored()
+	for i, k := range b.Kernels {
+		if got, want := b.BestPerKernel[i].Point, goldenBase[k.Name]; got != want {
+			t.Errorf("%s: best config (no opts) moved: got %v, golden %v", k.Name, got, want)
+		}
+		if got, want := o.BestPerKernel[i].Point, goldenOpt[k.Name]; got != want {
+			t.Errorf("%s: best config (with opts) moved: got %v, golden %v", k.Name, got, want)
+		}
+	}
+	if len(b.Kernels) != len(goldenBase) {
+		t.Errorf("kernel suite size changed: %d kernels, %d golden entries",
+			len(b.Kernels), len(goldenBase))
+	}
+}

@@ -13,6 +13,8 @@ import (
 	"container/heap"
 	"errors"
 	"math"
+
+	"ena/internal/obs"
 )
 
 // Handler is the work a scheduled event performs. It runs with the simulator
@@ -73,6 +75,11 @@ type Sim struct {
 	seq       uint64
 	q         queue
 	processed uint64
+
+	// Observability handles (nil unless Instrument is called; the
+	// uninstrumented path pays one nil check per event).
+	evCounter  *obs.Counter
+	depthGauge *obs.Gauge
 }
 
 // NewSim returns an empty simulator with the clock at zero.
@@ -80,6 +87,17 @@ func NewSim() *Sim {
 	s := &Sim{}
 	heap.Init(&s.q)
 	return s
+}
+
+// Instrument attaches metrics to the kernel: prefix+".events" counts
+// executed events and prefix+".queue_depth_max" tracks the high-water mark
+// of the pending queue. A nil registry leaves the simulator uninstrumented.
+func (s *Sim) Instrument(reg *obs.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	s.evCounter = reg.Counter(prefix + ".events")
+	s.depthGauge = reg.Gauge(prefix + ".queue_depth_max")
 }
 
 // Now returns the current simulated time in cycles.
@@ -133,6 +151,10 @@ func (s *Sim) Step() bool {
 		}
 		s.now = it.at
 		s.processed++
+		if s.evCounter != nil {
+			s.evCounter.Inc()
+			s.depthGauge.SetMax(float64(s.q.Len()))
+		}
 		it.fn()
 		return true
 	}

@@ -2,10 +2,12 @@ package memsys
 
 import (
 	"math"
+	"time"
 
 	"ena/internal/arch"
 	"ena/internal/dram"
 	"ena/internal/event"
+	"ena/internal/obs"
 	"ena/internal/perf"
 	"ena/internal/units"
 	"ena/internal/workload"
@@ -61,6 +63,12 @@ type SimOptions struct {
 	// throughput. TempC selects the refresh regime (0 = 60 C).
 	BankLevel bool
 	TempC     float64
+	// Reg and Tracer attach observability sinks; when both are nil the
+	// process-default scope (obs.Default) is consulted.
+	Reg    *obs.Registry
+	Tracer *obs.Tracer
+	// TraceSampleEvery emits one trace event per N requests (default 256).
+	TraceSampleEvery int
 }
 
 // SimulateTrace replays a workload trace through the queuing model.
@@ -117,7 +125,20 @@ func SimulateTrace(cfg *arch.NodeConfig, tr []workload.Access, opt SimOptions) S
 		}
 	}
 
+	reg, tracer := opt.Reg, opt.Tracer
+	if reg == nil && tracer == nil {
+		sc := obs.Default()
+		reg, tracer = sc.Reg, sc.Tr
+	}
+	sampleEvery := opt.TraceSampleEvery
+	if sampleEvery <= 0 {
+		sampleEvery = 256
+	}
+	latHist := reg.Histogram("memsys.latency_ns", nil)
+	wallStart := time.Now()
+
 	sim := event.NewSim()
+	sim.Instrument(reg, "memsys.sim")
 	var (
 		sumLat, maxLat float64
 		extCount       int
@@ -125,13 +146,16 @@ func SimulateTrace(cfg *arch.NodeConfig, tr []workload.Access, opt SimOptions) S
 	)
 	for i, a := range tr {
 		acc := a
+		idx := i
 		arrive := float64(i) * interArrivalNs
 		_, err := sim.At(arrive, func() {
 			now := sim.Now()
 			line := acc.Addr / units.CacheLineBytes
 			var done float64
+			tier := "hbm"
 			if isMiss(line, opt.MissFrac) && len(ext) > 0 {
 				extCount++
+				tier = "ext"
 				iface := int(line % uint64(len(ext)))
 				svc := extService[iface]
 				if svc == 0 {
@@ -165,6 +189,11 @@ func SimulateTrace(cfg *arch.NodeConfig, tr []workload.Access, opt SimOptions) S
 			if done > lastDone {
 				lastDone = done
 			}
+			latHist.Observe(lat)
+			if tracer != nil && idx%sampleEvery == 0 {
+				tracer.Complete("memsys.access", tier, now/1000, lat/1000,
+					obs.PIDMemsys, 0, map[string]any{"tier": tier, "write": acc.Write})
+			}
 		})
 		if err != nil {
 			// Arrival times are monotonically increasing from zero;
@@ -190,6 +219,18 @@ func SimulateTrace(cfg *arch.NodeConfig, tr []workload.Access, opt SimOptions) S
 	}
 	if horizon > 0 {
 		res.HBMUtilization = busy / horizon
+	}
+
+	if reg != nil {
+		reg.Counter("memsys.requests").Add(int64(len(tr)))
+		reg.Counter("memsys.ext_requests").Add(int64(extCount))
+		reg.Counter("memsys.hbm_requests").Add(int64(len(tr) - extCount))
+		reg.Gauge("memsys.achieved_gbps").Set(res.AchievedGBps)
+		reg.Gauge("memsys.hbm_utilization").Set(res.HBMUtilization)
+		reg.Gauge("memsys.max_latency_ns").Set(res.MaxLatencyNs)
+		if wall := time.Since(wallStart).Seconds(); wall > 0 {
+			reg.Gauge("memsys.sim.events_per_sec").Set(float64(sim.Processed()) / wall)
+		}
 	}
 	return res
 }

@@ -8,10 +8,13 @@
 package noc
 
 import (
+	"fmt"
 	"math/rand"
+	"time"
 
 	"ena/internal/arch"
 	"ena/internal/event"
+	"ena/internal/obs"
 	"ena/internal/perf"
 	"ena/internal/units"
 	"ena/internal/workload"
@@ -128,6 +131,14 @@ type Options struct {
 	Seed int64
 	// Topology selects the interposer wiring (default PointToPoint).
 	Topology Topology
+	// Reg and Tracer attach observability sinks. When both are nil the
+	// process-default scope (obs.Default) is consulted, so CLI-level
+	// -metrics/-trace flags reach simulations buried inside experiments.
+	Reg    *obs.Registry
+	Tracer *obs.Tracer
+	// TraceSampleEvery emits one trace event per N completed requests
+	// (default 256) to keep trace files manageable; 1 records everything.
+	TraceSampleEvery int
 }
 
 // Simulate runs the closed-loop chiplet-network simulation for a kernel on a
@@ -147,6 +158,18 @@ func Simulate(cfg *arch.NodeConfig, k workload.Kernel, opt Options) Result {
 		}
 	}
 	rng := rand.New(rand.NewSource(opt.Seed + 1))
+
+	reg, tracer := opt.Reg, opt.Tracer
+	if reg == nil && tracer == nil {
+		sc := obs.Default()
+		reg, tracer = sc.Reg, sc.Tr
+	}
+	sampleEvery := opt.TraceSampleEvery
+	if sampleEvery <= 0 {
+		sampleEvery = 256
+	}
+	latHist := reg.Histogram("noc.latency_ns", nil)
+	wallStart := time.Now()
 
 	// Scale per-resource bandwidth so the reduced token population still
 	// exercises the same tokens-per-bandwidth ratio as the real machine.
@@ -168,19 +191,22 @@ func Simulate(cfg *arch.NodeConfig, k workload.Kernel, opt Options) Result {
 	}
 	egressSvc := float64(units.CacheLineBytes) / (EgressGBps * scale * units.GB) * 1e9
 	// Direct point-to-point links between every ordered pair of the six
-	// interposer positions.
+	// interposer positions, indexed [src][dst] so aggregation walks them in
+	// a fixed order (a map here made the float busy-time sum, and therefore
+	// LinkUtilization, depend on iteration order).
 	const positions = 6
 	linkSvc := float64(units.CacheLineBytes) / (LinkGBps * scale * units.GB) * 1e9
-	links := make(map[[2]int]*server)
+	var links [positions][positions]*server
 	for i := 0; i < positions; i++ {
 		for j := 0; j < positions; j++ {
 			if i != j {
-				links[[2]int{i, j}] = &server{}
+				links[i][j] = &server{}
 			}
 		}
 	}
 
 	sim := event.NewSim()
+	sim.Instrument(reg, "noc.sim")
 	var (
 		done, outOf int
 		sumLat      float64
@@ -212,12 +238,12 @@ func Simulate(cfg *arch.NodeConfig, k workload.Kernel, opt Options) Result {
 					next = pos - 1
 				}
 				wire := RouterHopNs + WireNsPerPosition
-				tt = links[[2]int{pos, next}].serve(tt+wire, linkSvc)
+				tt = links[pos][next].serve(tt+wire, linkSvc)
 				pos = next
 			}
 		default:
 			wire := RouterHopNs + WireNsPerPosition*float64(h)
-			tt = links[[2]int{srcPos, dstPos}].serve(tt+wire, linkSvc)
+			tt = links[srcPos][dstPos].serve(tt+wire, linkSvc)
 		}
 		tt += TSVHopNs // ascend into the destination chiplet/stack
 		return hbm[dst].serve(tt, hbmSvc[dst]) + perf.HBMLatencyNs, h
@@ -273,6 +299,15 @@ func Simulate(cfg *arch.NodeConfig, k workload.Kernel, opt Options) Result {
 			if remote {
 				outOf++
 			}
+			latHist.Observe(lat)
+			if tracer != nil && done%sampleEvery == 0 {
+				// Simulated-time span: ts/dur in "microseconds" carry
+				// simulated nanoseconds /1000 on the NoC pid.
+				tracer.Complete("noc.request", "noc", t0/1000, lat/1000,
+					obs.PIDNoC, srcPos, map[string]any{
+						"hops": h, "remote": remote, "dst": dst,
+					})
+			}
 			if sim.Now() > lastDone {
 				lastDone = sim.Now()
 			}
@@ -300,11 +335,44 @@ func Simulate(cfg *arch.NodeConfig, k workload.Kernel, opt Options) Result {
 		r.SustainedGBps = bytes / (lastDone * 1e-9) / units.GB / scale
 	}
 	var busy float64
-	for _, l := range links {
-		busy += l.busyNs
+	nLinks := 0
+	for i := 0; i < positions; i++ {
+		for j := 0; j < positions; j++ {
+			if links[i][j] != nil {
+				busy += links[i][j].busyNs
+				nLinks++
+			}
+		}
 	}
-	if lastDone > 0 && len(links) > 0 {
-		r.LinkUtilization = busy / (lastDone * float64(len(links)))
+	if lastDone > 0 && nLinks > 0 {
+		r.LinkUtilization = busy / (lastDone * float64(nLinks))
+	}
+
+	if reg != nil {
+		reg.Counter("noc.requests").Add(int64(done))
+		reg.Counter("noc.remote_requests").Add(int64(outOf))
+		reg.Gauge("noc.sustained_gbps").Set(r.SustainedGBps)
+		reg.Gauge("noc.mean_latency_ns").Set(r.MeanLatencyNs)
+		// Link-topology gauges only apply to chiplet runs: a monolithic
+		// baseline never exercises the links and must not overwrite the
+		// chiplet values with zeros.
+		if !cfg.Monolithic {
+			reg.Gauge("noc.mean_hops").Set(r.MeanHops)
+			reg.Gauge("noc.link_utilization").Set(r.LinkUtilization)
+		}
+		if lastDone > 0 {
+			for i := 0; i < positions; i++ {
+				for j := 0; j < positions; j++ {
+					if l := links[i][j]; l != nil && l.busyNs > 0 {
+						reg.Gauge(fmt.Sprintf("noc.link.%d-%d.busy_frac", i, j)).
+							Set(l.busyNs / lastDone)
+					}
+				}
+			}
+		}
+		if wall := time.Since(wallStart).Seconds(); wall > 0 {
+			reg.Gauge("noc.sim.events_per_sec").Set(float64(sim.Processed()) / wall)
+		}
 	}
 	return r
 }

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"ena/internal/obs"
 )
 
 // Package geometry: 1 mm grid cells over a 56 x 32 mm package substrate.
@@ -217,6 +219,18 @@ func Solve(fp *Floorplan, p PowerAssignment, ambientC float64) (*Solution, error
 
 // SolveWithParams is Solve with explicit boundary parameters.
 func SolveWithParams(fp *Floorplan, p PowerAssignment, ambientC float64, prm Params) (*Solution, error) {
+	return SolveObserved(fp, p, ambientC, prm, nil, nil)
+}
+
+// SolveObserved is SolveWithParams with observability sinks: it counts
+// solves and iterations, records convergence, and (when tracing) samples the
+// SOR residual every 50 iterations so a stalled solve is visible in the
+// trace. When both sinks are nil the process-default scope is consulted.
+func SolveObserved(fp *Floorplan, p PowerAssignment, ambientC float64, prm Params, reg *obs.Registry, tracer *obs.Tracer) (*Solution, error) {
+	if reg == nil && tracer == nil {
+		sc := obs.Default()
+		reg, tracer = sc.Reg, sc.Tr
+	}
 	if len(p.GPUChipletW) != len(fp.GPU) {
 		return nil, errors.New("thermal: GPU power count mismatch")
 	}
@@ -392,9 +406,31 @@ func SolveWithParams(fp *Floorplan, p PowerAssignment, ambientC float64, prm Par
 			}
 		}
 		sol.Iterations = iter + 1
+		if tracer != nil && iter%50 == 0 {
+			tracer.CounterEvent("thermal.sor_residual", float64(iter),
+				obs.PIDThermal, map[string]any{"max_delta_c": maxDelta})
+		}
 		if maxDelta < tol {
+			recordSolve(reg, &sol, true)
 			return &sol, nil
 		}
 	}
+	recordSolve(reg, &sol, false)
 	return &sol, errors.New("thermal: SOR did not converge")
+}
+
+// recordSolve writes one solve's outcome into the registry.
+func recordSolve(reg *obs.Registry, sol *Solution, converged bool) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("thermal.solves").Inc()
+	if !converged {
+		reg.Counter("thermal.nonconverged").Inc()
+	}
+	reg.Histogram("thermal.iterations", []float64{
+		100, 200, 500, 1000, 2000, 5000, 10000, 20000,
+	}).Observe(float64(sol.Iterations))
+	reg.Gauge("thermal.last_iterations").Set(float64(sol.Iterations))
+	reg.Gauge("thermal.peak_dram_temp_c").SetMax(sol.PeakDRAMTempC())
 }
