@@ -1,6 +1,6 @@
 # Convenience targets for the ENA reproduction.
 
-.PHONY: all build test test-race vet fuzz-short verify bench experiments csv examples clean
+.PHONY: all build test test-race test-service vet fuzz-short verify bench bench-json serve experiments csv examples clean
 
 all: build vet test
 
@@ -18,17 +18,32 @@ test:
 test-race:
 	go test -race ./...
 
+# The service layer (scheduler, cache, HTTP handlers) under the race
+# detector — its tests are concurrency-heavy by design.
+test-service:
+	go test -race ./internal/service/...
+
 # Short fuzz pass over the compression codec (round-trip + ratio bounds).
 fuzz-short:
 	go test -run='^$$' -fuzz=FuzzLineRoundTrip -fuzztime=10s ./internal/compress
 	go test -run='^$$' -fuzz=FuzzDecodeNeverPanics -fuzztime=5s ./internal/compress
 
-# Tier-1 verification gate: everything must build, vet clean, and pass.
-verify: build vet test
+# Tier-1 verification gate: everything must build, vet clean, and pass,
+# including the race pass over the service layer.
+verify: build vet test test-service
 
 # Regenerate every table/figure and record the outputs (the reproduction log).
 bench:
 	go test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Machine-readable perf snapshot: run the root bench suite and record a
+# dated JSON summary for the repo's performance trajectory.
+bench-json:
+	go test -run='^$$' -bench=. -benchmem . | go run ./cmd/enabench -out BENCH_$$(date +%Y-%m-%d).json
+
+# Run the simulation service (POST /v1/simulate, /v1/explore, GET /metrics).
+serve:
+	go run ./cmd/enaserve
 
 experiments:
 	go run ./cmd/enasim -all

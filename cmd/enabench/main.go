@@ -1,0 +1,150 @@
+// Command enabench converts `go test -bench` text output into a JSON
+// summary, seeding the repo's performance trajectory: each run records the
+// per-benchmark ns/op, B/op and allocs/op so successive BENCH_<date>.json
+// files can be diffed for regressions.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem | enabench -out BENCH_2026-08-06.json
+//	enabench -in bench_output.txt            # print JSON to stdout
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Summary is the emitted document.
+type Summary struct {
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// parseLine parses one benchmark result line, e.g.
+//
+//	BenchmarkSimulateNode-8   200000   6170 ns/op   1424 B/op   18 allocs/op
+//
+// Returns false for non-benchmark lines (headers, PASS, logs).
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	name := fields[0]
+	procs := 0
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			procs = p
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Procs: procs, Iterations: iters}
+	// The remainder is value/unit pairs: "6170 ns/op 1424 B/op 18 allocs/op".
+	for i := 2; i+1 < len(fields); i += 2 {
+		v := fields[i]
+		switch fields[i+1] {
+		case "ns/op":
+			if r.NsPerOp, err = strconv.ParseFloat(v, 64); err != nil {
+				return Result{}, false
+			}
+		case "B/op":
+			r.BytesPerOp, _ = strconv.ParseInt(v, 10, 64)
+		case "allocs/op":
+			r.AllocsPerOp, _ = strconv.ParseInt(v, 10, 64)
+		}
+	}
+	if r.NsPerOp == 0 {
+		return Result{}, false
+	}
+	return r, true
+}
+
+func parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		if res, ok := parseLine(sc.Text()); ok {
+			out = append(out, res)
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	in := flag.String("in", "", "read bench output from this file (default: stdin)")
+	out := flag.String("out", "", "write the JSON summary to this file (default: stdout)")
+	flag.Parse()
+
+	src := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	results, err := parse(src)
+	if err != nil {
+		fail(err)
+	}
+	if len(results) == 0 {
+		fail(fmt.Errorf("no benchmark results found in input"))
+	}
+	sum := Summary{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: results,
+	}
+
+	dst := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		dst = f
+	}
+	enc := json.NewEncoder(dst)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		fail(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "enabench: wrote %d benchmark results to %s\n", len(results), *out)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "enabench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	tests := []struct {
+		line string
+		want Result
+		ok   bool
+	}{
+		{
+			line: "BenchmarkSimulateNode-8   	  200000	      6170 ns/op	    1424 B/op	      18 allocs/op",
+			want: Result{Name: "BenchmarkSimulateNode", Procs: 8, Iterations: 200000,
+				NsPerOp: 6170, BytesPerOp: 1424, AllocsPerOp: 18},
+			ok: true,
+		},
+		{
+			line: "BenchmarkDSEExploration-4  50  21000000 ns/op",
+			want: Result{Name: "BenchmarkDSEExploration", Procs: 4, Iterations: 50, NsPerOp: 21000000},
+			ok:   true,
+		},
+		{line: "goos: linux", ok: false},
+		{line: "PASS", ok: false},
+		{line: "ok  	ena	12.3s", ok: false},
+		{line: "--- BENCH: BenchmarkTable1-8", ok: false},
+		{line: "BenchmarkBroken-8 notanumber 5 ns/op", ok: false},
+		{line: "", ok: false},
+	}
+	for _, tc := range tests {
+		got, ok := parseLine(tc.line)
+		if ok != tc.ok {
+			t.Errorf("parseLine(%q) ok = %v, want %v", tc.line, ok, tc.ok)
+			continue
+		}
+		if ok && got != tc.want {
+			t.Errorf("parseLine(%q) = %+v, want %+v", tc.line, got, tc.want)
+		}
+	}
+}
+
+func TestParseStream(t *testing.T) {
+	input := `goos: linux
+goarch: amd64
+pkg: ena
+BenchmarkTable1-8    	     100	  11825003 ns/op	 5271148 B/op	   75426 allocs/op
+BenchmarkFigure4-8   	      50	  22576500 ns/op
+some log line from b.Logf
+BenchmarkPowerModel-8	 5000000	       245.7 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	ena	30.1s
+`
+	results, err := parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(results), results)
+	}
+	if results[0].Name != "BenchmarkTable1" || results[0].AllocsPerOp != 75426 {
+		t.Errorf("first result = %+v", results[0])
+	}
+	if results[2].NsPerOp != 245.7 {
+		t.Errorf("fractional ns/op = %v, want 245.7", results[2].NsPerOp)
+	}
+}

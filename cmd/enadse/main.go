@@ -11,15 +11,22 @@
 //	enadse -kernels CoMD,LULESH
 //	enadse -metrics                         # sweep telemetry report
 //	enadse -trace sweep.json -pprof cpu.out # Chrome trace + CPU profile
+//	enadse -timeout 10s                     # bound the sweep
+//
+// The sweep aborts cleanly on Ctrl-C or when -timeout expires — the same
+// cooperative cancellation path the enaserve job scheduler uses.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"ena"
@@ -56,6 +63,7 @@ func main() {
 	freqs := flag.String("freqs", "", "comma-separated frequencies in MHz (default: paper grid)")
 	bws := flag.String("bws", "", "comma-separated bandwidths in TB/s (default: paper grid)")
 	kernels := flag.String("kernels", "", "comma-separated kernel names (default: full suite)")
+	timeout := flag.Duration("timeout", 0, "abort the sweep after this long (0 = no limit)")
 	metrics := flag.Bool("metrics", false, "print a metrics report after the sweep")
 	traceOut := flag.String("trace", "", "write Chrome trace_event JSON to this file")
 	pprofOut := flag.String("pprof", "", "write a CPU profile to this file")
@@ -115,9 +123,21 @@ func main() {
 	if *opts {
 		tech = ena.AllOptimizations
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	start := time.Now()
-	out := ena.ExploreObserved(space, ks, *budget, tech, reg, tr)
+	out, err := ena.ExploreContext(ctx, space, ks, *budget, tech, reg, tr)
 	wall := time.Since(start)
+	if err != nil {
+		fail(fmt.Errorf("sweep aborted after %v: %w", wall.Round(time.Millisecond), err))
+	}
 
 	fmt.Printf("explored %d design points, budget %.0f W, optimizations: %v\n",
 		len(out.Evals), *budget, *opts)

@@ -1,0 +1,100 @@
+// Command enaserve runs the ENA simulation service: an HTTP/JSON API that
+// executes node simulations and design-space explorations on a bounded
+// worker pool, deduplicating identical requests through a content-addressed
+// result cache.
+//
+// Usage:
+//
+//	enaserve                        # listen on :8080
+//	enaserve -addr 127.0.0.1:9090   # custom listen address
+//	enaserve -workers 8 -queue 128  # bigger job pool
+//	enaserve -job-timeout 5m        # default per-job deadline
+//
+// Endpoints (see internal/service for the full API):
+//
+//	POST /v1/simulate           one node simulation, cached
+//	POST /v1/explore            async DSE sweep job (poll GET /v1/jobs/{id})
+//	GET  /v1/experiments/{id}   paper table/figure harnesses
+//	GET  /metrics               metrics snapshot (JSON)
+//	GET  /healthz               liveness
+//
+// On SIGINT/SIGTERM the server stops listening, lets in-flight requests and
+// jobs finish within the grace period, then force-cancels whatever remains.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ena/internal/obs"
+	"ena/internal/service"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("enaserve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "job worker-pool size (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", service.DefaultQueueCap, "max queued jobs before submissions get 429")
+	cacheSize := fs.Int("cache", service.DefaultCacheSize, "result-cache capacity (entries)")
+	jobTimeout := fs.Duration("job-timeout", 10*time.Minute, "default per-job deadline (0 = none)")
+	grace := fs.Duration("grace", 30*time.Second, "shutdown grace period before force-cancelling jobs")
+	fs.Parse(args)
+
+	// The signal context only triggers the drain sequence. Jobs run under
+	// context.Background() so they get the full grace period; Drain
+	// force-cancels whatever is still running when it expires.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := service.New(context.Background(), service.Config{
+		Workers:    *workers,
+		QueueCap:   *queue,
+		CacheSize:  *cacheSize,
+		JobTimeout: *jobTimeout,
+		Reg:        obs.NewRegistry(),
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "enaserve: listening on %s\n", *addr)
+
+	select {
+	case <-ctx.Done():
+		// Signal: stop the listener first so no new work arrives, then
+		// drain the job pool within the grace period.
+		fmt.Fprintln(os.Stderr, "enaserve: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "enaserve: http shutdown:", err)
+		}
+		if err := srv.Drain(shutCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "enaserve: drain:", err)
+			return 1
+		}
+		fmt.Fprintln(os.Stderr, "enaserve: drained cleanly")
+		return 0
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "enaserve:", err)
+			return 1
+		}
+		return 0
+	}
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeAndShutdown boots the real binary entrypoint on a free port,
+// exercises a request end to end, then delivers SIGTERM and checks the
+// graceful-drain path exits cleanly.
+func TestServeAndShutdown(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	exit := make(chan int, 1)
+	go func() { exit <- run([]string{"-addr", addr, "-grace", "10s"}) }()
+
+	base := "http://" + addr
+	var resp *http.Response
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err = http.Get(base + "/healthz")
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	simResp, err := http.Post(base+"/v1/simulate", "application/json",
+		strings.NewReader(`{"kernel":"CoMD"}`))
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	defer simResp.Body.Close()
+	if simResp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate = %d", simResp.StatusCode)
+	}
+	var sim struct {
+		Kernel string  `json:"kernel"`
+		TFLOPs float64 `json:"tflops"`
+	}
+	if err := json.NewDecoder(simResp.Body).Decode(&sim); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if sim.Kernel != "CoMD" || sim.TFLOPs <= 0 {
+		t.Errorf("simulate response = %+v", sim)
+	}
+
+	mResp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	mResp.Body.Close()
+	if ct := mResp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("metrics content type = %q", ct)
+	}
+
+	// SIGTERM to our own process: only run()'s NotifyContext is listening.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Errorf("exit code = %d, want 0", code)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not shut down after SIGTERM")
+	}
+
+	if _, err := http.Get(fmt.Sprintf("http://%s/healthz", addr)); err == nil {
+		t.Error("listener still accepting after shutdown")
+	}
+}

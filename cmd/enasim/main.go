@@ -6,29 +6,51 @@
 //	enasim -list             # show available experiments
 //	enasim -run fig7         # run one experiment
 //	enasim -all              # run everything in paper order
+//	enasim -all -timeout 30s            # bound the whole run
 //	enasim -run fig7 -metrics           # plus a metrics report
 //	enasim -run fig7 -trace out.json    # plus a Chrome trace (chrome://tracing)
 //	enasim -all -pprof cpu.out          # plus a CPU profile
+//
+// Runs abort cleanly on Ctrl-C or when -timeout expires, sharing the same
+// cancellation path as the enaserve job scheduler.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"ena"
 )
 
 func main() {
-	list := flag.Bool("list", false, "list available experiments")
-	run := flag.String("run", "", "run one experiment by id (e.g. fig7, table2)")
-	all := flag.Bool("all", false, "run every experiment in paper order")
-	metrics := flag.Bool("metrics", false, "print a metrics report after the run")
-	traceOut := flag.String("trace", "", "write Chrome trace_event JSON to this file")
-	pprofOut := flag.String("pprof", "", "write a CPU profile to this file")
-	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout))
+}
+
+func run(ctx context.Context, args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("enasim", flag.ExitOnError)
+	list := fs.Bool("list", false, "list available experiments")
+	runID := fs.String("run", "", "run one experiment by id (e.g. fig7, table2)")
+	all := fs.Bool("all", false, "run every experiment in paper order")
+	timeout := fs.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+	metrics := fs.Bool("metrics", false, "print a metrics report after the run")
+	traceOut := fs.String("trace", "", "write Chrome trace_event JSON to this file")
+	pprofOut := fs.String("pprof", "", "write a CPU profile to this file")
+	fs.Parse(args)
+
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var reg *ena.MetricsRegistry
 	var tr *ena.Tracer
@@ -44,11 +66,11 @@ func main() {
 	if *pprofOut != "" {
 		f, err := os.Create(*pprofOut)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fail(err)
+			return fail(err)
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -57,48 +79,76 @@ func main() {
 	switch {
 	case *list:
 		for _, e := range ena.Experiments() {
-			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+			fmt.Fprintf(out, "%-14s %s\n", e.ID, e.Title)
 		}
-	case *run != "":
-		done := tr.Span(*run, "experiment", 0, 0)
-		out, err := ena.RunExperiment(*run)
+	case *runID != "":
+		done := tr.Span(*runID, "experiment", 0, 0)
+		text, err := runExperiment(ctx, *runID)
 		done()
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
-		fmt.Println(out)
+		fmt.Fprintln(out, text)
 	case *all:
 		for _, e := range ena.Experiments() {
-			fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+			if err := ctx.Err(); err != nil {
+				return fail(fmt.Errorf("aborted before %s: %w", e.ID, err))
+			}
+			fmt.Fprintf(out, "=== %s: %s ===\n", e.ID, e.Title)
 			done := tr.Span(e.ID, "experiment", 0, 0)
-			fmt.Println(e.Run().Render())
+			text, err := runExperiment(ctx, e.ID)
 			done()
+			if err != nil {
+				return fail(err)
+			}
+			fmt.Fprintln(out, text)
 		}
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
 
 	if reg != nil {
-		fmt.Println()
-		fmt.Print(ena.NewRunReport("enasim", reg, time.Since(start)).Render())
+		fmt.Fprintln(out)
+		fmt.Fprint(out, ena.NewRunReport("enasim", reg, time.Since(start)).Render())
 	}
 	if tr != nil {
 		f, err := os.Create(*traceOut)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		if err := tr.WriteJSON(f); err != nil {
-			fail(err)
+			return fail(err)
 		}
 		if err := f.Close(); err != nil {
-			fail(err)
+			return fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "enasim: wrote %d trace events to %s\n", tr.Len(), *traceOut)
 	}
+	return 0
 }
 
-func fail(err error) {
+// runExperiment executes one harness on a goroutine so Ctrl-C/-timeout abort
+// the wait; a cancelled run's in-flight experiment is abandoned, not joined.
+func runExperiment(ctx context.Context, id string) (string, error) {
+	type result struct {
+		text string
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		text, err := ena.RunExperiment(id)
+		ch <- result{text, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.text, r.err
+	case <-ctx.Done():
+		return "", fmt.Errorf("experiment %s: %w", id, ctx.Err())
+	}
+}
+
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "enasim:", err)
-	os.Exit(1)
+	return 1
 }

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// Smoke test: a fast experiment runs end to end through the real CLI
+// entrypoint and produces paper-style output.
+func TestRunExperimentSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if code := run(context.Background(), []string{"-run", "table1"}, &out); code != 0 {
+		t.Fatalf("run exited %d", code)
+	}
+	text := out.String()
+	if len(strings.TrimSpace(text)) == 0 {
+		t.Fatal("experiment produced no output")
+	}
+	for _, want := range []string{"Table", "CoMD"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out bytes.Buffer
+	if code := run(context.Background(), []string{"-list"}, &out); code != 0 {
+		t.Fatalf("run -list exited %d", code)
+	}
+	if !strings.Contains(out.String(), "table1") {
+		t.Errorf("-list output missing table1:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if code := run(context.Background(), []string{"-run", "nosuch"}, &out); code != 1 {
+		t.Errorf("unknown experiment exited %d, want 1", code)
+	}
+}
+
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out bytes.Buffer
+	if code := run(ctx, []string{"-all", "-timeout", "1h"}, &out); code != 1 {
+		t.Errorf("cancelled -all exited %d, want 1", code)
+	}
+	// The first experiment may already be in flight when cancellation is
+	// observed, but the run must stop far short of all of them.
+	if n := strings.Count(out.String(), "==="); n > 2 {
+		t.Errorf("cancelled run still executed %d experiments", n)
+	}
+}

@@ -18,6 +18,7 @@
 package ena
 
 import (
+	"context"
 	"time"
 
 	"ena/internal/arch"
@@ -177,6 +178,14 @@ func Explore(space Space, kernels []Kernel, budgetW float64, opts Technique) Exp
 // per design point lands in tr. Either sink may be nil.
 func ExploreObserved(space Space, kernels []Kernel, budgetW float64, opts Technique, reg *MetricsRegistry, tr *Tracer) Exploration {
 	return dse.ExploreObserved(space, kernels, budgetW, opts, dse.Instr{Reg: reg, Tracer: tr})
+}
+
+// ExploreContext is ExploreObserved with cooperative cancellation: when ctx
+// ends mid-sweep the workers stop between design points and the call returns
+// ctx's error with a partial (selection-free) Exploration. Used by CLI
+// Ctrl-C handling and the enaserve job scheduler.
+func ExploreContext(ctx context.Context, space Space, kernels []Kernel, budgetW float64, opts Technique, reg *MetricsRegistry, tr *Tracer) (Exploration, error) {
+	return dse.ExploreContext(ctx, space, kernels, budgetW, opts, dse.Instr{Reg: reg, Tracer: tr})
 }
 
 // Observability (internal/obs).

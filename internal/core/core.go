@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"ena/internal/arch"
@@ -100,6 +101,19 @@ func Simulate(cfg *arch.NodeConfig, k workload.Kernel, opt Options) Result {
 		res.GFperW = pr.TFLOPs * 1000 / res.NodeW
 	}
 	return res
+}
+
+// SimulateContext is Simulate with cooperative cancellation: it returns
+// ctx.Err() without running the model when ctx is already done. One node
+// simulation is a sub-millisecond analytic evaluation, so the check-before-run
+// granularity is what callers iterating over many (config, kernel) pairs —
+// the DSE sweep, the service layer — need to abort promptly between
+// evaluations.
+func SimulateContext(ctx context.Context, cfg *arch.NodeConfig, k workload.Kernel, opt Options) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	return Simulate(cfg, k, opt), nil
 }
 
 // BudgetPowerW is the quantity the 160 W DSE budget constrains: package

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -192,5 +193,27 @@ func TestSimulateAppRejectsInvalid(t *testing.T) {
 	bad := workload.Application{Name: "x"}
 	if _, err := SimulateApp(cfg, bad, Options{}); err == nil {
 		t.Error("empty application accepted")
+	}
+}
+
+func TestSimulateContext(t *testing.T) {
+	cfg := arch.BestMeanEHP()
+	k, err := workload.ByName("CoMD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := SimulateContext(context.Background(), cfg, k, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Simulate(cfg, k, Options{})
+	if r.Perf.TFLOPs != want.Perf.TFLOPs || r.NodeW != want.NodeW {
+		t.Errorf("SimulateContext = %v, want %v", r, want)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SimulateContext(ctx, cfg, k, Options{}); err != context.Canceled {
+		t.Errorf("cancelled SimulateContext err = %v, want context.Canceled", err)
 	}
 }

@@ -7,9 +7,11 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ena/internal/arch"
@@ -113,6 +115,20 @@ func Explore(space Space, kernels []workload.Kernel, budgetW float64, opts powop
 // point on the worker's track. Results are identical to Explore's — the
 // instrumentation never influences evaluation or selection.
 func ExploreObserved(space Space, kernels []workload.Kernel, budgetW float64, opts powopt.Technique, ins Instr) Outcome {
+	out, _ := ExploreContext(context.Background(), space, kernels, budgetW, opts, ins)
+	return out
+}
+
+// ExploreContext is ExploreObserved with cooperative cancellation: when ctx
+// is cancelled or its deadline passes mid-sweep, the worker pool stops
+// evaluating further design points promptly (workers check the context
+// between points and between kernels within a point) and the sweep returns
+// ctx.Err(). On cancellation the Outcome carries the space's metadata but no
+// selections — partial sweeps must not be mistaken for full explorations —
+// while the registry still records how many points were actually evaluated
+// (dse.points_evaluated), which is how callers observe an aborted sweep's
+// progress.
+func ExploreContext(ctx context.Context, space Space, kernels []workload.Kernel, budgetW float64, opts powopt.Technique, ins Instr) (Outcome, error) {
 	reg, tracer := ins.Reg, ins.Tracer
 	if reg == nil && tracer == nil {
 		sc := obs.Default()
@@ -124,7 +140,14 @@ func ExploreObserved(space Space, kernels []workload.Kernel, budgetW float64, op
 	pts := space.Points()
 	evals := make([]Eval, len(pts))
 
+	// Progress counters update live, per point, so a concurrent registry
+	// scrape (the service layer's /metrics endpoint) observes a running
+	// sweep's progress rather than a jump at completion.
+	pointsCtr := reg.Counter("dse.points_evaluated")
+	kernelCtr := reg.Counter("dse.kernel_evals")
+
 	var wg sync.WaitGroup
+	var evaluated atomic.Int64
 	work := make(chan int)
 	workers := runtime.GOMAXPROCS(0)
 	busyNs := make([]int64, workers)
@@ -134,12 +157,23 @@ func ExploreObserved(space Space, kernels []workload.Kernel, budgetW float64, op
 			defer wg.Done()
 			var busy time.Duration
 			for i := range work {
+				if ctx.Err() != nil {
+					continue // drain the channel without evaluating
+				}
 				if !instrumented {
-					evals[i] = evaluate(pts[i], kernels, budgetW, opts)
+					ev, n := evaluateCtx(ctx, pts[i], kernels, budgetW, opts)
+					evals[i] = ev
+					evaluated.Add(1)
+					pointsCtr.Inc()
+					kernelCtr.Add(n)
 					continue
 				}
 				t0 := time.Now()
-				evals[i] = evaluate(pts[i], kernels, budgetW, opts)
+				ev, n := evaluateCtx(ctx, pts[i], kernels, budgetW, opts)
+				evals[i] = ev
+				evaluated.Add(1)
+				pointsCtr.Inc()
+				kernelCtr.Add(n)
 				d := time.Since(t0)
 				busy += d
 				tracer.Complete("dse.evaluate", "dse",
@@ -149,21 +183,25 @@ func ExploreObserved(space Space, kernels []workload.Kernel, budgetW float64, op
 			busyNs[wid] = int64(busy)
 		}(w)
 	}
+	done := ctx.Done()
+feed:
 	for i := range pts {
-		work <- i
+		select {
+		case work <- i:
+		case <-done:
+			break feed
+		}
 	}
 	close(work)
 	wg.Wait()
 
 	if reg != nil {
 		wall := time.Since(start)
-		reg.Counter("dse.points_evaluated").Add(int64(len(pts)))
-		reg.Counter("dse.kernel_evals").Add(int64(len(pts) * len(kernels)))
 		reg.Counter("dse.sweeps").Inc()
 		reg.Gauge("dse.workers").Set(float64(workers))
 		reg.Gauge("dse.wall_seconds").Set(wall.Seconds())
 		if wall > 0 {
-			reg.Gauge("dse.points_per_sec").Set(float64(len(pts)) / wall.Seconds())
+			reg.Gauge("dse.points_per_sec").Set(float64(evaluated.Load()) / wall.Seconds())
 			var busyTotal int64
 			for _, b := range busyNs {
 				busyTotal += b
@@ -171,6 +209,10 @@ func ExploreObserved(space Space, kernels []workload.Kernel, budgetW float64, op
 			reg.Gauge("dse.worker_utilization").Set(
 				float64(busyTotal) / (float64(wall.Nanoseconds()) * float64(workers)))
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		reg.Counter("dse.sweeps_cancelled").Inc()
+		return Outcome{Kernels: kernels, BudgetW: budgetW, Opts: opts}, err
 	}
 
 	// Score: normalize each kernel by its best performance anywhere in
@@ -223,10 +265,14 @@ func ExploreObserved(space Space, kernels []workload.Kernel, budgetW float64, op
 			out.BestPerKernel[ki] = evals[idx]
 		}
 	}
-	return out
+	return out, nil
 }
 
-func evaluate(p Point, kernels []workload.Kernel, budgetW float64, opts powopt.Technique) Eval {
+// evaluateCtx evaluates one design point, checking for cancellation between
+// kernels; it reports how many kernel simulations actually ran so aborted
+// sweeps account their work accurately. A point cut short is marked
+// infeasible, but the whole sweep is discarded on cancellation anyway.
+func evaluateCtx(ctx context.Context, p Point, kernels []workload.Kernel, budgetW float64, opts powopt.Technique) (Eval, int64) {
 	cfg := p.Config()
 	e := Eval{
 		Point:       p,
@@ -236,17 +282,23 @@ func evaluate(p Point, kernels []workload.Kernel, budgetW float64, opts powopt.T
 	}
 	if err := cfg.Validate(); err != nil {
 		e.FeasibleAll = false
-		return e
+		return e, 0
 	}
+	var n int64
 	for i, k := range kernels {
-		r := core.Simulate(cfg, k, core.Options{Optimizations: opts})
+		r, err := core.SimulateContext(ctx, cfg, k, core.Options{Optimizations: opts})
+		if err != nil {
+			e.FeasibleAll = false
+			return e, n
+		}
+		n++
 		e.PerfTFLOPs[i] = r.Perf.TFLOPs
 		e.BudgetW[i] = r.Power.PackageW() + r.Power.ExtStatic + r.Power.SerDesStatic
 		if e.BudgetW[i] > budgetW {
 			e.FeasibleAll = false
 		}
 	}
-	return e
+	return e, n
 }
 
 // TableRow is one Table II line.

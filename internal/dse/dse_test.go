@@ -1,10 +1,13 @@
 package dse
 
 import (
+	"context"
 	"sync"
 	"testing"
+	"time"
 
 	"ena/internal/arch"
+	"ena/internal/obs"
 	"ena/internal/powopt"
 	"ena/internal/workload"
 )
@@ -272,5 +275,92 @@ func TestBudgetScalesFeasibility(t *testing.T) {
 	}
 	if nL <= nT {
 		t.Errorf("loose budget should admit more points: %d vs %d", nL, nT)
+	}
+}
+
+func TestExploreContextBackgroundMatchesExplore(t *testing.T) {
+	b, _ := explored()
+	ks := workload.Suite()
+	got, err := ExploreContext(context.Background(), DefaultSpace(), ks, arch.NodePowerBudgetW, 0, Instr{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BestMean.Point != b.BestMean.Point {
+		t.Errorf("best-mean = %v, want %v", got.BestMean.Point, b.BestMean.Point)
+	}
+	if len(got.Evals) != len(b.Evals) {
+		t.Errorf("evals = %d, want %d", len(got.Evals), len(b.Evals))
+	}
+}
+
+func TestExploreContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	reg := obs.NewRegistry()
+	out, err := ExploreContext(ctx, DefaultSpace(), workload.Suite(), arch.NodePowerBudgetW, 0, Instr{Reg: reg})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(out.Evals) != 0 {
+		t.Errorf("cancelled sweep returned %d evals, want none", len(out.Evals))
+	}
+	if n := reg.Snapshot().Counters["dse.points_evaluated"]; n != 0 {
+		t.Errorf("pre-cancelled sweep evaluated %d points", n)
+	}
+	if n := reg.Snapshot().Counters["dse.sweeps_cancelled"]; n != 1 {
+		t.Errorf("sweeps_cancelled = %d, want 1", n)
+	}
+}
+
+// hugeSpace returns a sweep grid far larger than the paper's (tens of
+// thousands of points) so a cancellation lands mid-sweep deterministically.
+func hugeSpace() Space {
+	s := Space{}
+	for c := 192; c <= 384; c += 8 {
+		s.CUs = append(s.CUs, c)
+	}
+	for f := 700.0; f <= 1500; f += 10 {
+		s.FreqsMHz = append(s.FreqsMHz, f)
+	}
+	for b := 1.0; b <= 7; b += 0.5 {
+		s.BWsTBps = append(s.BWsTBps, b)
+	}
+	return s
+}
+
+func TestExploreContextCancelMidSweep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	reg := obs.NewRegistry()
+	space := hugeSpace()
+	ks := workload.Suite()[:2]
+	done := make(chan struct{})
+	var out Outcome
+	var err error
+	go func() {
+		defer close(done)
+		out, err = ExploreContext(ctx, space, ks, arch.NodePowerBudgetW, 0, Instr{Reg: reg})
+	}()
+	// Cancel as soon as the sweep has demonstrably started (first points
+	// evaluated), then verify it stopped long before the grid was done.
+	evaluated := reg.Counter("dse.points_evaluated")
+	for evaluated.Value() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled sweep did not return")
+	}
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	total := int64(len(space.Points()))
+	got := reg.Snapshot().Counters["dse.points_evaluated"]
+	if got == 0 || got >= total {
+		t.Errorf("evaluated %d of %d points; want a strict partial sweep", got, total)
+	}
+	if len(out.Evals) != 0 {
+		t.Errorf("cancelled sweep leaked %d partial evals", len(out.Evals))
 	}
 }

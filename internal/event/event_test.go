@@ -1,6 +1,7 @@
 package event
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"testing"
@@ -167,5 +168,72 @@ func TestTimeMonotoneProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestRunContextCancels(t *testing.T) {
+	s := NewSim()
+	ctx, cancel := context.WithCancel(context.Background())
+	// A self-perpetuating event stream: without cancellation this would
+	// run forever (bounded here by maxEvents as a test safety net).
+	var fired int
+	var loop func()
+	loop = func() {
+		fired++
+		if fired == 10 {
+			cancel()
+		}
+		s.After(1, loop)
+	}
+	s.After(0, loop)
+	n, err := s.RunContext(ctx, 1_000_000)
+	if err == nil {
+		t.Fatal("RunContext returned nil error after cancellation")
+	}
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The stride is ctxCheckEvery, so the overrun past the cancel point is
+	// bounded by one stride.
+	if n > 10+ctxCheckEvery {
+		t.Errorf("executed %d events after cancel at 10; overrun exceeds one stride", n)
+	}
+	// The queue stays consistent: the pending rescheduled event survives.
+	if s.Pending() == 0 {
+		t.Error("pending event dropped by cancelled drain")
+	}
+}
+
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	build := func() *Sim {
+		s := NewSim()
+		for i := 0; i < 100; i++ {
+			at := float64(i % 10)
+			s.After(at, func() {})
+		}
+		return s
+	}
+	a, b := build(), build()
+	na := a.Run(0)
+	nb, err := b.RunContext(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if na != nb || a.Now() != b.Now() {
+		t.Errorf("Run=(%d,%v) RunContext=(%d,%v)", na, a.Now(), nb, b.Now())
+	}
+}
+
+func TestRunContextMaxEvents(t *testing.T) {
+	s := NewSim()
+	for i := 0; i < 50; i++ {
+		s.After(float64(i), func() {})
+	}
+	n, err := s.RunContext(context.Background(), 7)
+	if err != nil || n != 7 {
+		t.Fatalf("RunContext(7) = %d, %v", n, err)
+	}
+	if s.Pending() != 43 {
+		t.Errorf("pending = %d, want 43", s.Pending())
 	}
 }

@@ -33,6 +33,31 @@ func TestRegistry(t *testing.T) {
 	}
 }
 
+// TestEveryExperimentRenders drives each registered harness through the
+// ByID lookup path in its own parallel subtest with panic isolation, so one
+// broken harness reports precisely instead of killing the whole run.
+func TestEveryExperimentRenders(t *testing.T) {
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("experiment %s panicked: %v", e.ID, r)
+				}
+			}()
+			got, err := ByID(e.ID)
+			if err != nil {
+				t.Fatalf("ByID(%s): %v", e.ID, err)
+			}
+			out := got.Run().Render()
+			if strings.TrimSpace(out) == "" {
+				t.Fatalf("experiment %s rendered empty output", e.ID)
+			}
+		})
+	}
+}
+
 func TestTableBuilder(t *testing.T) {
 	tb := &table{header: []string{"a", "bb"}}
 	tb.addRow("xxx", "y")

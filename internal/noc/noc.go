@@ -8,6 +8,7 @@
 package noc
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -147,6 +148,15 @@ type Options struct {
 // random HBM stack, reflecting capacity-interleaved addressing (§V-A
 // Finding 1 observes a fairly even distribution across chiplets).
 func Simulate(cfg *arch.NodeConfig, k workload.Kernel, opt Options) Result {
+	r, _ := SimulateContext(context.Background(), cfg, k, opt)
+	return r
+}
+
+// SimulateContext is Simulate with cooperative cancellation: the event-driven
+// drain checks ctx between event batches and aborts promptly when it is
+// cancelled, returning ctx.Err() and a zero Result (a partially drained
+// closed-loop simulation has no meaningful steady-state statistics).
+func SimulateContext(ctx context.Context, cfg *arch.NodeConfig, k workload.Kernel, opt Options) (Result, error) {
 	nChiplets := len(cfg.GPU)
 	if opt.Requests == 0 {
 		opt.Requests = 200_000
@@ -320,11 +330,13 @@ func Simulate(cfg *arch.NodeConfig, k workload.Kernel, opt Options) Result {
 	for i := 0; i < opt.Tokens && i < opt.Requests; i++ {
 		issue()
 	}
-	sim.Run(0)
+	if _, err := sim.RunContext(ctx, 0); err != nil {
+		return Result{}, err
+	}
 
 	r := Result{Requests: done}
 	if done == 0 {
-		return r
+		return r, nil
 	}
 	r.OutOfChiplet = float64(outOf) / float64(done)
 	r.MeanLatencyNs = sumLat / float64(done)
@@ -374,7 +386,7 @@ func Simulate(cfg *arch.NodeConfig, k workload.Kernel, opt Options) Result {
 			reg.Gauge("noc.sim.events_per_sec").Set(float64(sim.Processed()) / wall)
 		}
 	}
-	return r
+	return r, nil
 }
 
 func max0(v int) int {
@@ -397,9 +409,22 @@ type Comparison struct {
 // derives the performance ratio by feeding each organization's measured
 // loaded latency and sustainable bandwidth into the roofline model.
 func Compare(cfg *arch.NodeConfig, k workload.Kernel, seed int64) Comparison {
-	chipletRes := Simulate(cfg, k, Options{Seed: seed})
+	c, _ := CompareContext(context.Background(), cfg, k, seed)
+	return c
+}
+
+// CompareContext is Compare with cooperative cancellation threaded through
+// both underlying event-driven simulations.
+func CompareContext(ctx context.Context, cfg *arch.NodeConfig, k workload.Kernel, seed int64) (Comparison, error) {
+	chipletRes, err := SimulateContext(ctx, cfg, k, Options{Seed: seed})
+	if err != nil {
+		return Comparison{}, err
+	}
 	mono := arch.Monolithic(cfg)
-	monoRes := Simulate(mono, k, Options{Seed: seed})
+	monoRes, err := SimulateContext(ctx, mono, k, Options{Seed: seed})
+	if err != nil {
+		return Comparison{}, err
+	}
 
 	envC := envFrom(cfg, chipletRes)
 	envM := envFrom(mono, monoRes)
@@ -418,7 +443,7 @@ func Compare(cfg *arch.NodeConfig, k workload.Kernel, seed int64) Comparison {
 			c.PerfVsMonolith = 1
 		}
 	}
-	return c
+	return c, nil
 }
 
 // envFrom converts a simulation result into the analytic model's memory

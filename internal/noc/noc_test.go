@@ -1,8 +1,10 @@
 package noc
 
 import (
+	"context"
 	"math"
 	"testing"
+	"time"
 
 	"ena/internal/arch"
 	"ena/internal/workload"
@@ -201,5 +203,50 @@ func TestMeanHopsReasonable(t *testing.T) {
 	}
 	if r.LinkUtilization < 0 || r.LinkUtilization > 1 {
 		t.Errorf("link utilization = %v", r.LinkUtilization)
+	}
+}
+
+func TestSimulateContextCancelled(t *testing.T) {
+	cfg := arch.BestMeanEHP()
+	k, err := workload.ByName("LULESH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := SimulateContext(ctx, cfg, k, Options{Requests: 5_000_000})
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled NoC simulation did not return")
+	}
+	if d := time.Since(start); d > 10*time.Second {
+		t.Errorf("cancelled simulation took %v to abort", d)
+	}
+}
+
+func TestSimulateContextBackgroundMatchesSimulate(t *testing.T) {
+	cfg := arch.BestMeanEHP()
+	k, err := workload.ByName("SNAP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Requests: 20_000, Seed: 7}
+	want := Simulate(cfg, k, opt)
+	got, err := SimulateContext(context.Background(), cfg, k, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("SimulateContext = %+v, want %+v", got, want)
 	}
 }

@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"encoding/json"
+	"io"
 	"math"
 	"sort"
 	"sync"
@@ -321,6 +323,14 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Histograms[n] = h.snapshot()
 	}
 	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON — the wire format of the
+// service layer's GET /metrics endpoint and of scraped registry dumps.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
 }
 
 // Reset zeroes every metric while keeping the handles valid, so cached

@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"encoding/json"
 	"math"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -198,5 +200,26 @@ func TestDefaultScope(t *testing.T) {
 	SetDefault(nil)
 	if d := Default(); d == nil || d.Enabled() {
 		t.Error("SetDefault(nil) must restore a disabled, non-nil scope")
+	}
+}
+
+func TestSnapshotWriteJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a.count").Add(3)
+	reg.Gauge("b.level").Set(2.5)
+	reg.Histogram("c.lat", nil).Observe(100)
+	var sb strings.Builder
+	if err := reg.Snapshot().WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if back.Counters["a.count"] != 3 || back.Gauges["b.level"] != 2.5 {
+		t.Errorf("round-tripped snapshot = %+v", back)
+	}
+	if back.Histograms["c.lat"].Count != 1 {
+		t.Errorf("histogram count = %d, want 1", back.Histograms["c.lat"].Count)
 	}
 }

@@ -1,0 +1,151 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"ena/internal/obs"
+)
+
+// Cache is a content-addressed result cache with LRU eviction and
+// singleflight execution. Keys are canonical-JSON hashes of the work they
+// identify (see the canonicalKey methods in types.go), so two requests that
+// describe the same simulation — regardless of field order, defaults spelled
+// out or omitted, or optimization-list ordering — share one cache slot.
+//
+// Do guarantees at most one execution per key at a time: concurrent callers
+// with the same key block on the first caller's in-flight execution and all
+// receive its result (the "coalesced" counter tracks how many executions
+// singleflight saved). Errors are never cached — a failed execution leaves
+// the slot empty so the next caller retries.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List               // front = most recently used
+	entries  map[string]*list.Element // key -> element holding *entry
+	inflight map[string]*flight
+
+	hits      *obs.Counter
+	misses    *obs.Counter
+	coalesced *obs.Counter
+	evictions *obs.Counter
+	size      *obs.Gauge
+}
+
+type entry struct {
+	key string
+	val any
+}
+
+type flight struct {
+	done chan struct{} // closed once val/err are final
+	val  any
+	err  error
+}
+
+// DefaultCacheSize bounds the result cache when Config.CacheSize is zero.
+const DefaultCacheSize = 4096
+
+// NewCache returns an empty cache holding at most capacity results
+// (DefaultCacheSize when capacity <= 0). Metrics land in reg under
+// service.cache.* (nil disables them).
+func NewCache(capacity int, reg *obs.Registry) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	return &Cache{
+		capacity:  capacity,
+		lru:       list.New(),
+		entries:   make(map[string]*list.Element),
+		inflight:  make(map[string]*flight),
+		hits:      reg.Counter("service.cache.hits"),
+		misses:    reg.Counter("service.cache.misses"),
+		coalesced: reg.Counter("service.cache.coalesced"),
+		evictions: reg.Counter("service.cache.evictions"),
+		size:      reg.Gauge("service.cache.size"),
+	}
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Get returns the cached value for key, marking it recently used. It does
+// not consult in-flight executions; use Do for read-through semantics.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
+// Do returns the cached value for key, or executes fn exactly once across
+// all concurrent callers of the same key and caches its result. The second
+// return reports whether the caller was served without executing fn itself
+// (a cache hit or a coalesced in-flight share).
+//
+// ctx only governs waiting: a caller whose context ends while blocked on
+// another caller's execution gets ctx.Err(). The execution itself runs under
+// whatever context fn captured — cancelling a waiting follower never aborts
+// the shared execution.
+func (c *Cache) Do(ctx context.Context, key string, fn func() (any, error)) (any, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		v := el.Value.(*entry).val
+		c.hits.Inc()
+		c.mu.Unlock()
+		return v, true, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.coalesced.Inc()
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.val, true, f.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.misses.Inc()
+	c.mu.Unlock()
+
+	f.val, f.err = fn()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil {
+		c.storeLocked(key, f.val)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.val, false, f.err
+}
+
+// storeLocked inserts (or refreshes) a cache entry and evicts from the LRU
+// tail beyond capacity. Callers hold c.mu.
+func (c *Cache) storeLocked(key string, val any) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*entry).val = val
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&entry{key: key, val: val})
+	for c.lru.Len() > c.capacity {
+		last := c.lru.Back()
+		c.lru.Remove(last)
+		delete(c.entries, last.Value.(*entry).key)
+		c.evictions.Inc()
+	}
+	c.size.Set(float64(c.lru.Len()))
+}

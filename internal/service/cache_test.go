@@ -1,0 +1,209 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ena/internal/obs"
+)
+
+func TestCacheHitMiss(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewCache(8, reg)
+	ctx := context.Background()
+
+	var execs int
+	fn := func() (any, error) { execs++; return 42, nil }
+
+	v, shared, err := c.Do(ctx, "k1", fn)
+	if err != nil || v != 42 || shared {
+		t.Fatalf("first Do = (%v, %v, %v), want (42, false, nil)", v, shared, err)
+	}
+	v, shared, err = c.Do(ctx, "k1", fn)
+	if err != nil || v != 42 || !shared {
+		t.Fatalf("second Do = (%v, %v, %v), want (42, true, nil)", v, shared, err)
+	}
+	if execs != 1 {
+		t.Errorf("fn executed %d times, want 1", execs)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["service.cache.hits"] != 1 || snap.Counters["service.cache.misses"] != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1",
+			snap.Counters["service.cache.hits"], snap.Counters["service.cache.misses"])
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewCache(2, reg)
+	ctx := context.Background()
+	mk := func(i int) func() (any, error) { return func() (any, error) { return i, nil } }
+
+	c.Do(ctx, "a", mk(1))
+	c.Do(ctx, "b", mk(2))
+	// Touch "a" so "b" is the LRU victim.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	c.Do(ctx, "c", mk(3))
+
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction; LRU order not respected")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("recently used a was evicted")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("fresh c missing")
+	}
+	if n := reg.Snapshot().Counters["service.cache.evictions"]; n != 1 {
+		t.Errorf("evictions = %d, want 1", n)
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2", c.Len())
+	}
+}
+
+func TestCacheErrorNotCached(t *testing.T) {
+	c := NewCache(8, nil)
+	ctx := context.Background()
+	boom := errors.New("boom")
+	calls := 0
+	fail := func() (any, error) { calls++; return nil, boom }
+
+	if _, _, err := c.Do(ctx, "k", fail); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, _, err := c.Do(ctx, "k", fail); !errors.Is(err, boom) {
+		t.Fatalf("retry err = %v, want boom", err)
+	}
+	if calls != 2 {
+		t.Errorf("failed execution was cached (calls = %d, want 2)", calls)
+	}
+	if c.Len() != 0 {
+		t.Errorf("error left %d cache entries", c.Len())
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewCache(8, reg)
+	ctx := context.Background()
+
+	const clients = 32
+	var execs atomic.Int64
+	gate := make(chan struct{})
+	fn := func() (any, error) {
+		execs.Add(1)
+		<-gate // hold the flight open until every client has joined
+		return "shared", nil
+	}
+
+	var wg sync.WaitGroup
+	results := make([]string, clients)
+	sharedCount := atomic.Int64{}
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, shared, err := c.Do(ctx, "hot", fn)
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			results[i] = v.(string)
+			if shared {
+				sharedCount.Add(1)
+			}
+		}(i)
+	}
+	// Wait until the flight exists and followers are queued, then release.
+	for execs.Load() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	time.Sleep(time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	if n := execs.Load(); n != 1 {
+		t.Errorf("fn executed %d times under %d concurrent clients, want 1", n, clients)
+	}
+	for i, r := range results {
+		if r != "shared" {
+			t.Errorf("client %d result = %q", i, r)
+		}
+	}
+	if sharedCount.Load() != clients-1 {
+		t.Errorf("shared count = %d, want %d", sharedCount.Load(), clients-1)
+	}
+	if n := reg.Snapshot().Counters["service.cache.coalesced"]; n != clients-1 {
+		t.Errorf("coalesced counter = %d, want %d", n, clients-1)
+	}
+}
+
+func TestCacheWaiterCancellation(t *testing.T) {
+	c := NewCache(8, nil)
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	go c.Do(context.Background(), "slow", func() (any, error) {
+		close(started)
+		<-gate
+		return 1, nil
+	})
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(ctx, "slow", func() (any, error) { return 2, nil })
+		done <- err
+	}()
+	time.Sleep(time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Errorf("waiter err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter did not return")
+	}
+	close(gate) // let the leader finish
+}
+
+func TestCacheConcurrentMixedKeys(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewCache(16, reg)
+	ctx := context.Background()
+	var execs atomic.Int64
+
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%8)
+				v, _, err := c.Do(ctx, key, func() (any, error) {
+					execs.Add(1)
+					return key, nil
+				})
+				if err != nil || v.(string) != key {
+					t.Errorf("Do(%s) = (%v, %v)", key, v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// 8 distinct keys, capacity 16: every key computes at most a handful of
+	// times (only races before first store), nowhere near the 3200 calls.
+	if n := execs.Load(); n > 64 {
+		t.Errorf("executions = %d; dedup ineffective", n)
+	}
+}

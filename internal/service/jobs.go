@@ -1,0 +1,393 @@
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ena/internal/obs"
+)
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+// Job lifecycle: queued -> running -> one of done/failed/cancelled. A queued
+// job cancelled before a worker picks it up goes straight to cancelled.
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// JobView is the externally visible snapshot of a job — the JSON body of
+// GET /v1/jobs/{id}.
+type JobView struct {
+	ID       string     `json:"id"`
+	Kind     string     `json:"kind"`
+	State    JobState   `json:"state"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	Error    string     `json:"error,omitempty"`
+	Result   any        `json:"result,omitempty"`
+}
+
+type job struct {
+	id      string
+	kind    string
+	timeout time.Duration
+	run     func(context.Context) (any, error)
+
+	mu       sync.Mutex
+	state    JobState
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	err      error
+	result   any
+	cancel   context.CancelFunc // set while running
+	done     chan struct{}      // closed on any terminal transition
+}
+
+func (j *job) viewLocked() JobView {
+	v := JobView{
+		ID:      j.id,
+		Kind:    j.kind,
+		State:   j.state,
+		Created: j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	if j.err != nil {
+		v.Error = j.err.Error()
+	}
+	if j.state == JobDone {
+		v.Result = j.result
+	}
+	return v
+}
+
+// Submission and drain errors.
+var (
+	ErrQueueFull = errors.New("service: job queue full")
+	ErrDraining  = errors.New("service: scheduler is draining")
+)
+
+// Scheduler executes submitted jobs on a bounded worker pool. Every job runs
+// under a context derived from the scheduler's base context (so a server
+// shutdown reaches running jobs) plus an optional per-job deadline, and can
+// be cancelled individually at any point in its lifecycle.
+//
+// Finished jobs stay queryable until pruned: the scheduler retains at most
+// retain jobs, evicting the oldest terminal ones first, so the job table
+// cannot grow without bound under sustained traffic.
+type Scheduler struct {
+	baseCtx context.Context
+	queue   chan *job
+	wg      sync.WaitGroup
+	running atomic.Int64
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // submission order, for pruning
+	retain int
+	closed bool
+
+	submitted    *obs.Counter
+	completed    *obs.Counter
+	failed       *obs.Counter
+	cancelledCtr *obs.Counter
+	rejected     *obs.Counter
+	runningGauge *obs.Gauge
+	queueGauge   *obs.Gauge
+	durHist      *obs.Histogram
+}
+
+// Scheduler defaults when the corresponding Config field is zero.
+const (
+	DefaultQueueCap  = 64
+	DefaultJobRetain = 256
+)
+
+// NewScheduler starts workers goroutines consuming a queue of at most
+// queueCap pending jobs. ctx is the base context every job runs under;
+// cancelling it aborts all running jobs. Metrics land in reg under
+// service.jobs.* (nil disables them).
+func NewScheduler(ctx context.Context, workers, queueCap, retain int, reg *obs.Registry) *Scheduler {
+	if workers <= 0 {
+		workers = 1
+	}
+	if queueCap <= 0 {
+		queueCap = DefaultQueueCap
+	}
+	if retain <= 0 {
+		retain = DefaultJobRetain
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s := &Scheduler{
+		baseCtx:      ctx,
+		queue:        make(chan *job, queueCap),
+		jobs:         make(map[string]*job),
+		retain:       retain,
+		submitted:    reg.Counter("service.jobs.submitted"),
+		completed:    reg.Counter("service.jobs.completed"),
+		failed:       reg.Counter("service.jobs.failed"),
+		cancelledCtr: reg.Counter("service.jobs.cancelled"),
+		rejected:     reg.Counter("service.jobs.rejected"),
+		runningGauge: reg.Gauge("service.jobs.running"),
+		queueGauge:   reg.Gauge("service.jobs.queued"),
+		durHist:      reg.Histogram("service.jobs.duration_ns", durationBounds),
+	}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// newJobID returns a 16-hex-char random job identifier.
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing means the platform is broken; a zero ID
+		// would collide, so panic loudly rather than corrupt the table.
+		panic("service: crypto/rand unavailable: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Submit enqueues a job and returns its view. timeout == 0 means no per-job
+// deadline (the base context still applies). Returns ErrQueueFull when the
+// pending queue is at capacity and ErrDraining after Drain began.
+func (s *Scheduler) Submit(kind string, timeout time.Duration, run func(context.Context) (any, error)) (JobView, error) {
+	j := &job{
+		id:      newJobID(),
+		kind:    kind,
+		timeout: timeout,
+		run:     run,
+		state:   JobQueued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.rejected.Inc()
+		return JobView{}, ErrDraining
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		s.rejected.Inc()
+		return JobView{}, ErrQueueFull
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.pruneLocked()
+	s.mu.Unlock()
+
+	s.submitted.Inc()
+	s.queueGauge.Set(float64(len(s.queue)))
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.viewLocked(), nil
+}
+
+// Get returns a job's current view.
+func (s *Scheduler) Get(id string) (JobView, bool) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		return JobView{}, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.viewLocked(), true
+}
+
+// Cancel requests cancellation: a queued job transitions to cancelled
+// immediately; a running job has its context cancelled and transitions once
+// its function returns. Terminal jobs are unaffected. The returned view
+// reflects the state right after the request.
+func (s *Scheduler) Cancel(id string) (JobView, bool) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		return JobView{}, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case JobQueued:
+		j.state = JobCancelled
+		j.err = context.Canceled
+		j.finished = time.Now()
+		close(j.done)
+		s.cancelledCtr.Inc()
+	case JobRunning:
+		j.cancel()
+	}
+	return j.viewLocked(), true
+}
+
+// Wait blocks until the job reaches a terminal state or ctx ends, returning
+// the job's view either way.
+func (s *Scheduler) Wait(ctx context.Context, id string) (JobView, error) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		return JobView{}, errors.New("service: unknown job " + id)
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.viewLocked(), ctx.Err()
+}
+
+// Drain stops accepting submissions, waits for queued and running jobs to
+// finish, and — if ctx ends first — cancels everything still running and
+// waits for the workers to wind down. Safe to call more than once.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			j.mu.Lock()
+			if j.state == JobRunning {
+				j.cancel()
+			}
+			j.mu.Unlock()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.queueGauge.Set(float64(len(s.queue)))
+		s.execute(j)
+	}
+}
+
+func (s *Scheduler) execute(j *job) {
+	j.mu.Lock()
+	if j.state != JobQueued { // cancelled while waiting in the queue
+		j.mu.Unlock()
+		return
+	}
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if j.timeout > 0 {
+		ctx, cancel = context.WithTimeout(s.baseCtx, j.timeout)
+	} else {
+		ctx, cancel = context.WithCancel(s.baseCtx)
+	}
+	j.cancel = cancel
+	j.state = JobRunning
+	j.started = time.Now()
+	run := j.run
+	j.mu.Unlock()
+	s.runningGauge.Set(float64(s.running.Add(1)))
+
+	res, err := run(ctx)
+	cancel()
+	s.runningGauge.Set(float64(s.running.Add(-1)))
+
+	j.mu.Lock()
+	j.finished = time.Now()
+	s.durHist.Observe(float64(j.finished.Sub(j.started)))
+	switch {
+	case err == nil:
+		j.state = JobDone
+		j.result = res
+		s.completed.Inc()
+	case errors.Is(err, context.Canceled):
+		j.state = JobCancelled
+		j.err = err
+		s.cancelledCtr.Inc()
+	default:
+		j.state = JobFailed
+		j.err = err
+		s.failed.Inc()
+	}
+	close(j.done)
+	j.mu.Unlock()
+}
+
+// pruneLocked evicts the oldest terminal jobs once the table exceeds the
+// retention bound. Queued/running jobs are never evicted. Callers hold s.mu.
+func (s *Scheduler) pruneLocked() {
+	if len(s.jobs) <= s.retain {
+		return
+	}
+	keep := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j == nil {
+			continue
+		}
+		if len(s.jobs) > s.retain {
+			j.mu.Lock()
+			terminal := j.state.Terminal()
+			j.mu.Unlock()
+			if terminal {
+				delete(s.jobs, id)
+				continue
+			}
+		}
+		keep = append(keep, id)
+	}
+	s.order = keep
+}
+
+// durationBounds are histogram bin bounds for job/request durations in
+// nanoseconds: 64 µs doubling up to ~34 s.
+var durationBounds = []float64{
+	65536, 131072, 262144, 524288, 1048576, // 64 µs .. 1 ms
+	2097152, 4194304, 8388608, 16777216, 33554432, // .. 33 ms
+	67108864, 134217728, 268435456, 536870912, 1073741824, // .. 1 s
+	2147483648, 4294967296, 8589934592, 17179869184, 34359738368, // .. 34 s
+}

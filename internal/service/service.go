@@ -1,0 +1,381 @@
+// Package service is the simulation service layer: a long-running server
+// that accepts simulation and design-space-exploration jobs over an
+// HTTP/JSON API, executes them on a bounded worker pool with per-job
+// cancellation and deadlines, and deduplicates work through a
+// content-addressed result cache (canonical-JSON hash of config + workload,
+// with singleflight so concurrent identical requests share one execution).
+//
+// The paper's evaluation workflow — thousands of Simulate calls swept by the
+// DSE engine — is exactly the shape of a request-serving workload, and this
+// package turns the analytic model into one:
+//
+//	POST /v1/simulate            one (config, kernel) node simulation, cached
+//	POST /v1/explore             async DSE sweep job (202 + job id)
+//	GET  /v1/jobs/{id}           job status/result polling
+//	DELETE /v1/jobs/{id}         cancel a queued or running job
+//	GET  /v1/experiments         list paper artifacts
+//	GET  /v1/experiments/{id}    run one table/figure harness, cached
+//	GET  /v1/kernels             the Table I workload suite
+//	GET  /metrics                obs registry snapshot (JSON)
+//	GET  /healthz                liveness
+//
+// cmd/enaserve wires this into a binary with graceful SIGTERM drain.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"ena/internal/core"
+	"ena/internal/dse"
+	"ena/internal/exp"
+	"ena/internal/obs"
+	"ena/internal/workload"
+)
+
+// Config tunes a Server. The zero value gives sane defaults: GOMAXPROCS job
+// workers, a 64-deep job queue, a 4096-entry result cache, and a fresh
+// metrics registry.
+type Config struct {
+	// Workers is the job worker-pool size (default: GOMAXPROCS).
+	Workers int
+	// QueueCap bounds pending jobs; submissions beyond it are rejected
+	// with 429 (default 64).
+	QueueCap int
+	// CacheSize bounds the content-addressed result cache (default 4096).
+	CacheSize int
+	// JobRetain bounds how many jobs stay queryable (default 256).
+	JobRetain int
+	// JobTimeout is the default per-job deadline when a request does not
+	// set one (0 = no deadline).
+	JobTimeout time.Duration
+	// Reg receives service and simulator metrics (default: new registry).
+	Reg *obs.Registry
+	// Tracer, when set, receives per-design-point sweep spans.
+	Tracer *obs.Tracer
+}
+
+// Server executes simulation traffic. Create with New, mount Handler on an
+// http.Server, and call Drain on shutdown.
+type Server struct {
+	cfg    Config
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	cache  *Cache
+	sched  *Scheduler
+	mux    *http.ServeMux
+	start  time.Time
+
+	// simExecs counts actual model executions (not cache/singleflight
+	// serves) — the counter tests assert dedup against.
+	simExecs *obs.Counter
+	reqCtr   *obs.Counter
+	errCtr   *obs.Counter
+	inflight *obs.Gauge
+	latHist  *obs.Histogram
+}
+
+// New builds a Server. ctx is the base context of all job execution:
+// cancelling it aborts every running job (the server's drain path).
+func New(ctx context.Context, cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	reg := cfg.Reg
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &Server{
+		cfg:      cfg,
+		reg:      reg,
+		tracer:   cfg.Tracer,
+		cache:    NewCache(cfg.CacheSize, reg),
+		sched:    NewScheduler(ctx, cfg.Workers, cfg.QueueCap, cfg.JobRetain, reg),
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+		simExecs: reg.Counter("service.sim.executions"),
+		reqCtr:   reg.Counter("service.http.requests"),
+		errCtr:   reg.Counter("service.http.errors"),
+		inflight: reg.Gauge("service.http.inflight"),
+		latHist:  reg.Histogram("service.http.latency_ns", durationBounds),
+	}
+	s.routes()
+	return s
+}
+
+// Registry exposes the server's metrics registry (for reports and tests).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Handler returns the instrumented HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain stops accepting jobs and waits for in-flight work as Scheduler.Drain
+// does. The HTTP listener itself is the caller's to close (http.Server
+// Shutdown), so the order in cmd/enaserve is: stop the listener, then drain
+// the job pool.
+func (s *Server) Drain(ctx context.Context) error { return s.sched.Drain(ctx) }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
+	s.mux.HandleFunc("POST /v1/explore", s.instrument("explore", s.handleExplore))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("jobs.get", s.handleJobGet))
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("jobs.cancel", s.handleJobCancel))
+	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.instrument("jobs.cancel", s.handleJobCancel))
+	s.mux.HandleFunc("GET /v1/experiments", s.instrument("experiments.list", s.handleExperimentList))
+	s.mux.HandleFunc("GET /v1/experiments/{id}", s.instrument("experiments.run", s.handleExperimentRun))
+	s.mux.HandleFunc("GET /v1/kernels", s.instrument("kernels", s.handleKernels))
+}
+
+// statusWriter captures the response code for error accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with per-route and aggregate metrics.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	routeCtr := s.reg.Counter("service.http." + route + ".requests")
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		s.inflight.Set(s.inflight.Value() + 1)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		s.inflight.Set(s.inflight.Value() - 1)
+		s.reqCtr.Inc()
+		routeCtr.Inc()
+		if sw.status >= 400 {
+			s.errCtr.Inc()
+		}
+		s.latHist.Observe(float64(time.Since(t0)))
+	}
+}
+
+// maxBodyBytes bounds request bodies; simulation requests are tiny.
+const maxBodyBytes = 1 << 20
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid request body: %w", err)
+	}
+	// A second document in the body is a malformed request, not trailing
+	// whitespace.
+	if dec.More() {
+		return errors.New("invalid request body: multiple JSON documents")
+	}
+	return nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.reg.Snapshot().WriteJSON(w); err != nil {
+		// Headers are gone; nothing useful to send.
+		return
+	}
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := req.resolve()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx := r.Context()
+	val, shared, err := s.cache.Do(ctx, job.key, func() (any, error) {
+		s.simExecs.Inc()
+		res, err := core.SimulateContext(ctx, job.cfg, job.kernel, job.opt)
+		if err != nil {
+			return nil, err
+		}
+		return SimulateResponse{
+			Key:      job.key,
+			Config:   job.view,
+			Kernel:   job.kernel.Name,
+			TFLOPs:   res.Perf.TFLOPs,
+			Bound:    res.Perf.Bound.String(),
+			MissFrac: res.MissFrac,
+			NodeW:    res.NodeW,
+			PackageW: res.Power.PackageW(),
+			GFperW:   res.GFperW,
+		}, nil
+	})
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			writeErr(w, http.StatusServiceUnavailable, err)
+		} else {
+			writeErr(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	resp := val.(SimulateResponse)
+	resp.Cached = shared
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	var req ExploreRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ej, err := req.resolve()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	timeout := ej.timeout
+	if timeout == 0 {
+		timeout = s.cfg.JobTimeout
+	}
+	view, err := s.sched.Submit("explore", timeout, func(ctx context.Context) (any, error) {
+		val, _, err := s.cache.Do(ctx, ej.key, func() (any, error) {
+			out, err := s.explore(ctx, ej)
+			if err != nil {
+				return nil, err
+			}
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return val, nil
+	})
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeErr(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrDraining):
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"job": view})
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	view, ok := s.sched.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"job": view})
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	view, ok := s.sched.Cancel(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"job": view})
+}
+
+func (s *Server) handleExperimentList(w http.ResponseWriter, r *http.Request) {
+	type expView struct {
+		ID    string `json:"id"`
+		Title string `json:"title"`
+	}
+	var out []expView
+	for _, e := range exp.Experiments() {
+		out = append(out, expView{ID: e.ID, Title: e.Title})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": out})
+}
+
+// ExperimentResponse is the body of GET /v1/experiments/{id}: the rendered
+// paper-style text of one table/figure harness.
+type ExperimentResponse struct {
+	ID     string `json:"id"`
+	Title  string `json:"title"`
+	Cached bool   `json:"cached"`
+	Output string `json:"output"`
+}
+
+func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, err := exp.ByID(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	// Experiments are deterministic, so their rendered text is content-
+	// addressed by ID alone; the heavy ones (full DSE sweeps, thermal
+	// solves) run once and every later scrape is a cache hit.
+	val, shared, err := s.cache.Do(r.Context(), "exp:v1:"+id, func() (any, error) {
+		return e.Run().Render(), nil
+	})
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ExperimentResponse{
+		ID:     id,
+		Title:  e.Title,
+		Cached: shared,
+		Output: val.(string),
+	})
+}
+
+func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
+	type kernelView struct {
+		Name        string `json:"name"`
+		Category    string `json:"category"`
+		Description string `json:"description"`
+	}
+	var out []kernelView
+	for _, k := range workload.Suite() {
+		out = append(out, kernelView{Name: k.Name, Category: k.Category.String(), Description: k.Description})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"kernels": out})
+}
+
+// explore runs one cancellable sweep with the server's observability sinks.
+func (s *Server) explore(ctx context.Context, ej exploreJob) (ExploreResult, error) {
+	out, err := dse.ExploreContext(ctx, ej.space, ej.kernels, ej.budgetW, ej.tech,
+		dse.Instr{Reg: s.reg, Tracer: s.tracer})
+	if err != nil {
+		return ExploreResult{}, err
+	}
+	return ej.summarize(out), nil
+}

@@ -1,0 +1,425 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"ena/internal/arch"
+	"ena/internal/core"
+	"ena/internal/dse"
+	"ena/internal/memsys"
+	"ena/internal/powopt"
+	"ena/internal/workload"
+)
+
+// ConfigView is the wire form of a design point.
+type ConfigView struct {
+	CUs     int     `json:"cus"`
+	FreqMHz float64 `json:"freq_mhz"`
+	BWTBps  float64 `json:"bw_tbps"`
+}
+
+// SimulateRequest is the body of POST /v1/simulate. Zero config fields
+// default to the paper's best-mean design point (320 CUs / 1000 MHz /
+// 3 TB/s); Kernel is required.
+type SimulateRequest struct {
+	CUs     int        `json:"cus,omitempty"`
+	FreqMHz float64    `json:"freq_mhz,omitempty"`
+	BWTBps  float64    `json:"bw_tbps,omitempty"`
+	Kernel  string     `json:"kernel"`
+	Options SimOptions `json:"options,omitempty"`
+}
+
+// SimOptions mirrors core.Options with JSON-friendly names. Policy is one of
+// "software-managed" (default), "static-interleave", "hardware-cache";
+// Optimizations lists §V-E techniques by name ("ntc", "async-cu",
+// "async-routers", "low-power-links", "compression", or "all").
+type SimOptions struct {
+	MissFrac         float64  `json:"miss_frac,omitempty"`
+	UseAppExtTraffic bool     `json:"use_app_ext_traffic,omitempty"`
+	Policy           string   `json:"policy,omitempty"`
+	Optimizations    []string `json:"optimizations,omitempty"`
+	TempC            float64  `json:"temp_c,omitempty"`
+	ExcludeExternal  bool     `json:"exclude_external,omitempty"`
+}
+
+// SimulateResponse is the body of a simulate reply. Cached reports whether
+// this request was served without executing the model (a cache hit or a
+// coalesced share of a concurrent identical request); Key is the canonical
+// content hash identifying the (config, workload) pair.
+type SimulateResponse struct {
+	Key      string     `json:"key"`
+	Cached   bool       `json:"cached"`
+	Config   ConfigView `json:"config"`
+	Kernel   string     `json:"kernel"`
+	TFLOPs   float64    `json:"tflops"`
+	Bound    string     `json:"bound"`
+	MissFrac float64    `json:"miss_frac"`
+	NodeW    float64    `json:"node_w"`
+	PackageW float64    `json:"package_w"`
+	GFperW   float64    `json:"gf_per_w"`
+}
+
+// simJob is a resolved, validated simulate request: everything the worker
+// needs plus the canonical cache key.
+type simJob struct {
+	cfg    *arch.NodeConfig
+	view   ConfigView
+	kernel workload.Kernel
+	opt    core.Options
+	key    string
+}
+
+// simCanon is the canonical-JSON form hashed into a simulate cache key. The
+// field set and order are fixed; V bumps when the semantics of any field
+// change so stale keys never alias new results.
+type simCanon struct {
+	V               int     `json:"v"`
+	CUs             int     `json:"cus"`
+	FreqMHz         float64 `json:"freq_mhz"`
+	BWTBps          float64 `json:"bw_tbps"`
+	Kernel          string  `json:"kernel"`
+	MissFrac        float64 `json:"miss_frac"`
+	UseApp          bool    `json:"use_app_ext_traffic"`
+	Policy          int     `json:"policy"`
+	Opts            uint    `json:"opts"`
+	TempC           float64 `json:"temp_c"`
+	ExcludeExternal bool    `json:"exclude_external"`
+}
+
+// hashCanon hashes a canonical struct's JSON encoding. encoding/json emits
+// struct fields in declaration order, so the encoding — and therefore the
+// key — is deterministic.
+func hashCanon(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Canonical structs contain only scalars and strings; a marshal
+		// failure is a programming error.
+		panic("service: canonical marshal: " + err.Error())
+	}
+	h := sha256.Sum256(b)
+	return hex.EncodeToString(h[:])
+}
+
+// parsePolicy resolves a wire policy name. Empty means software-managed,
+// the paper's primary management mode.
+func parsePolicy(s string) (memsys.Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "software", "software-managed":
+		return memsys.SoftwareManaged, nil
+	case "static", "static-interleave":
+		return memsys.StaticInterleave, nil
+	case "hardware", "hardware-cache":
+		return memsys.HardwareCache, nil
+	}
+	return 0, fmt.Errorf("unknown policy %q (want software-managed, static-interleave or hardware-cache)", s)
+}
+
+var techByName = map[string]powopt.Technique{
+	"ntc":             powopt.NTC,
+	"async-cu":        powopt.AsyncCU,
+	"async-routers":   powopt.AsyncRouters,
+	"low-power-links": powopt.LowPowerLinks,
+	"compression":     powopt.Compression,
+	"all":             powopt.All,
+}
+
+// techNames is the canonical render of a technique mask, sorted.
+func techNames(t powopt.Technique) []string {
+	if t == 0 {
+		return nil
+	}
+	var out []string
+	for name, bit := range techByName {
+		if name != "all" && t&bit == bit {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// parseTechniques folds wire names into a technique mask; duplicates and
+// ordering are irrelevant (the mask is canonical).
+func parseTechniques(names []string) (powopt.Technique, error) {
+	var t powopt.Technique
+	for _, n := range names {
+		bit, ok := techByName[strings.ToLower(strings.TrimSpace(n))]
+		if !ok {
+			return 0, fmt.Errorf("unknown optimization %q (want ntc, async-cu, async-routers, low-power-links, compression or all)", n)
+		}
+		t |= bit
+	}
+	return t, nil
+}
+
+// resolve validates the request, applies defaults, and derives the canonical
+// cache key. Errors are client errors (HTTP 400).
+func (r SimulateRequest) resolve() (simJob, error) {
+	if r.CUs == 0 {
+		r.CUs = arch.ProvisionedCUs
+	}
+	if r.FreqMHz == 0 {
+		r.FreqMHz = 1000
+	}
+	if r.BWTBps == 0 {
+		r.BWTBps = 3
+	}
+	if r.Kernel == "" {
+		return simJob{}, fmt.Errorf("kernel is required (one of %s)", strings.Join(workload.Names(), ", "))
+	}
+	k, err := workload.ByName(r.Kernel)
+	if err != nil {
+		return simJob{}, err
+	}
+	pol, err := parsePolicy(r.Options.Policy)
+	if err != nil {
+		return simJob{}, err
+	}
+	tech, err := parseTechniques(r.Options.Optimizations)
+	if err != nil {
+		return simJob{}, err
+	}
+	if r.Options.MissFrac < 0 || r.Options.MissFrac > 1 {
+		return simJob{}, fmt.Errorf("miss_frac %v out of [0,1]", r.Options.MissFrac)
+	}
+	cfg := arch.EHP(r.CUs, r.FreqMHz, r.BWTBps)
+	if err := cfg.Validate(); err != nil {
+		return simJob{}, err
+	}
+	opt := core.Options{
+		MissFrac:         r.Options.MissFrac,
+		UseAppExtTraffic: r.Options.UseAppExtTraffic,
+		Policy:           pol,
+		Optimizations:    tech,
+		TempC:            r.Options.TempC,
+		ExcludeExternal:  r.Options.ExcludeExternal,
+	}
+	key := hashCanon(simCanon{
+		V:               1,
+		CUs:             r.CUs,
+		FreqMHz:         r.FreqMHz,
+		BWTBps:          r.BWTBps,
+		Kernel:          k.Name,
+		MissFrac:        opt.MissFrac,
+		UseApp:          opt.UseAppExtTraffic,
+		Policy:          int(pol),
+		Opts:            uint(tech),
+		TempC:           opt.TempC,
+		ExcludeExternal: opt.ExcludeExternal,
+	})
+	return simJob{
+		cfg:    cfg,
+		view:   ConfigView{CUs: r.CUs, FreqMHz: r.FreqMHz, BWTBps: r.BWTBps},
+		kernel: k,
+		opt:    opt,
+		key:    key,
+	}, nil
+}
+
+// ExploreRequest is the body of POST /v1/explore. Empty grids default to the
+// paper's exploration ranges, empty kernels to the full Table I suite, and a
+// zero budget to the paper's 160 W node budget. TimeoutSec bounds the job's
+// runtime (0 = the server's default job timeout).
+type ExploreRequest struct {
+	CUs           []int     `json:"cus,omitempty"`
+	FreqsMHz      []float64 `json:"freqs_mhz,omitempty"`
+	BWsTBps       []float64 `json:"bws_tbps,omitempty"`
+	Kernels       []string  `json:"kernels,omitempty"`
+	BudgetW       float64   `json:"budget_w,omitempty"`
+	Optimizations []string  `json:"optimizations,omitempty"`
+	TimeoutSec    float64   `json:"timeout_sec,omitempty"`
+}
+
+// BestPoint is a selected design point in an explore result.
+type BestPoint struct {
+	CUs       int     `json:"cus"`
+	FreqMHz   float64 `json:"freq_mhz"`
+	BWTBps    float64 `json:"bw_tbps"`
+	MeanScore float64 `json:"mean_score,omitempty"`
+}
+
+// KernelBest is one kernel's best in-budget configuration.
+type KernelBest struct {
+	Kernel  string  `json:"kernel"`
+	CUs     int     `json:"cus"`
+	FreqMHz float64 `json:"freq_mhz"`
+	BWTBps  float64 `json:"bw_tbps"`
+	TFLOPs  float64 `json:"tflops"`
+	BudgetW float64 `json:"budget_w"`
+}
+
+// ExploreResult is a completed exploration job's result payload.
+type ExploreResult struct {
+	Key           string       `json:"key"`
+	Points        int          `json:"points"`
+	Feasible      int          `json:"feasible"`
+	BudgetW       float64      `json:"budget_w"`
+	Optimizations []string     `json:"optimizations,omitempty"`
+	BestMean      BestPoint    `json:"best_mean"`
+	PerKernel     []KernelBest `json:"per_kernel"`
+}
+
+// exploreJob is a resolved explore request.
+type exploreJob struct {
+	space   dse.Space
+	kernels []workload.Kernel
+	names   []string
+	budgetW float64
+	tech    powopt.Technique
+	timeout time.Duration
+	key     string
+}
+
+type exploreCanon struct {
+	V       int       `json:"v"`
+	CUs     []int     `json:"cus"`
+	Freqs   []float64 `json:"freqs_mhz"`
+	BWs     []float64 `json:"bws_tbps"`
+	Kernels []string  `json:"kernels"`
+	BudgetW float64   `json:"budget_w"`
+	Opts    uint      `json:"opts"`
+}
+
+// resolve validates an explore request and canonicalizes it: the swept grids
+// are sorted and deduplicated (grid order never changes which configurations
+// exist), so permuted requests share one cache key and one execution.
+func (r ExploreRequest) resolve() (exploreJob, error) {
+	space := dse.DefaultSpace()
+	if len(r.CUs) > 0 {
+		space.CUs = sortedUniqueInts(r.CUs)
+	}
+	if len(r.FreqsMHz) > 0 {
+		space.FreqsMHz = sortedUniqueFloats(r.FreqsMHz)
+	}
+	if len(r.BWsTBps) > 0 {
+		space.BWsTBps = sortedUniqueFloats(r.BWsTBps)
+	}
+	for _, c := range space.CUs {
+		if c <= 0 {
+			return exploreJob{}, fmt.Errorf("non-positive CU count %d", c)
+		}
+	}
+	for _, f := range space.FreqsMHz {
+		if f <= 0 {
+			return exploreJob{}, fmt.Errorf("non-positive frequency %v", f)
+		}
+	}
+	for _, b := range space.BWsTBps {
+		if b <= 0 {
+			return exploreJob{}, fmt.Errorf("non-positive bandwidth %v", b)
+		}
+	}
+	ks := workload.Suite()
+	if len(r.Kernels) > 0 {
+		ks = ks[:0]
+		for _, name := range r.Kernels {
+			k, err := workload.ByName(name)
+			if err != nil {
+				return exploreJob{}, err
+			}
+			ks = append(ks, k)
+		}
+	}
+	budget := r.BudgetW
+	if budget == 0 {
+		budget = arch.NodePowerBudgetW
+	}
+	if budget < 0 {
+		return exploreJob{}, fmt.Errorf("negative budget %v W", budget)
+	}
+	tech, err := parseTechniques(r.Optimizations)
+	if err != nil {
+		return exploreJob{}, err
+	}
+	if r.TimeoutSec < 0 {
+		return exploreJob{}, fmt.Errorf("negative timeout_sec %v", r.TimeoutSec)
+	}
+	names := make([]string, len(ks))
+	for i, k := range ks {
+		names[i] = k.Name
+	}
+	key := hashCanon(exploreCanon{
+		V:       1,
+		CUs:     space.CUs,
+		Freqs:   space.FreqsMHz,
+		BWs:     space.BWsTBps,
+		Kernels: names,
+		BudgetW: budget,
+		Opts:    uint(tech),
+	})
+	return exploreJob{
+		space:   space,
+		kernels: ks,
+		names:   names,
+		budgetW: budget,
+		tech:    tech,
+		timeout: time.Duration(r.TimeoutSec * float64(time.Second)),
+		key:     key,
+	}, nil
+}
+
+// summarize shapes a dse.Outcome into the wire result.
+func (e exploreJob) summarize(out dse.Outcome) ExploreResult {
+	res := ExploreResult{
+		Key:           e.key,
+		Points:        len(out.Evals),
+		BudgetW:       e.budgetW,
+		Optimizations: techNames(e.tech),
+		BestMean: BestPoint{
+			CUs:       out.BestMean.Point.CUs,
+			FreqMHz:   out.BestMean.Point.FreqMHz,
+			BWTBps:    out.BestMean.Point.BWTBps,
+			MeanScore: out.BestMean.MeanScore,
+		},
+	}
+	for _, ev := range out.Evals {
+		if ev.FeasibleAll {
+			res.Feasible++
+		}
+	}
+	for i, k := range e.names {
+		if i >= len(out.BestPerKernel) {
+			break
+		}
+		b := out.BestPerKernel[i]
+		kb := KernelBest{Kernel: k, CUs: b.Point.CUs, FreqMHz: b.Point.FreqMHz, BWTBps: b.Point.BWTBps}
+		if i < len(b.PerfTFLOPs) {
+			kb.TFLOPs = b.PerfTFLOPs[i]
+			kb.BudgetW = b.BudgetW[i]
+		}
+		res.PerKernel = append(res.PerKernel, kb)
+	}
+	return res
+}
+
+func sortedUniqueInts(in []int) []int {
+	out := append([]int(nil), in...)
+	sort.Ints(out)
+	w := 0
+	for i, v := range out {
+		if i == 0 || v != out[w-1] {
+			out[w] = v
+			w++
+		}
+	}
+	return out[:w]
+}
+
+func sortedUniqueFloats(in []float64) []float64 {
+	out := append([]float64(nil), in...)
+	sort.Float64s(out)
+	w := 0
+	for i, v := range out {
+		if i == 0 || v != out[w-1] {
+			out[w] = v
+			w++
+		}
+	}
+	return out[:w]
+}
