@@ -1,6 +1,6 @@
 # Convenience targets for the ENA reproduction.
 
-.PHONY: all build test test-race test-service vet fuzz-short verify bench bench-json serve experiments csv examples clean
+.PHONY: all build test test-race test-service chaos-short vet fuzz-short verify bench bench-json serve experiments csv examples clean
 
 all: build vet test
 
@@ -23,14 +23,24 @@ test-race:
 test-service:
 	go test -race ./internal/service/...
 
-# Short fuzz pass over the compression codec (round-trip + ratio bounds).
+# Chaos suite: the service layer under the race detector with fault
+# injection on — injected panics, transient failures, breaker trips, and
+# deadline fallbacks must all be survived, not just tolerated.
+chaos-short:
+	go test -race -run='Chaos|Breaker|Fault|CacheEviction|CacheInflight' ./internal/service/
+	go test -run='Apply|Surface|Chaos' ./internal/faults/
+
+# Short fuzz pass over the compression codec (round-trip + ratio bounds)
+# and the fault-mask parser (never panics; accepted masks are canonical
+# fixed points).
 fuzz-short:
 	go test -run='^$$' -fuzz=FuzzLineRoundTrip -fuzztime=10s ./internal/compress
 	go test -run='^$$' -fuzz=FuzzDecodeNeverPanics -fuzztime=5s ./internal/compress
+	go test -run='^$$' -fuzz=FuzzParseMask -fuzztime=5s ./internal/faults
 
 # Tier-1 verification gate: everything must build, vet clean, and pass,
-# including the race pass over the service layer.
-verify: build vet test test-service
+# including the race pass over the service layer and the chaos suite.
+verify: build vet test test-service chaos-short
 
 # Regenerate every table/figure and record the outputs (the reproduction log).
 bench:

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestOneShotMask(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-mask", "gpu:2", "-kernel", "MaxFlops"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"resolved:", "healthy", "degraded", "relative:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestOneShotJSONDeterministic(t *testing.T) {
+	runJSON := func() report {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-mask", "gpu:2,hbm:1", "-seed", "9", "-json"}, &out, &errb); code != 0 {
+			t.Fatalf("exit %d, stderr: %s", code, errb.String())
+		}
+		var r report
+		if err := json.Unmarshal(out.Bytes(), &r); err != nil {
+			t.Fatalf("bad JSON: %v\n%s", err, out.String())
+		}
+		return r
+	}
+	a := runJSON()
+	if len(a.Disabled) != 3 {
+		t.Errorf("Disabled = %v, want 3 units", a.Disabled)
+	}
+	b := runJSON()
+	if a.Resolved != b.Resolved || a.Degraded != b.Degraded {
+		t.Errorf("seeded injection not reproducible: %+v vs %+v", a, b)
+	}
+	if a.RelPerf >= 1 {
+		t.Errorf("RelPerf = %v, want < 1 after losing chiplets", a.RelPerf)
+	}
+}
+
+func TestSweepSurface(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-sweep", "gpu", "-max-faults", "2", "-kernel", "MaxFlops"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if got := strings.Count(out.String(), "\n"); got < 5 {
+		t.Errorf("surface output too short:\n%s", out.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{},                            // neither -mask nor -sweep
+		{"-mask", "gpu:1", "-sweep", "gpu"}, // both
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("run(%v) exit = %d, want 2", args, code)
+		}
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-mask", "bogus:1"}, &out, &errb); code != 1 {
+		t.Errorf("bad mask exit = %d, want 1", code)
+	}
+	// Link faults are invisible to the analytic model; requiring -detailed
+	// beats silently reporting no damage.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-mask", "link@0-1"}, &out, &errb); code != 1 {
+		t.Errorf("link mask without -detailed exit = %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "-detailed") {
+		t.Errorf("error should point at -detailed: %s", errb.String())
+	}
+}

@@ -9,6 +9,7 @@
 //	enaserve -addr 127.0.0.1:9090   # custom listen address
 //	enaserve -workers 8 -queue 128  # bigger job pool
 //	enaserve -job-timeout 5m        # default per-job deadline
+//	enaserve -chaos -chaos-seed 7   # runtime fault injection (testing)
 //
 // Endpoints (see internal/service for the full API):
 //
@@ -33,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"ena/internal/faults"
 	"ena/internal/obs"
 	"ena/internal/service"
 )
@@ -45,10 +47,12 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("enaserve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	workers := fs.Int("workers", 0, "job worker-pool size (0 = GOMAXPROCS)")
-	queue := fs.Int("queue", service.DefaultQueueCap, "max queued jobs before submissions get 429")
+	queue := fs.Int("queue", service.DefaultQueueCap, "max queued jobs before submissions get 503 + Retry-After")
 	cacheSize := fs.Int("cache", service.DefaultCacheSize, "result-cache capacity (entries)")
 	jobTimeout := fs.Duration("job-timeout", 10*time.Minute, "default per-job deadline (0 = none)")
 	grace := fs.Duration("grace", 30*time.Second, "shutdown grace period before force-cancelling jobs")
+	chaos := fs.Bool("chaos", false, "inject runtime faults (worker panics, transient failures, latency, stalls, cache corruption)")
+	chaosSeed := fs.Int64("chaos-seed", 1, "seed for the chaos injector's draws")
 	fs.Parse(args)
 
 	// The signal context only triggers the drain sequence. Jobs run under
@@ -57,12 +61,19 @@ func run(args []string) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	reg := obs.NewRegistry()
+	var inj *faults.Chaos
+	if *chaos {
+		inj = faults.NewChaos(faults.DefaultChaosConfig(*chaosSeed), reg)
+		fmt.Fprintf(os.Stderr, "enaserve: chaos injection ON (seed %d) — do not use in production\n", *chaosSeed)
+	}
 	srv := service.New(context.Background(), service.Config{
 		Workers:    *workers,
 		QueueCap:   *queue,
 		CacheSize:  *cacheSize,
 		JobTimeout: *jobTimeout,
-		Reg:        obs.NewRegistry(),
+		Reg:        reg,
+		Chaos:      inj,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -268,12 +268,32 @@ feed:
 	return out, nil
 }
 
+// EvaluateConfigContext evaluates one explicit node configuration against the
+// kernels under the budget, producing the same per-kernel performance, budget
+// power and feasibility the sweep computes for a grid point. Callers whose
+// configurations are not grid-generated — the fault-injection engine's
+// degraded nodes, what-if analyses — get sweep-compatible numbers without
+// re-deriving the scoring. MeanScore stays zero: it is only defined relative
+// to a whole exploration. The Eval's Point carries the config's aggregate
+// CU/frequency/bandwidth so renders label it like any other design point.
+func EvaluateConfigContext(ctx context.Context, cfg *arch.NodeConfig, kernels []workload.Kernel, budgetW float64, opts powopt.Technique) (Eval, error) {
+	p := Point{CUs: cfg.TotalCUs(), FreqMHz: cfg.GPUFreqMHz(), BWTBps: cfg.InPackageBWTBps()}
+	ev, _ := evaluateConfigCtx(ctx, cfg, p, kernels, budgetW, opts)
+	if err := ctx.Err(); err != nil {
+		return Eval{}, err
+	}
+	return ev, nil
+}
+
 // evaluateCtx evaluates one design point, checking for cancellation between
 // kernels; it reports how many kernel simulations actually ran so aborted
 // sweeps account their work accurately. A point cut short is marked
 // infeasible, but the whole sweep is discarded on cancellation anyway.
 func evaluateCtx(ctx context.Context, p Point, kernels []workload.Kernel, budgetW float64, opts powopt.Technique) (Eval, int64) {
-	cfg := p.Config()
+	return evaluateConfigCtx(ctx, p.Config(), p, kernels, budgetW, opts)
+}
+
+func evaluateConfigCtx(ctx context.Context, cfg *arch.NodeConfig, p Point, kernels []workload.Kernel, budgetW float64, opts powopt.Technique) (Eval, int64) {
 	e := Eval{
 		Point:       p,
 		PerfTFLOPs:  make([]float64, len(kernels)),

@@ -364,3 +364,30 @@ func TestExploreContextCancelMidSweep(t *testing.T) {
 		t.Errorf("cancelled sweep leaked %d partial evals", len(out.Evals))
 	}
 }
+
+func TestEvaluateConfigContext(t *testing.T) {
+	ks := workload.Suite()[:2]
+	cfg := arch.BestMeanEHP()
+	ev, err := EvaluateConfigContext(context.Background(), cfg, ks, arch.NodePowerBudgetW, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Point.CUs != cfg.TotalCUs() || ev.Point.BWTBps != cfg.InPackageBWTBps() {
+		t.Errorf("point %v does not mirror config %v", ev.Point, cfg)
+	}
+	if len(ev.PerfTFLOPs) != len(ks) || ev.PerfTFLOPs[0] <= 0 {
+		t.Errorf("per-kernel perf missing: %v", ev.PerfTFLOPs)
+	}
+	// Must agree with the sweep's own evaluation of the same point.
+	grid, _ := evaluateCtx(context.Background(), Point{CUs: 320, FreqMHz: 1000, BWTBps: 3}, ks, arch.NodePowerBudgetW, 0)
+	for i := range ks {
+		if ev.PerfTFLOPs[i] != grid.PerfTFLOPs[i] || ev.BudgetW[i] != grid.BudgetW[i] {
+			t.Errorf("kernel %d: explicit-config eval diverges from grid eval", i)
+		}
+	}
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := EvaluateConfigContext(cctx, cfg, ks, arch.NodePowerBudgetW, 0); err == nil {
+		t.Error("cancelled context must surface an error")
+	}
+}

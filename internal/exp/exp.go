@@ -58,6 +58,7 @@ func Experiments() []Experiment {
 		{ID: "migration", Title: "Extension: hot-page migration runtime", Run: func() Result { return Migration() }},
 		{ID: "reconfig", Title: "Extension: dynamic reconfiguration runtime (§VI)", Run: func() Result { return Reconfig() }},
 		{ID: "ras", Title: "Extension: RAS / MTTF / checkpointing", Run: func() Result { return RAS() }},
+		{ID: "resilience", Title: "Extension: performance under progressive component failure", Run: func() Result { return Resilience() }},
 	}
 }
 

@@ -1,0 +1,189 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"ena/internal/obs"
+)
+
+// ErrInjected is the base of every chaos-injected failure; errors.Is on it
+// identifies synthetic faults in logs and tests.
+var ErrInjected = errors.New("faults: injected")
+
+// transientErr marks an error as retry-worthy: the failure is expected to
+// clear on its own (an injected fault, a transient resource shortage), so
+// the scheduler's backoff-retry loop may re-run the job.
+type transientErr struct{ err error }
+
+func (t transientErr) Error() string { return t.err.Error() }
+func (t transientErr) Unwrap() error { return t.err }
+
+// Transient wraps err so IsTransient reports true (nil stays nil).
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return transientErr{err: err}
+}
+
+// IsTransient reports whether err (or anything it wraps) was marked
+// retryable via Transient.
+func IsTransient(err error) bool {
+	var t transientErr
+	return errors.As(err, &t)
+}
+
+// ChaosConfig tunes the runtime fault injector. Zero probabilities disable
+// the corresponding injection site; the zero value injects nothing.
+type ChaosConfig struct {
+	// Seed drives the injection draws (deterministic per seed).
+	Seed int64
+	// PanicProb is the probability a job's worker panics at job start.
+	PanicProb float64
+	// FailProb is the probability a job fails with an injected transient
+	// error (exercises the retry path).
+	FailProb float64
+	// LatencyProb/MaxLatency inject up to MaxLatency of artificial delay
+	// into HTTP request handling.
+	LatencyProb float64
+	MaxLatency  time.Duration
+	// StallProb/MaxStall hold a job's context hostage for up to MaxStall
+	// before the job runs (exercises deadline handling).
+	StallProb float64
+	MaxStall  time.Duration
+	// CacheCorruptProb is the probability a cache hit is treated as
+	// corrupted: the entry is evicted and recomputed (exercises the
+	// read-repair path).
+	CacheCorruptProb float64
+}
+
+// DefaultChaosConfig is a modest all-sites profile for chaos test runs:
+// every injection site fires regularly under load without drowning the
+// service (used by `make chaos-short` and the -chaos flag of enaserve).
+func DefaultChaosConfig(seed int64) ChaosConfig {
+	return ChaosConfig{
+		Seed:             seed,
+		PanicProb:        0.05,
+		FailProb:         0.10,
+		LatencyProb:      0.20,
+		MaxLatency:       5 * time.Millisecond,
+		StallProb:        0.05,
+		MaxStall:         5 * time.Millisecond,
+		CacheCorruptProb: 0.10,
+	}
+}
+
+// Chaos injects runtime faults at the service layer's seams. A nil *Chaos is
+// the disabled injector: every method is a cheap no-op, so call sites thread
+// it unconditionally. All injections are counted in the registry under
+// faults.chaos.*.
+type Chaos struct {
+	cfg ChaosConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	panics      *obs.Counter
+	transients  *obs.Counter
+	latencies   *obs.Counter
+	stalls      *obs.Counter
+	corruptions *obs.Counter
+}
+
+// NewChaos builds an injector. reg may be nil (counters become no-ops).
+func NewChaos(cfg ChaosConfig, reg *obs.Registry) *Chaos {
+	return &Chaos{
+		cfg:         cfg,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		panics:      reg.Counter("faults.chaos.panics"),
+		transients:  reg.Counter("faults.chaos.transients"),
+		latencies:   reg.Counter("faults.chaos.latencies"),
+		stalls:      reg.Counter("faults.chaos.stalls"),
+		corruptions: reg.Counter("faults.chaos.cache_corruptions"),
+	}
+}
+
+// draw returns a uniform [0,1) float under the injector's lock.
+func (c *Chaos) draw() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Float64()
+}
+
+// ShouldPanic reports whether the worker should panic now (counted).
+func (c *Chaos) ShouldPanic() bool {
+	if c == nil || c.cfg.PanicProb <= 0 {
+		return false
+	}
+	if c.draw() >= c.cfg.PanicProb {
+		return false
+	}
+	c.panics.Inc()
+	return true
+}
+
+// TransientFailure returns an injected retryable error, or nil.
+func (c *Chaos) TransientFailure() error {
+	if c == nil || c.cfg.FailProb <= 0 {
+		return nil
+	}
+	if c.draw() >= c.cfg.FailProb {
+		return nil
+	}
+	c.transients.Inc()
+	return Transient(fmt.Errorf("%w transient failure", ErrInjected))
+}
+
+// Latency returns an artificial delay to add to request handling (0 = none).
+func (c *Chaos) Latency() time.Duration {
+	if c == nil || c.cfg.LatencyProb <= 0 || c.cfg.MaxLatency <= 0 {
+		return 0
+	}
+	if c.draw() >= c.cfg.LatencyProb {
+		return 0
+	}
+	c.mu.Lock()
+	d := time.Duration(c.rng.Int63n(int64(c.cfg.MaxLatency))) + 1
+	c.mu.Unlock()
+	c.latencies.Inc()
+	return d
+}
+
+// Stall blocks for up to MaxStall (or until ctx ends) when the stall site
+// fires, simulating a hung dependency in front of job execution.
+func (c *Chaos) Stall(ctx context.Context) {
+	if c == nil || c.cfg.StallProb <= 0 || c.cfg.MaxStall <= 0 {
+		return
+	}
+	if c.draw() >= c.cfg.StallProb {
+		return
+	}
+	c.mu.Lock()
+	d := time.Duration(c.rng.Int63n(int64(c.cfg.MaxStall))) + 1
+	c.mu.Unlock()
+	c.stalls.Inc()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// CorruptCache reports whether a cache hit should be treated as corrupted
+// (evict and recompute).
+func (c *Chaos) CorruptCache() bool {
+	if c == nil || c.cfg.CacheCorruptProb <= 0 {
+		return false
+	}
+	if c.draw() >= c.cfg.CacheCorruptProb {
+		return false
+	}
+	c.corruptions.Inc()
+	return true
+}

@@ -1,0 +1,31 @@
+package faults
+
+import "testing"
+
+// FuzzParseMask asserts the mask parser never panics, and that every mask it
+// accepts is already canonical: String() re-parses to the identical mask
+// (the property /v1/simulate's cache keys and enafault both rely on).
+func FuzzParseMask(f *testing.F) {
+	for _, seed := range []string{
+		"", "gpu:2", "gpu@3", "hbm:1,hbm@0", "cpu:1", "ext@1.2", "ext:3",
+		"link@0-5", "link:2", "GPU:1, gpu:1", "gpu:2,hbm:1,cpu:1,ext:1,link:1",
+		"gpu", "gpu:", "gpu:0", "gpu:-1", "disk:1", "ext@1", "link@3-3",
+		"gpu@999999999999999999999", " , ,, ", "gpu@3,gpu@3,gpu:1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := ParseMask(s)
+		if err != nil {
+			return
+		}
+		got := m.String()
+		m2, err := ParseMask(got)
+		if err != nil {
+			t.Fatalf("canonical form %q (from %q) does not re-parse: %v", got, s, err)
+		}
+		if m2.String() != got {
+			t.Fatalf("canonical form not a fixed point: %q -> %q -> %q", s, got, m2.String())
+		}
+	})
+}

@@ -1,0 +1,288 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ena/internal/arch"
+	"ena/internal/noc"
+)
+
+// interposerPositions is the EHP floorplan's interposer count (the NoC's
+// fully-connected endpoints); link targets address position pairs.
+const interposerPositions = 6
+
+// Injection errors.
+var (
+	// ErrNodeDead means the mask leaves no working GPU chiplet (or no CPU
+	// chiplet to boot the node): the degraded node cannot compute at all,
+	// so there is no configuration to re-simulate.
+	ErrNodeDead = errors.New("faults: mask leaves no working compute")
+)
+
+// Injection is one resolved fault scenario: the degraded configuration plus
+// everything needed to re-run the simulators and attribute the damage.
+type Injection struct {
+	// Mask is the canonical input specification.
+	Mask Mask
+	// Resolved is the fully-targeted equivalent: every seed-chosen count
+	// entry expanded into the explicit units that failed. Re-applying
+	// Resolved (any seed) reproduces the same degraded node.
+	Resolved Mask
+	// Seed drove the count-entry unit choices.
+	Seed int64
+
+	// Base is the healthy configuration; Config the degraded one.
+	Base   *arch.NodeConfig
+	Config *arch.NodeConfig
+
+	// DownLinks carries NoC link faults into the detailed simulator
+	// (noc.Options.DownLinks); the analytic model has no per-link
+	// resolution and ignores them.
+	DownLinks []noc.LinkFault
+
+	// Disabled lists the failed units in canonical order, for reports.
+	Disabled []string
+}
+
+// Apply resolves a mask against a healthy configuration: count entries draw
+// their victims from the surviving units with a deterministic seeded RNG
+// (identical (mask, seed) pairs always fail identical units, and a count of
+// n fails a superset of the units a count of n-1 fails — progressive-failure
+// sweeps are nested), then builds the degraded node:
+//
+//   - a failed GPU chiplet takes its stacked HBM with it (compute and local
+//     memory lost);
+//   - a failed HBM stack leaves its host chiplet's CUs running (they fetch
+//     from the surviving stacks) but loses the stack's bandwidth and
+//     capacity;
+//   - a failed CPU chiplet drops its cores;
+//   - a failed external module truncates its chain from that hop on (the
+//     point-to-point chain topology of §II-B2 strands everything behind it);
+//   - a failed NoC link is recorded for the detailed simulator.
+//
+// The degraded configuration always passes arch.Validate; masks that kill
+// every GPU chiplet or every CPU chiplet return ErrNodeDead.
+func Apply(base *arch.NodeConfig, m Mask, seed int64) (*Injection, error) {
+	nGPU := len(base.GPU)
+	nCPU := len(base.CPU)
+
+	gpuDead := map[int]bool{}
+	hbmDead := map[int]bool{}
+	cpuDead := map[int]bool{}
+	extCut := map[int]int{} // chain -> first unreachable module
+	linkDead := map[[2]int]bool{}
+
+	// Targeted entries first: they are part of the mask's identity, so
+	// they must not depend on the seed.
+	for _, e := range m.Entries {
+		if !e.targeted() {
+			continue
+		}
+		switch e.Comp {
+		case GPUChiplet:
+			if e.Index >= nGPU {
+				return nil, fmt.Errorf("faults: gpu@%d out of range (node has %d GPU chiplets)", e.Index, nGPU)
+			}
+			gpuDead[e.Index] = true
+		case HBMStack:
+			if e.Index >= len(base.HBM) {
+				return nil, fmt.Errorf("faults: hbm@%d out of range (node has %d HBM stacks)", e.Index, len(base.HBM))
+			}
+			hbmDead[e.Index] = true
+		case CPUChiplet:
+			if e.Index >= nCPU {
+				return nil, fmt.Errorf("faults: cpu@%d out of range (node has %d CPU chiplets)", e.Index, nCPU)
+			}
+			cpuDead[e.Index] = true
+		case ExtModule:
+			if e.Chain >= len(base.Ext) {
+				return nil, fmt.Errorf("faults: ext@%d.%d out of range (node has %d chains)", e.Chain, e.Module, len(base.Ext))
+			}
+			if e.Module >= len(base.Ext[e.Chain].Modules) {
+				return nil, fmt.Errorf("faults: ext@%d.%d out of range (chain has %d modules)", e.Chain, e.Module, len(base.Ext[e.Chain].Modules))
+			}
+			if cur, ok := extCut[e.Chain]; !ok || e.Module < cur {
+				extCut[e.Chain] = e.Module
+			}
+		case NoCLink:
+			if e.B >= interposerPositions { // A < B after canonicalization
+				return nil, fmt.Errorf("faults: link@%d-%d out of range (%d interposer positions)", e.A, e.B, interposerPositions)
+			}
+			linkDead[[2]int{e.A, e.B}] = true
+		}
+	}
+
+	// Count entries draw from survivors with one shared seeded RNG, in
+	// canonical class order, so resolution is deterministic and nested.
+	rng := rand.New(rand.NewSource(seed))
+	for _, e := range m.Entries {
+		if e.targeted() {
+			continue
+		}
+		for n := 0; n < e.Count; n++ {
+			switch e.Comp {
+			case GPUChiplet:
+				cand := survivors(nGPU, func(i int) bool { return gpuDead[i] })
+				if len(cand) == 0 {
+					return nil, fmt.Errorf("faults: %s asks for more GPU chiplets than the node has", e)
+				}
+				gpuDead[cand[rng.Intn(len(cand))]] = true
+			case HBMStack:
+				cand := survivors(len(base.HBM), func(i int) bool { return hbmDead[i] || gpuDead[i] })
+				if len(cand) == 0 {
+					return nil, fmt.Errorf("faults: %s asks for more HBM stacks than survive", e)
+				}
+				hbmDead[cand[rng.Intn(len(cand))]] = true
+			case CPUChiplet:
+				cand := survivors(nCPU, func(i int) bool { return cpuDead[i] })
+				if len(cand) == 0 {
+					return nil, fmt.Errorf("faults: %s asks for more CPU chiplets than the node has", e)
+				}
+				cpuDead[cand[rng.Intn(len(cand))]] = true
+			case ExtModule:
+				var cand [][2]int
+				for c, ch := range base.Ext {
+					limit := len(ch.Modules)
+					if cut, ok := extCut[c]; ok && cut < limit {
+						limit = cut
+					}
+					for mi := 0; mi < limit; mi++ {
+						cand = append(cand, [2]int{c, mi})
+					}
+				}
+				if len(cand) == 0 {
+					return nil, fmt.Errorf("faults: %s asks for more external modules than remain reachable", e)
+				}
+				pick := cand[rng.Intn(len(cand))]
+				extCut[pick[0]] = pick[1]
+			case NoCLink:
+				var cand [][2]int
+				for a := 0; a < interposerPositions; a++ {
+					for b := a + 1; b < interposerPositions; b++ {
+						if !linkDead[[2]int{a, b}] {
+							cand = append(cand, [2]int{a, b})
+						}
+					}
+				}
+				if len(cand) == 0 {
+					return nil, fmt.Errorf("faults: %s asks for more NoC links than exist", e)
+				}
+				pick := cand[rng.Intn(len(cand))]
+				linkDead[pick] = true
+			}
+		}
+	}
+
+	inj := &Injection{Mask: m, Seed: seed, Base: base}
+
+	// Build the resolved (fully targeted) mask in canonical order.
+	for _, i := range sortedInts(gpuDead) {
+		inj.Resolved.Entries = append(inj.Resolved.Entries, Entry{Comp: GPUChiplet, Index: i})
+	}
+	for _, i := range sortedInts(hbmDead) {
+		if !gpuDead[i] { // a dead chiplet already accounts for its stack
+			inj.Resolved.Entries = append(inj.Resolved.Entries, Entry{Comp: HBMStack, Index: i})
+		}
+	}
+	for _, i := range sortedInts(cpuDead) {
+		inj.Resolved.Entries = append(inj.Resolved.Entries, Entry{Comp: CPUChiplet, Index: i})
+	}
+	for _, c := range sortedInts(extCut) {
+		inj.Resolved.Entries = append(inj.Resolved.Entries, Entry{Comp: ExtModule, Chain: c, Module: extCut[c]})
+	}
+	for _, l := range sortedPairs(linkDead) {
+		inj.Resolved.Entries = append(inj.Resolved.Entries, Entry{Comp: NoCLink, A: l[0], B: l[1]})
+		inj.DownLinks = append(inj.DownLinks, noc.LinkFault{A: l[0], B: l[1]})
+	}
+	inj.Resolved.canonicalize()
+	for _, e := range inj.Resolved.Entries {
+		inj.Disabled = append(inj.Disabled, e.String())
+	}
+
+	// Materialize the degraded node.
+	cfg := &arch.NodeConfig{Monolithic: base.Monolithic}
+	cfg.Name = base.Name + "-degraded[" + inj.Resolved.String() + "]"
+	var orphanCUs int
+	var keep []int
+	for i := range base.GPU {
+		switch {
+		case gpuDead[i]:
+			// chiplet and stack both gone
+		case hbmDead[i]:
+			orphanCUs += base.GPU[i].CUs
+		default:
+			keep = append(keep, i)
+		}
+	}
+	if len(keep) == 0 {
+		return nil, fmt.Errorf("%w: no surviving GPU chiplet", ErrNodeDead)
+	}
+	for _, i := range keep {
+		cfg.GPU = append(cfg.GPU, base.GPU[i])
+		cfg.HBM = append(cfg.HBM, base.HBM[i])
+	}
+	// Orphaned CUs (host stack dead, die alive) keep computing against the
+	// surviving stacks; spread them round-robin so chiplet loads stay
+	// within one CU of each other.
+	for n := 0; n < orphanCUs; n++ {
+		cfg.GPU[n%len(cfg.GPU)].CUs++
+	}
+	for i := range base.CPU {
+		if !cpuDead[i] {
+			cfg.CPU = append(cfg.CPU, base.CPU[i])
+		}
+	}
+	if len(cfg.CPU) == 0 && nCPU > 0 {
+		return nil, fmt.Errorf("%w: no surviving CPU chiplet", ErrNodeDead)
+	}
+	for c, ch := range base.Ext {
+		cc := ch
+		cc.Modules = append([]arch.ExtModule(nil), ch.Modules...)
+		if cut, ok := extCut[c]; ok {
+			cc.Modules = cc.Modules[:cut]
+		}
+		cfg.Ext = append(cfg.Ext, cc)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("faults: degraded config invalid: %w", err)
+	}
+	inj.Config = cfg
+	return inj, nil
+}
+
+// survivors lists indices [0,n) for which dead is false.
+func survivors(n int, dead func(int) bool) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		if !dead(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func sortedInts[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func sortedPairs(m map[[2]int]bool) [][2]int {
+	out := make([][2]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}

@@ -1,0 +1,105 @@
+package noc
+
+import (
+	"context"
+	"testing"
+
+	"ena/internal/arch"
+	"ena/internal/workload"
+)
+
+func TestComputeRoutesHealthyDirect(t *testing.T) {
+	r, err := computeRoutes(PointToPoint, []LinkFault{{A: 1, B: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unaffected pairs keep the single direct hop.
+	if got := r[0][5]; len(got) != 1 || got[0] != 5 {
+		t.Errorf("route 0->5 = %v, want direct [5]", got)
+	}
+	// The failed pair detours through exactly one intermediate position.
+	if got := r[1][4]; len(got) != 2 || got[len(got)-1] != 4 {
+		t.Errorf("route 1->4 = %v, want a two-hop detour ending at 4", got)
+	}
+}
+
+func TestComputeRoutesChainDetour(t *testing.T) {
+	// Chain topology with link 2-3 down splits the row; there is no
+	// alternative wiring, so the network is partitioned.
+	if _, err := computeRoutes(Chain, []LinkFault{{A: 2, B: 3}}); err != ErrPartitioned {
+		t.Errorf("err = %v, want ErrPartitioned", err)
+	}
+	// Point-to-point survives the same fault via any non-adjacent link.
+	if _, err := computeRoutes(PointToPoint, []LinkFault{{A: 2, B: 3}}); err != nil {
+		t.Errorf("point-to-point should reroute: %v", err)
+	}
+}
+
+func TestComputeRoutesInvalidFault(t *testing.T) {
+	if _, err := computeRoutes(PointToPoint, []LinkFault{{A: 0, B: 6}}); err == nil {
+		t.Error("out-of-range position must error")
+	}
+	if _, err := computeRoutes(PointToPoint, []LinkFault{{A: 3, B: 3}}); err == nil {
+		t.Error("self-link must error")
+	}
+}
+
+func TestComputeRoutesFullPartition(t *testing.T) {
+	// Cut every link touching position 0.
+	var cut []LinkFault
+	for i := 1; i < nocPositions; i++ {
+		cut = append(cut, LinkFault{A: 0, B: i})
+	}
+	if _, err := computeRoutes(PointToPoint, cut); err != ErrPartitioned {
+		t.Errorf("err = %v, want ErrPartitioned", err)
+	}
+}
+
+func TestSimulateWithDownLinksDegradesLatency(t *testing.T) {
+	cfg := arch.BestMeanEHP()
+	k := workload.CoMD()
+	healthy := Simulate(cfg, k, Options{Seed: 7, Requests: 20_000})
+	degraded, err := SimulateContext(context.Background(), cfg, k, Options{
+		Seed: 7, Requests: 20_000,
+		DownLinks: []LinkFault{{A: 0, B: 5}, {A: 0, B: 4}, {A: 1, B: 5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded.MeanLatencyNs <= healthy.MeanLatencyNs {
+		t.Errorf("down links should raise loaded latency: degraded %.2f ns vs healthy %.2f ns",
+			degraded.MeanLatencyNs, healthy.MeanLatencyNs)
+	}
+	if degraded.SustainedGBps <= 0 {
+		t.Error("degraded run must still make progress")
+	}
+}
+
+func TestSimulateWithDownLinksDeterministic(t *testing.T) {
+	cfg := arch.BestMeanEHP()
+	k := workload.LULESH()
+	opt := Options{Seed: 3, Requests: 10_000, DownLinks: []LinkFault{{A: 1, B: 4}}}
+	a, err := SimulateContext(context.Background(), cfg, k, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateContext(context.Background(), cfg, k, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("seeded degraded runs must be bit-identical:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestSimulatePartitionedReturnsError(t *testing.T) {
+	cfg := arch.BestMeanEHP()
+	var cut []LinkFault
+	for i := 1; i < nocPositions; i++ {
+		cut = append(cut, LinkFault{A: 0, B: i})
+	}
+	_, err := SimulateContext(context.Background(), cfg, workload.CoMD(), Options{Seed: 1, DownLinks: cut})
+	if err != ErrPartitioned {
+		t.Errorf("err = %v, want ErrPartitioned", err)
+	}
+}

@@ -9,6 +9,7 @@ package noc
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
@@ -100,6 +101,19 @@ func (s *server) serve(t, ns float64) float64 {
 	return s.freeAt
 }
 
+// LinkFault identifies a failed interposer-to-interposer link by its two
+// endpoint positions (0..5 in the floorplan row; order is irrelevant). The
+// fault-injection engine (internal/faults) produces these; traffic that would
+// have used a failed link reroutes hop-by-hop over the surviving links.
+type LinkFault struct {
+	A, B int
+}
+
+// ErrPartitioned reports that the injected link faults disconnect at least
+// one interposer pair: no routing can serve cross-chiplet traffic, so the
+// degraded configuration has no meaningful steady state.
+var ErrPartitioned = errors.New("noc: link faults partition the interposer network")
+
 // Topology selects the interposer-to-interposer wiring.
 type Topology int
 
@@ -132,6 +146,11 @@ type Options struct {
 	Seed int64
 	// Topology selects the interposer wiring (default PointToPoint).
 	Topology Topology
+	// DownLinks lists failed interposer links. Requests reroute over the
+	// cheapest surviving path (minimizing router + wire latency); if the
+	// faults disconnect the network, SimulateContext returns
+	// ErrPartitioned.
+	DownLinks []LinkFault
 	// Reg and Tracer attach observability sinks. When both are nil the
 	// process-default scope (obs.Default) is consulted, so CLI-level
 	// -metrics/-trace flags reach simulations buried inside experiments.
@@ -215,6 +234,18 @@ func SimulateContext(ctx context.Context, cfg *arch.NodeConfig, k workload.Kerne
 		}
 	}
 
+	// Link faults force detours: precompute the surviving-path position
+	// sequences once. routes stays nil in the healthy case so the common
+	// path below is untouched.
+	var routes *[positions][positions][]int
+	if len(opt.DownLinks) > 0 {
+		r, err := computeRoutes(opt.Topology, opt.DownLinks)
+		if err != nil {
+			return Result{}, err
+		}
+		routes = r
+	}
+
 	sim := event.NewSim()
 	sim.Instrument(reg, "noc.sim")
 	var (
@@ -225,19 +256,33 @@ func SimulateContext(ctx context.Context, cfg *arch.NodeConfig, k workload.Kerne
 	)
 
 	// path computes the completion time of a request issued at t from
-	// srcPos to the HBM stack on chiplet dst, and its hop count.
-	path := func(t float64, srcPos, dst int) (float64, int) {
+	// srcPos to the HBM stack on chiplet dst, its hop count (interposer
+	// distance), and — when link faults forced a detour — the traversed
+	// position sequence (nil on the healthy direct/chain paths).
+	path := func(t float64, srcPos, dst int) (float64, int, []int) {
 		dstPos := interposerOf(dst)
 		if cfg.Monolithic {
 			// Single die: one crossbar hop, then DRAM.
 			tt := t + CrossbarNs
-			return hbm[dst].serve(tt, hbmSvc[dst]) + perf.HBMLatencyNs, 0
+			return hbm[dst].serve(tt, hbmSvc[dst]) + perf.HBMLatencyNs, 0, nil
 		}
 		tt := t + TSVHopNs // descend into the source interposer
 		h := hops(srcPos, dstPos)
+		var seq []int
 		switch {
 		case h == 0:
 			// Same interposer: no link traversal.
+		case routes != nil:
+			// Degraded network: follow the precomputed surviving path,
+			// paying each hop's router + distance-proportional wire
+			// latency and queuing on each traversed link.
+			seq = routes[srcPos][dstPos]
+			pos := srcPos
+			for _, next := range seq {
+				wire := RouterHopNs + WireNsPerPosition*float64(hops(pos, next))
+				tt = links[pos][next].serve(tt+wire, linkSvc)
+				pos = next
+			}
 		case opt.Topology == Chain:
 			// Hop through every adjacent interposer; each hop pays a
 			// router traversal and queues on its own link.
@@ -256,7 +301,7 @@ func SimulateContext(ctx context.Context, cfg *arch.NodeConfig, k workload.Kerne
 			tt = links[srcPos][dstPos].serve(tt+wire, linkSvc)
 		}
 		tt += TSVHopNs // ascend into the destination chiplet/stack
-		return hbm[dst].serve(tt, hbmSvc[dst]) + perf.HBMLatencyNs, h
+		return hbm[dst].serve(tt, hbmSvc[dst]) + perf.HBMLatencyNs, h, seq
 	}
 
 	var issue func()
@@ -280,25 +325,32 @@ func SimulateContext(ctx context.Context, cfg *arch.NodeConfig, k workload.Kerne
 		remote := fromCPU || dst != srcChiplet
 		var t1 float64
 		var h int
+		var seq []int
 		if !remote && !cfg.Monolithic {
 			// Chiplet-local access: straight down to the local slice.
 			t1 = hbm[dst].serve(egress[dst].serve(t0, egressSvc), hbmSvc[dst]) + perf.HBMLatencyNs
 		} else if !cfg.Monolithic {
-			t1, h = path(egress[max0(srcChiplet)].serve(t0, egressSvc), srcPos, dst)
+			t1, h, seq = path(egress[max0(srcChiplet)].serve(t0, egressSvc), srcPos, dst)
 		} else {
-			t1, h = path(t0, srcPos, dst)
+			t1, h, seq = path(t0, srcPos, dst)
 		}
 		// Return trip: fixed per-hop latency (response rides dedicated
 		// response wires; their bandwidth is charged on the forward
 		// path servers already, which carry the 64 B line).
 		if !cfg.Monolithic && remote {
 			t1 += 2 * TSVHopNs
-			if h > 0 {
-				if opt.Topology == Chain {
-					t1 += float64(h) * (RouterHopNs + WireNsPerPosition)
-				} else {
-					t1 += RouterHopNs + WireNsPerPosition*float64(h)
+			switch {
+			case h == 0:
+			case seq != nil:
+				pos := srcPos
+				for _, next := range seq {
+					t1 += RouterHopNs + WireNsPerPosition*float64(hops(pos, next))
+					pos = next
 				}
+			case opt.Topology == Chain:
+				t1 += float64(h) * (RouterHopNs + WireNsPerPosition)
+			default:
+				t1 += RouterHopNs + WireNsPerPosition*float64(h)
 			}
 		}
 		sim.After(t1-t0, func() {
@@ -387,6 +439,88 @@ func SimulateContext(ctx context.Context, cfg *arch.NodeConfig, k workload.Kerne
 		}
 	}
 	return r, nil
+}
+
+// nocPositions is the interposer-position count of the EHP floorplan row.
+const nocPositions = 6
+
+// computeRoutes derives, for every interposer pair, the cheapest surviving
+// path (sum of per-hop router + distance-proportional wire latency) given the
+// failed links. Edges follow the topology: every non-failed pair for
+// PointToPoint, adjacent non-failed pairs for Chain. Neighbor order is fixed,
+// and only strict improvements relax a node, so the routes — and therefore
+// degraded-mode simulations — are deterministic. Returns ErrPartitioned when
+// any pair is unreachable.
+func computeRoutes(topo Topology, down []LinkFault) (*[nocPositions][nocPositions][]int, error) {
+	var dead [nocPositions][nocPositions]bool
+	for _, lf := range down {
+		if lf.A < 0 || lf.A >= nocPositions || lf.B < 0 || lf.B >= nocPositions || lf.A == lf.B {
+			return nil, fmt.Errorf("noc: invalid link fault %d-%d (positions are 0..%d)", lf.A, lf.B, nocPositions-1)
+		}
+		dead[lf.A][lf.B] = true
+		dead[lf.B][lf.A] = true
+	}
+	edge := func(a, b int) bool {
+		if a == b || dead[a][b] {
+			return false
+		}
+		if topo == Chain {
+			return hops(a, b) == 1
+		}
+		return true
+	}
+	var routes [nocPositions][nocPositions][]int
+	for src := 0; src < nocPositions; src++ {
+		// Dijkstra from src over at most six nodes.
+		const inf = 1e18
+		var dist [nocPositions]float64
+		var prev [nocPositions]int
+		var done [nocPositions]bool
+		for i := range dist {
+			dist[i] = inf
+			prev[i] = -1
+		}
+		dist[src] = 0
+		for {
+			u := -1
+			for i := 0; i < nocPositions; i++ {
+				if !done[i] && dist[i] < inf && (u < 0 || dist[i] < dist[u]) {
+					u = i
+				}
+			}
+			if u < 0 {
+				break
+			}
+			done[u] = true
+			for v := 0; v < nocPositions; v++ {
+				if !edge(u, v) {
+					continue
+				}
+				d := dist[u] + RouterHopNs + WireNsPerPosition*float64(hops(u, v))
+				if d < dist[v] {
+					dist[v] = d
+					prev[v] = u
+				}
+			}
+		}
+		for dst := 0; dst < nocPositions; dst++ {
+			if dst == src {
+				continue
+			}
+			if dist[dst] >= inf {
+				return nil, ErrPartitioned
+			}
+			var seq []int
+			for at := dst; at != src; at = prev[at] {
+				seq = append(seq, at)
+			}
+			for i, j := 0, len(seq)-1; i < j; i, j = i+1, j-1 {
+				seq[i], seq[j] = seq[j], seq[i]
+			}
+			routes[src][dst] = seq
+		}
+	}
+	return &routes, nil
 }
 
 func max0(v int) int {

@@ -1,0 +1,82 @@
+package ras
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file folds graceful degradation into the reliability analysis. The
+// classic checkpoint/restart model treats a node as binary — either fully up
+// or fully down — but the fault-injection surfaces (internal/faults) show a
+// node with k failed units of a component class still delivers a known
+// fraction of its healthy throughput. Given per-unit failure rates and a
+// repair time, the steady-state number of concurrently-failed units is
+// binomial, and the machine's expected relative throughput is the
+// surface-weighted mean.
+
+// DegradedResult summarizes a steady-state degraded-throughput analysis.
+type DegradedResult struct {
+	// UnitDownProb is the steady-state probability any one unit is failed
+	// (unavailability = FIT * MTTR / 1e9 h).
+	UnitDownProb float64
+	// PFaults[k] is the probability exactly k of the n units are down.
+	PFaults []float64
+	// ExpectedRelPerf is the surface-weighted mean relative throughput.
+	ExpectedRelPerf float64
+	// BinaryRelPerf is what the binary up/down model predicts: the node
+	// only counts when zero units are down.
+	BinaryRelPerf float64
+	// DegradedGain is ExpectedRelPerf - BinaryRelPerf: throughput the
+	// binary model writes off but graceful degradation preserves.
+	DegradedGain float64
+}
+
+// DegradedThroughput computes the expected steady-state relative throughput
+// of a node with n units of a component class failing at unitFIT (failures
+// per 1e9 device-hours) and being repaired in mttrHours, when operating
+// degraded at relPerf[k] of healthy throughput with k units down (relPerf[0]
+// must be 1; a k beyond len(relPerf)-1 is treated as zero throughput, i.e.
+// the node is effectively down past the end of the measured surface).
+func DegradedThroughput(n int, unitFIT, mttrHours float64, relPerf []float64) (DegradedResult, error) {
+	if n <= 0 {
+		return DegradedResult{}, fmt.Errorf("ras: need at least one unit, got %d", n)
+	}
+	if len(relPerf) == 0 || relPerf[0] != 1 {
+		return DegradedResult{}, fmt.Errorf("ras: relPerf must start with the healthy point (1.0)")
+	}
+	p := unitFIT * mttrHours / fitHours
+	if p < 0 || p >= 1 {
+		return DegradedResult{}, fmt.Errorf("ras: unit unavailability %.3g out of [0,1)", p)
+	}
+	res := DegradedResult{UnitDownProb: p, PFaults: make([]float64, n+1)}
+	for k := 0; k <= n; k++ {
+		res.PFaults[k] = binomPMF(n, k, p)
+		rel := 0.0
+		if k < len(relPerf) {
+			rel = relPerf[k]
+		}
+		res.ExpectedRelPerf += res.PFaults[k] * rel
+	}
+	res.BinaryRelPerf = res.PFaults[0]
+	res.DegradedGain = res.ExpectedRelPerf - res.BinaryRelPerf
+	return res, nil
+}
+
+// binomPMF is C(n,k) p^k (1-p)^(n-k), computed in log space for stability.
+func binomPMF(n, k int, p float64) float64 {
+	if p == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	lg := lchoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log1p(-p)
+	return math.Exp(lg)
+}
+
+func lchoose(n, k int) float64 {
+	a, _ := math.Lgamma(float64(n + 1))
+	b, _ := math.Lgamma(float64(k + 1))
+	c, _ := math.Lgamma(float64(n - k + 1))
+	return a - b - c
+}

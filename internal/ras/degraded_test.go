@@ -1,0 +1,93 @@
+package ras
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"ena/internal/arch"
+	"ena/internal/faults"
+	"ena/internal/workload"
+)
+
+func TestDegradedThroughputBasics(t *testing.T) {
+	// 8 units, a linear surface (each fault costs 1/8 of throughput).
+	rel := make([]float64, 9)
+	for k := range rel {
+		rel[k] = 1 - float64(k)/8
+	}
+	res, err := DegradedThroughput(8, 1000, 24, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := 1000.0 * 24 / 1e9
+	if math.Abs(res.UnitDownProb-p) > 1e-15 {
+		t.Errorf("unit down prob %v, want %v", res.UnitDownProb, p)
+	}
+	var sum float64
+	for _, q := range res.PFaults {
+		sum += q
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("PMF sums to %v", sum)
+	}
+	// Linear surface: E[rel] = 1 - E[k]/8 = 1 - n*p/8 = 1 - p.
+	if math.Abs(res.ExpectedRelPerf-(1-p)) > 1e-12 {
+		t.Errorf("expected rel perf %v, want %v", res.ExpectedRelPerf, 1-p)
+	}
+	if res.DegradedGain <= 0 {
+		t.Error("graceful degradation must beat the binary model")
+	}
+	if res.BinaryRelPerf >= res.ExpectedRelPerf {
+		t.Error("binary up/down must be the pessimistic bound")
+	}
+}
+
+func TestDegradedThroughputValidation(t *testing.T) {
+	if _, err := DegradedThroughput(0, 10, 1, []float64{1}); err == nil {
+		t.Error("zero units must fail")
+	}
+	if _, err := DegradedThroughput(4, 10, 1, nil); err == nil {
+		t.Error("empty surface must fail")
+	}
+	if _, err := DegradedThroughput(4, 10, 1, []float64{0.5}); err == nil {
+		t.Error("surface must start at the healthy point")
+	}
+	if _, err := DegradedThroughput(4, 1e9, 10, []float64{1}); err == nil {
+		t.Error("unavailability >= 1 must fail")
+	}
+}
+
+func TestDegradedThroughputShortSurfaceTreatedAsDown(t *testing.T) {
+	// With only the healthy point measured, any fault means down — the
+	// binary model — so the gain must be exactly zero.
+	res, err := DegradedThroughput(8, 1e5, 48, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DegradedGain != 0 {
+		t.Errorf("gain %v with a healthy-only surface", res.DegradedGain)
+	}
+	if res.ExpectedRelPerf != res.PFaults[0] {
+		t.Errorf("expected %v, want binary %v", res.ExpectedRelPerf, res.PFaults[0])
+	}
+}
+
+func TestDegradedThroughputFromResilienceSurface(t *testing.T) {
+	// End-to-end: feed a measured fault-injection surface into the
+	// steady-state model, the wiring the exp "resilience" experiment uses.
+	base := arch.BestMeanEHP()
+	s, err := faults.ResilienceSurface(context.Background(), base, workload.CoMD(), faults.GPUChiplet,
+		faults.SurfaceOptions{MaxFaults: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unitFIT := float64(base.GPU[0].CUs) * FITPerCU
+	res, err := DegradedThroughput(len(base.GPU), unitFIT, 72, s.RelPerfs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExpectedRelPerf <= res.BinaryRelPerf || res.ExpectedRelPerf > 1 {
+		t.Errorf("expected rel perf %v (binary %v) out of range", res.ExpectedRelPerf, res.BinaryRelPerf)
+	}
+}

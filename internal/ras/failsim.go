@@ -16,12 +16,17 @@ type FailSimConfig struct {
 	SystemMTTFMins float64
 	IntervalMins   float64 // checkpoint interval (useful work per checkpoint)
 	CheckpointMins float64 // cost of writing one checkpoint
-	// RestartMins is the cost of restarting after a failure (zero means
-	// one checkpoint-write equivalent).
-	RestartMins float64
+	// RestartMins is the cost of restarting after a failure. nil means the
+	// default of one checkpoint-write equivalent; point at zero (e.g. with
+	// Mins(0)) for a genuinely free restart.
+	RestartMins *float64
 	JobWorkMins float64 // useful work the job must complete
 	Seed        int64
 }
+
+// Mins is a convenience for the optional duration fields: Mins(0) expresses
+// a true zero-cost restart, which the old float64 zero value could not.
+func Mins(v float64) *float64 { return &v }
 
 // FailSimResult summarizes a run.
 type FailSimResult struct {
@@ -40,9 +45,9 @@ type FailSimResult struct {
 // pays the restart cost before resuming.
 func SimulateFailures(c FailSimConfig) FailSimResult {
 	rng := rand.New(rand.NewSource(c.Seed))
-	restart := c.RestartMins
-	if restart == 0 {
-		restart = c.CheckpointMins
+	restart := c.CheckpointMins
+	if c.RestartMins != nil {
+		restart = *c.RestartMins
 	}
 	var res FailSimResult
 	if c.IntervalMins <= 0 || c.SystemMTTFMins <= 0 || c.JobWorkMins <= 0 {

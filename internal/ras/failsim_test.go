@@ -117,3 +117,29 @@ func TestFailSimMoreFailuresLowerEfficiency(t *testing.T) {
 		t.Errorf("short MTTF should hurt: %v vs %v", eBad/10, eGood/10)
 	}
 }
+
+func TestFailSimRestartMinsZeroValue(t *testing.T) {
+	// Regression for the old float64 field: a zero restart cost was silently
+	// promoted to one checkpoint-write. With *float64, nil means the default
+	// and Mins(0) is a genuinely free restart.
+	def := baseCfg()
+	explicit := baseCfg()
+	explicit.RestartMins = Mins(def.CheckpointMins)
+	if SimulateFailures(def) != SimulateFailures(explicit) {
+		t.Error("nil RestartMins must equal an explicit one-checkpoint restart")
+	}
+	free := baseCfg()
+	free.RestartMins = Mins(0)
+	rFree, rDef := SimulateFailures(free), SimulateFailures(def)
+	if rFree == rDef {
+		t.Error("Mins(0) must differ from the default restart cost")
+	}
+	if rFree.WallClockMins >= rDef.WallClockMins {
+		t.Errorf("free restarts must finish sooner: %v vs %v", rFree.WallClockMins, rDef.WallClockMins)
+	}
+	slow := baseCfg()
+	slow.RestartMins = Mins(30)
+	if SimulateFailures(slow).Efficiency >= rDef.Efficiency {
+		t.Error("expensive restarts must lower efficiency")
+	}
+}

@@ -1,0 +1,158 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"ena/internal/obs"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed passes traffic and counts consecutive server failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects traffic with 503 + Retry-After until the
+	// cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen lets a single probe request through; its outcome
+	// decides between reclosing and reopening.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Breaker defaults when the corresponding Config field is zero.
+const (
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = 10 * time.Second
+)
+
+// Breaker is a per-endpoint circuit breaker. It trips open after threshold
+// consecutive server-side failures (HTTP 5xx from the handler itself, not
+// deliberate backpressure), rejects requests while open, and recovers
+// through a single half-open probe after the cooldown. All transitions are
+// counted in the registry under service.breaker.<route>.*.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+	probing  bool
+
+	trips    *obs.Counter
+	rejects  *obs.Counter
+	recovers *obs.Counter
+	gauge    *obs.Gauge
+}
+
+// NewBreaker builds a breaker for one route. threshold <= 0 and cooldown <= 0
+// take the defaults; reg may be nil.
+func NewBreaker(route string, threshold int, cooldown time.Duration, reg *obs.Registry) *Breaker {
+	if threshold <= 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	return &Breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		trips:     reg.Counter("service.breaker." + route + ".trips"),
+		rejects:   reg.Counter("service.breaker." + route + ".rejects"),
+		recovers:  reg.Counter("service.breaker." + route + ".recovers"),
+		gauge:     reg.Gauge("service.breaker." + route + ".open"),
+	}
+}
+
+// State reports the breaker's current position (advancing open -> half-open
+// if the cooldown has elapsed).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advanceLocked()
+	return b.state
+}
+
+// advanceLocked moves open -> half-open once the cooldown has elapsed.
+func (b *Breaker) advanceLocked() {
+	if b.state == BreakerOpen && time.Since(b.openedAt) >= b.cooldown {
+		b.state = BreakerHalfOpen
+		b.probing = false
+	}
+}
+
+// Allow decides whether a request may proceed. When rejected, the second
+// return is the Retry-After hint in seconds. A permitted request MUST report
+// its outcome via Report.
+func (b *Breaker) Allow() (ok bool, retryAfterSecs int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advanceLocked()
+	switch b.state {
+	case BreakerOpen:
+		b.rejects.Inc()
+		left := b.cooldown - time.Since(b.openedAt)
+		secs := int(left/time.Second) + 1
+		return false, secs
+	case BreakerHalfOpen:
+		if b.probing {
+			b.rejects.Inc()
+			return false, int(b.cooldown/time.Second) + 1
+		}
+		b.probing = true
+		return true, 0
+	default:
+		return true, 0
+	}
+}
+
+// Report feeds a permitted request's outcome back: serverFailure is true for
+// handler-originated 5xx responses (backpressure rejections don't count —
+// they are the resilience machinery working, not failing).
+func (b *Breaker) Report(serverFailure bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.probing = false
+		if serverFailure {
+			b.tripLocked()
+			return
+		}
+		b.state = BreakerClosed
+		b.fails = 0
+		b.gauge.Set(0)
+		b.recovers.Inc()
+	default:
+		if !serverFailure {
+			b.fails = 0
+			return
+		}
+		b.fails++
+		if b.fails >= b.threshold {
+			b.tripLocked()
+		}
+	}
+}
+
+func (b *Breaker) tripLocked() {
+	b.state = BreakerOpen
+	b.openedAt = time.Now()
+	b.fails = 0
+	b.trips.Inc()
+	b.gauge.Set(1)
+}

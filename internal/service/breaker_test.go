@@ -1,0 +1,162 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ena/internal/obs"
+)
+
+func TestBreakerTransitions(t *testing.T) {
+	reg := obs.NewRegistry()
+	b := NewBreaker("x", 3, 50*time.Millisecond, reg)
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.Allow(); !ok {
+			t.Fatal("closed breaker must pass traffic")
+		}
+		b.Report(true)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after 2/3 failures = %s", b.State())
+	}
+	// A success resets the consecutive count.
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("closed breaker must pass traffic")
+	}
+	b.Report(false)
+	for i := 0; i < 3; i++ {
+		b.Allow()
+		b.Report(true)
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after 3 consecutive failures = %s", b.State())
+	}
+	if ok, retry := b.Allow(); ok || retry < 1 {
+		t.Fatalf("open breaker passed traffic (retry hint %d)", retry)
+	}
+	if got := reg.Counter("service.breaker.x.trips").Value(); got != 1 {
+		t.Errorf("trips = %d, want 1", got)
+	}
+
+	time.Sleep(60 * time.Millisecond)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %s", b.State())
+	}
+	ok, _ := b.Allow()
+	if !ok {
+		t.Fatal("half-open breaker must pass one probe")
+	}
+	if second, _ := b.Allow(); second {
+		t.Fatal("half-open breaker passed a second concurrent probe")
+	}
+	// Failed probe reopens.
+	b.Report(true)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %s", b.State())
+	}
+
+	time.Sleep(60 * time.Millisecond)
+	b.Allow()
+	b.Report(false)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probe = %s", b.State())
+	}
+	if got := reg.Counter("service.breaker.x.recovers").Value(); got != 1 {
+		t.Errorf("recovers = %d, want 1", got)
+	}
+}
+
+// A tripped route answers 503 + Retry-After without running the handler, and
+// recovers through its half-open probe; exempt routes stay reachable.
+func TestBreakerHTTPRejectionAndRecovery(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s := New(ctx, Config{Workers: 1, BreakerThreshold: 2, BreakerCooldown: 50 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	br := s.breakers["simulate"]
+	if br == nil {
+		t.Fatal("simulate route has no breaker")
+	}
+	br.Report(true)
+	br.Report(true)
+	if br.State() != BreakerOpen {
+		t.Fatalf("breaker state = %s after threshold failures", br.State())
+	}
+
+	resp, b := doJSON(t, c, "POST", ts.URL+"/v1/simulate", map[string]any{"kernel": "CoMD"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("open-breaker simulate = %d, want 503: %s", resp.StatusCode, b)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("open-breaker rejection is missing Retry-After")
+	}
+	if hr, _ := doJSON(t, c, "GET", ts.URL+"/healthz", nil); hr.StatusCode != http.StatusOK {
+		t.Errorf("healthz while simulate breaker open = %d", hr.StatusCode)
+	}
+	if mr, _ := doJSON(t, c, "GET", ts.URL+"/metrics", nil); mr.StatusCode != http.StatusOK {
+		t.Errorf("metrics while simulate breaker open = %d", mr.StatusCode)
+	}
+
+	time.Sleep(60 * time.Millisecond)
+	resp, b = doJSON(t, c, "POST", ts.URL+"/v1/simulate", map[string]any{"kernel": "CoMD"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("probe simulate = %d, want 200: %s", resp.StatusCode, b)
+	}
+	if br.State() != BreakerClosed {
+		t.Errorf("breaker state after successful probe = %s", br.State())
+	}
+}
+
+// Load-shedding 503s (queue saturation) are the resilience machinery
+// working; they must not count as failures and trip the breaker.
+func TestBreakerIgnoresBackpressure(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s := New(ctx, Config{Workers: 1, QueueCap: 1, BreakerThreshold: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	if _, err := s.sched.Submit("blocker", 0, func(ctx context.Context) (any, error) {
+		close(started)
+		select {
+		case <-gate:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := s.sched.Submit("filler", 0, func(ctx context.Context) (any, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 3; i++ {
+		resp, b := doJSON(t, c, "POST", ts.URL+"/v1/explore", map[string]any{
+			"cus": []int{64}, "freqs_mhz": []float64{1000}, "bws_tbps": []float64{1},
+			"kernels": []string{"MaxFlops"},
+		})
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("saturated explore %d = %d: %s", i, resp.StatusCode, b)
+		}
+	}
+	if st := s.breakers["explore"].State(); st != BreakerClosed {
+		t.Errorf("explore breaker = %s after backpressure 503s, want closed", st)
+	}
+	close(gate)
+	drainCtx, dc := context.WithTimeout(context.Background(), 10*time.Second)
+	defer dc()
+	if err := s.Drain(drainCtx); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"sync"
 
+	"ena/internal/faults"
 	"ena/internal/obs"
 )
 
@@ -20,6 +21,11 @@ import (
 // singleflight saved). Errors are never cached — a failed execution leaves
 // the slot empty so the next caller retries.
 type Cache struct {
+	// chaos, when set, randomly treats hits as corrupted: the entry is
+	// evicted and recomputed (read repair), exercising the miss path under
+	// load. Set before serving traffic; nil disables.
+	chaos *faults.Chaos
+
 	mu       sync.Mutex
 	capacity int
 	lru      *list.List               // front = most recently used
@@ -99,11 +105,19 @@ func (c *Cache) Get(key string) (any, bool) {
 func (c *Cache) Do(ctx context.Context, key string, fn func() (any, error)) (any, bool, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
-		c.lru.MoveToFront(el)
-		v := el.Value.(*entry).val
-		c.hits.Inc()
-		c.mu.Unlock()
-		return v, true, nil
+		if c.chaos.CorruptCache() {
+			// Injected corruption: drop the entry and fall through to
+			// the miss path so the value is recomputed (read repair).
+			c.lru.Remove(el)
+			delete(c.entries, key)
+			c.size.Set(float64(c.lru.Len()))
+		} else {
+			c.lru.MoveToFront(el)
+			v := el.Value.(*entry).val
+			c.hits.Inc()
+			c.mu.Unlock()
+			return v, true, nil
+		}
 	}
 	if f, ok := c.inflight[key]; ok {
 		c.coalesced.Inc()

@@ -1,0 +1,146 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func simulate(t *testing.T, c *http.Client, url string, body map[string]any) (int, SimulateResponse, []byte) {
+	t.Helper()
+	resp, b := doJSON(t, c, "POST", url+"/v1/simulate", body)
+	var out SimulateResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(b, &out); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+	}
+	return resp.StatusCode, out, b
+}
+
+func TestSimulateFaultMask(t *testing.T) {
+	_, ts := newTestServer(t)
+	c := ts.Client()
+
+	code, healthy, b := simulate(t, c, ts.URL, map[string]any{"kernel": "CoMD"})
+	if code != http.StatusOK {
+		t.Fatalf("healthy simulate = %d: %s", code, b)
+	}
+	code, faulty, b := simulate(t, c, ts.URL, map[string]any{
+		"kernel": "CoMD", "fault_mask": "gpu:2", "seed": 7,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("faulty simulate = %d: %s", code, b)
+	}
+	if faulty.TFLOPs >= healthy.TFLOPs {
+		t.Errorf("two dead chiplets: %.2f TFLOP/s, not below healthy %.2f", faulty.TFLOPs, healthy.TFLOPs)
+	}
+	if len(faulty.Disabled) != 2 || faulty.FaultMask == "" {
+		t.Errorf("fault annotations missing: mask=%q disabled=%v", faulty.FaultMask, faulty.Disabled)
+	}
+	if faulty.Key == healthy.Key {
+		t.Error("degraded and healthy requests share a cache key")
+	}
+
+	// Same request repeats bit-identically and is served from cache.
+	code, again, _ := simulate(t, c, ts.URL, map[string]any{
+		"kernel": "CoMD", "fault_mask": "gpu:2", "seed": 7,
+	})
+	if code != http.StatusOK || !again.Cached {
+		t.Errorf("identical request not cached (code %d, cached %v)", code, again.Cached)
+	}
+	if again.TFLOPs != faulty.TFLOPs || again.FaultMask != faulty.FaultMask {
+		t.Error("seeded fault injection not reproducible across invocations")
+	}
+
+	// An equivalent spelling resolves to the same victims, so it shares
+	// the slot too.
+	code, split, _ := simulate(t, c, ts.URL, map[string]any{
+		"kernel": "CoMD", "fault_mask": "gpu:1,gpu:1", "seed": 7,
+	})
+	if code != http.StatusOK || !split.Cached || split.Key != faulty.Key {
+		t.Errorf("equivalent mask spelling missed the cache (cached %v, key match %v)", split.Cached, split.Key == faulty.Key)
+	}
+}
+
+func TestSimulateFaultMaskClientErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	c := ts.Client()
+	for _, mask := range []string{"disk:1", "gpu:9", "gpu@99", "gpu:8", "link@0-9"} {
+		code, _, b := simulate(t, c, ts.URL, map[string]any{"kernel": "CoMD", "fault_mask": mask})
+		if code != http.StatusBadRequest {
+			t.Errorf("mask %q = %d, want 400: %s", mask, code, b)
+		}
+	}
+}
+
+func TestSimulateDetailed(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s := New(ctx, Config{Workers: 2, DetailedRequests: 5_000, DetailedBudget: 30 * time.Second})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	code, resp, b := simulate(t, c, ts.URL, map[string]any{"kernel": "CoMD", "detailed": true})
+	if code != http.StatusOK {
+		t.Fatalf("detailed simulate = %d: %s", code, b)
+	}
+	if !resp.Detailed || resp.Degraded {
+		t.Fatalf("want detailed non-degraded response, got detailed=%v degraded=%v (%s)", resp.Detailed, resp.Degraded, resp.DegradedReason)
+	}
+	if resp.MeanLatencyNs <= 0 || resp.SustainedGBps <= 0 {
+		t.Errorf("detailed measurements missing: lat=%v sustained=%v", resp.MeanLatencyNs, resp.SustainedGBps)
+	}
+
+	// A NoC link fault shows up only in the detailed phase: same config,
+	// higher loaded latency.
+	code, lf, b := simulate(t, c, ts.URL, map[string]any{
+		"kernel": "CoMD", "detailed": true, "fault_mask": "link@0-5",
+	})
+	if code != http.StatusOK {
+		t.Fatalf("link-fault simulate = %d: %s", code, b)
+	}
+	if lf.MeanLatencyNs <= resp.MeanLatencyNs {
+		t.Errorf("rerouted latency %.1f ns, not above healthy %.1f ns", lf.MeanLatencyNs, resp.MeanLatencyNs)
+	}
+
+	// Cutting every link at position 0 partitions the network: degraded,
+	// zero throughput — not an error.
+	code, part, b := simulate(t, c, ts.URL, map[string]any{
+		"kernel": "CoMD", "detailed": true,
+		"fault_mask": "link@0-1,link@0-2,link@0-3,link@0-4,link@0-5",
+	})
+	if code != http.StatusOK {
+		t.Fatalf("partitioned simulate = %d: %s", code, b)
+	}
+	if !part.Partitioned || !part.Degraded || part.TFLOPs != 0 {
+		t.Errorf("want partitioned degraded zero-throughput response, got %+v", part)
+	}
+}
+
+func TestSimulateDetailedDeadlineFallback(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s := New(ctx, Config{Workers: 2, DetailedBudget: time.Nanosecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	code, resp, b := simulate(t, c, ts.URL, map[string]any{"kernel": "CoMD", "detailed": true})
+	if code != http.StatusOK {
+		t.Fatalf("deadline-pressed simulate = %d: %s", code, b)
+	}
+	if !resp.Degraded || resp.Detailed {
+		t.Fatalf("want analytic fallback flagged degraded, got degraded=%v detailed=%v", resp.Degraded, resp.Detailed)
+	}
+	if resp.TFLOPs <= 0 {
+		t.Error("fallback must still carry the analytic result")
+	}
+	if s.reg.Counter("service.sim.fallbacks").Value() == 0 {
+		t.Error("fallback not counted")
+	}
+}

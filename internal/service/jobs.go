@@ -5,10 +5,13 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"errors"
+	"fmt"
+	mrand "math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"ena/internal/faults"
 	"ena/internal/obs"
 )
 
@@ -40,7 +43,12 @@ type JobView struct {
 	Started  *time.Time `json:"started,omitempty"`
 	Finished *time.Time `json:"finished,omitempty"`
 	Error    string     `json:"error,omitempty"`
-	Result   any        `json:"result,omitempty"`
+	// Quarantined marks a job whose execution panicked: the request is
+	// isolated (never retried, never re-enqueued) and the worker survived.
+	Quarantined bool `json:"quarantined,omitempty"`
+	// Retries counts transient-failure re-executions this job consumed.
+	Retries int `json:"retries,omitempty"`
+	Result  any `json:"result,omitempty"`
 }
 
 type job struct {
@@ -49,15 +57,17 @@ type job struct {
 	timeout time.Duration
 	run     func(context.Context) (any, error)
 
-	mu       sync.Mutex
-	state    JobState
-	created  time.Time
-	started  time.Time
-	finished time.Time
-	err      error
-	result   any
-	cancel   context.CancelFunc // set while running
-	done     chan struct{}      // closed on any terminal transition
+	mu          sync.Mutex
+	state       JobState
+	created     time.Time
+	started     time.Time
+	finished    time.Time
+	err         error
+	result      any
+	quarantined bool
+	retries     int
+	cancel      context.CancelFunc // set while running
+	done        chan struct{}      // closed on any terminal transition
 }
 
 func (j *job) viewLocked() JobView {
@@ -78,6 +88,8 @@ func (j *job) viewLocked() JobView {
 	if j.err != nil {
 		v.Error = j.err.Error()
 	}
+	v.Quarantined = j.quarantined
+	v.Retries = j.retries
 	if j.state == JobDone {
 		v.Result = j.result
 	}
@@ -88,6 +100,9 @@ func (j *job) viewLocked() JobView {
 var (
 	ErrQueueFull = errors.New("service: job queue full")
 	ErrDraining  = errors.New("service: scheduler is draining")
+	// ErrPanicked wraps a recovered job panic: the request is quarantined
+	// (reported failed, never retried) and the worker keeps serving.
+	ErrPanicked = errors.New("service: job panicked")
 )
 
 // Scheduler executes submitted jobs on a bounded worker pool. Every job runs
@@ -110,14 +125,45 @@ type Scheduler struct {
 	retain int
 	closed bool
 
+	// Resilience knobs (see SchedOption).
+	chaos     *faults.Chaos
+	retryMax  int
+	retryBase time.Duration
+	jitterMu  sync.Mutex
+	jitter    *mrand.Rand
+
 	submitted    *obs.Counter
 	completed    *obs.Counter
 	failed       *obs.Counter
 	cancelledCtr *obs.Counter
 	rejected     *obs.Counter
+	panicked     *obs.Counter
+	retriesCtr   *obs.Counter
 	runningGauge *obs.Gauge
 	queueGauge   *obs.Gauge
 	durHist      *obs.Histogram
+}
+
+// SchedOption tunes a Scheduler beyond the basic pool sizing.
+type SchedOption func(*Scheduler)
+
+// WithChaos installs a runtime fault injector: jobs may be stalled, fail
+// transiently, or panic at the injector's seeded probabilities — exercising
+// the quarantine/retry machinery this scheduler recovers with.
+func WithChaos(c *faults.Chaos) SchedOption {
+	return func(s *Scheduler) { s.chaos = c }
+}
+
+// WithRetry sets the transient-failure retry policy: up to max re-executions
+// with exponential backoff starting at base (plus up to 50% jitter). Only
+// errors marked retryable via faults.Transient are retried; panics never are.
+func WithRetry(max int, base time.Duration) SchedOption {
+	return func(s *Scheduler) {
+		s.retryMax = max
+		if base > 0 {
+			s.retryBase = base
+		}
+	}
 }
 
 // Scheduler defaults when the corresponding Config field is zero.
@@ -130,7 +176,7 @@ const (
 // queueCap pending jobs. ctx is the base context every job runs under;
 // cancelling it aborts all running jobs. Metrics land in reg under
 // service.jobs.* (nil disables them).
-func NewScheduler(ctx context.Context, workers, queueCap, retain int, reg *obs.Registry) *Scheduler {
+func NewScheduler(ctx context.Context, workers, queueCap, retain int, reg *obs.Registry, opts ...SchedOption) *Scheduler {
 	if workers <= 0 {
 		workers = 1
 	}
@@ -148,20 +194,50 @@ func NewScheduler(ctx context.Context, workers, queueCap, retain int, reg *obs.R
 		queue:        make(chan *job, queueCap),
 		jobs:         make(map[string]*job),
 		retain:       retain,
+		retryBase:    10 * time.Millisecond,
+		jitter:       mrand.New(mrand.NewSource(1)),
 		submitted:    reg.Counter("service.jobs.submitted"),
 		completed:    reg.Counter("service.jobs.completed"),
 		failed:       reg.Counter("service.jobs.failed"),
 		cancelledCtr: reg.Counter("service.jobs.cancelled"),
 		rejected:     reg.Counter("service.jobs.rejected"),
+		panicked:     reg.Counter("service.jobs.panicked"),
+		retriesCtr:   reg.Counter("service.jobs.retries"),
 		runningGauge: reg.Gauge("service.jobs.running"),
 		queueGauge:   reg.Gauge("service.jobs.queued"),
 		durHist:      reg.Histogram("service.jobs.duration_ns", durationBounds),
+	}
+	for _, o := range opts {
+		o(s)
 	}
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s
+}
+
+// QueueDepth reports how many jobs are waiting for a worker right now.
+func (s *Scheduler) QueueDepth() int { return len(s.queue) }
+
+// QueueCap reports the pending-queue capacity.
+func (s *Scheduler) QueueCap() int { return cap(s.queue) }
+
+// RetryAfterSecs estimates how long a rejected client should wait before
+// resubmitting: roughly one queue-drain interval, at least one second.
+func (s *Scheduler) RetryAfterSecs() int {
+	d := len(s.queue)/maxInt(1, int(s.running.Load())) + 1
+	if d > 60 {
+		d = 60
+	}
+	return d
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // newJobID returns a 16-hex-char random job identifier.
@@ -332,12 +408,14 @@ func (s *Scheduler) execute(j *job) {
 	j.mu.Unlock()
 	s.runningGauge.Set(float64(s.running.Add(1)))
 
-	res, err := run(ctx)
+	res, err, retries, quarantined := s.runResilient(ctx, run)
 	cancel()
 	s.runningGauge.Set(float64(s.running.Add(-1)))
 
 	j.mu.Lock()
 	j.finished = time.Now()
+	j.retries = retries
+	j.quarantined = quarantined
 	s.durHist.Observe(float64(j.finished.Sub(j.started)))
 	switch {
 	case err == nil:
@@ -355,6 +433,54 @@ func (s *Scheduler) execute(j *job) {
 	}
 	close(j.done)
 	j.mu.Unlock()
+}
+
+// runResilient executes a job function with the scheduler's fault handling:
+// a panic is recovered and quarantines the request (the worker survives and
+// the job is never re-run); an error marked via faults.Transient is retried
+// up to retryMax times with exponential backoff plus jitter; the chaos
+// injector, when installed, gets a shot at stalling, failing, or panicking
+// each attempt before the real work runs.
+func (s *Scheduler) runResilient(ctx context.Context, run func(context.Context) (any, error)) (res any, err error, retries int, quarantined bool) {
+	for attempt := 0; ; attempt++ {
+		res, err, quarantined = s.attempt(ctx, run)
+		if err == nil || quarantined || !faults.IsTransient(err) ||
+			attempt >= s.retryMax || ctx.Err() != nil {
+			return res, err, retries, quarantined
+		}
+		retries++
+		s.retriesCtr.Inc()
+		backoff := s.retryBase << attempt
+		s.jitterMu.Lock()
+		backoff += time.Duration(s.jitter.Int63n(int64(backoff)/2 + 1))
+		s.jitterMu.Unlock()
+		t := time.NewTimer(backoff)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return res, err, retries, quarantined
+		}
+	}
+}
+
+// attempt runs one execution under a panic guard.
+func (s *Scheduler) attempt(ctx context.Context, run func(context.Context) (any, error)) (res any, err error, quarantined bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panicked.Inc()
+			res, err, quarantined = nil, fmt.Errorf("%w: %v", ErrPanicked, r), true
+		}
+	}()
+	s.chaos.Stall(ctx)
+	if s.chaos.ShouldPanic() {
+		panic("injected chaos panic")
+	}
+	if cerr := s.chaos.TransientFailure(); cerr != nil {
+		return nil, cerr, false
+	}
+	res, err = run(ctx)
+	return res, err, false
 }
 
 // pruneLocked evicts the oldest terminal jobs once the table exceeds the

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -559,7 +560,8 @@ func TestServerDrainRejectsNewJobs(t *testing.T) {
 	}
 }
 
-// Queue saturation returns 429 so clients can back off.
+// Queue saturation sheds load with 503 + Retry-After so clients know when
+// to come back.
 func TestExploreQueueFull(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -594,8 +596,13 @@ func TestExploreQueueFull(t *testing.T) {
 		"cus": []int{64}, "freqs_mhz": []float64{1000}, "bws_tbps": []float64{1},
 		"kernels": []string{"MaxFlops"},
 	})
-	if resp.StatusCode != http.StatusTooManyRequests {
-		t.Fatalf("explore with saturated queue = %d, want 429: %s", resp.StatusCode, b)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("explore with saturated queue = %d, want 503: %s", resp.StatusCode, b)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("saturated queue response is missing Retry-After")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Errorf("Retry-After = %q, want a positive integer of seconds", ra)
 	}
 	close(gate)
 	drainCtx, dc := context.WithTimeout(context.Background(), 10*time.Second)

@@ -29,12 +29,16 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"time"
 
 	"ena/internal/core"
 	"ena/internal/dse"
 	"ena/internal/exp"
+	"ena/internal/faults"
+	"ena/internal/noc"
 	"ena/internal/obs"
+	"ena/internal/perf"
 	"ena/internal/workload"
 )
 
@@ -45,7 +49,7 @@ type Config struct {
 	// Workers is the job worker-pool size (default: GOMAXPROCS).
 	Workers int
 	// QueueCap bounds pending jobs; submissions beyond it are rejected
-	// with 429 (default 64).
+	// with 503 + Retry-After (default 64).
 	QueueCap int
 	// CacheSize bounds the content-addressed result cache (default 4096).
 	CacheSize int
@@ -58,26 +62,56 @@ type Config struct {
 	Reg *obs.Registry
 	// Tracer, when set, receives per-design-point sweep spans.
 	Tracer *obs.Tracer
+
+	// Chaos, when set, injects runtime faults across the stack: worker
+	// panics and transient failures in the scheduler, artificial latency
+	// in request handling, context stalls before job execution, and cache
+	// corruption (read-repaired). Nil disables every site.
+	Chaos *faults.Chaos
+	// RetryMax bounds transient-failure retries per job (default 2;
+	// negative disables retries entirely).
+	RetryMax int
+	// RetryBase is the first retry's backoff; later attempts double it,
+	// plus up to 50% jitter (default 10ms).
+	RetryBase time.Duration
+	// BreakerThreshold trips a route's circuit breaker after that many
+	// consecutive handler-originated 5xx responses (default 5); while
+	// open, the route answers 503 + Retry-After without running the
+	// handler. healthz and metrics are exempt.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker stays open before a
+	// half-open probe (default 10s).
+	BreakerCooldown time.Duration
+	// DetailedBudget bounds the event-driven NoC phase of a detailed
+	// simulate request (default 2s); past it the response falls back to
+	// the analytic result, flagged degraded.
+	DetailedBudget time.Duration
+	// DetailedRequests bounds the event-driven simulation's request count
+	// (0 = the NoC simulator's default).
+	DetailedRequests int
 }
 
 // Server executes simulation traffic. Create with New, mount Handler on an
 // http.Server, and call Drain on shutdown.
 type Server struct {
-	cfg    Config
-	reg    *obs.Registry
-	tracer *obs.Tracer
-	cache  *Cache
-	sched  *Scheduler
-	mux    *http.ServeMux
-	start  time.Time
+	cfg      Config
+	reg      *obs.Registry
+	tracer   *obs.Tracer
+	cache    *Cache
+	sched    *Scheduler
+	mux      *http.ServeMux
+	start    time.Time
+	chaos    *faults.Chaos
+	breakers map[string]*Breaker // route -> breaker (fixed at route setup)
 
 	// simExecs counts actual model executions (not cache/singleflight
 	// serves) — the counter tests assert dedup against.
-	simExecs *obs.Counter
-	reqCtr   *obs.Counter
-	errCtr   *obs.Counter
-	inflight *obs.Gauge
-	latHist  *obs.Histogram
+	simExecs  *obs.Counter
+	fallbacks *obs.Counter
+	reqCtr    *obs.Counter
+	errCtr    *obs.Counter
+	inflight  *obs.Gauge
+	latHist   *obs.Histogram
 }
 
 // New builds a Server. ctx is the base context of all job execution:
@@ -90,20 +124,34 @@ func New(ctx context.Context, cfg Config) *Server {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	s := &Server{
-		cfg:      cfg,
-		reg:      reg,
-		tracer:   cfg.Tracer,
-		cache:    NewCache(cfg.CacheSize, reg),
-		sched:    NewScheduler(ctx, cfg.Workers, cfg.QueueCap, cfg.JobRetain, reg),
-		mux:      http.NewServeMux(),
-		start:    time.Now(),
-		simExecs: reg.Counter("service.sim.executions"),
-		reqCtr:   reg.Counter("service.http.requests"),
-		errCtr:   reg.Counter("service.http.errors"),
-		inflight: reg.Gauge("service.http.inflight"),
-		latHist:  reg.Histogram("service.http.latency_ns", durationBounds),
+	switch {
+	case cfg.RetryMax == 0:
+		cfg.RetryMax = 2
+	case cfg.RetryMax < 0:
+		cfg.RetryMax = 0
 	}
+	if cfg.DetailedBudget <= 0 {
+		cfg.DetailedBudget = 2 * time.Second
+	}
+	s := &Server{
+		cfg:    cfg,
+		reg:    reg,
+		tracer: cfg.Tracer,
+		cache:  NewCache(cfg.CacheSize, reg),
+		sched: NewScheduler(ctx, cfg.Workers, cfg.QueueCap, cfg.JobRetain, reg,
+			WithChaos(cfg.Chaos), WithRetry(cfg.RetryMax, cfg.RetryBase)),
+		mux:       http.NewServeMux(),
+		start:     time.Now(),
+		chaos:     cfg.Chaos,
+		breakers:  make(map[string]*Breaker),
+		simExecs:  reg.Counter("service.sim.executions"),
+		fallbacks: reg.Counter("service.sim.fallbacks"),
+		reqCtr:    reg.Counter("service.http.requests"),
+		errCtr:    reg.Counter("service.http.errors"),
+		inflight:  reg.Gauge("service.http.inflight"),
+		latHist:   reg.Histogram("service.http.latency_ns", durationBounds),
+	}
+	s.cache.chaos = cfg.Chaos
 	s.routes()
 	return s
 }
@@ -134,9 +182,13 @@ func (s *Server) routes() {
 }
 
 // statusWriter captures the response code for error accounting.
+// backpressure marks deliberate load-shedding responses (queue saturation,
+// open breakers): they are 5xx on the wire but must not count as handler
+// failures, or shedding load would itself trip the breaker.
 type statusWriter struct {
 	http.ResponseWriter
-	status int
+	status       int
+	backpressure bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -144,14 +196,40 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with per-route and aggregate metrics.
+// breakerExempt routes stay reachable while everything else sheds load:
+// operators need liveness and metrics most during an incident.
+var breakerExempt = map[string]bool{"healthz": true, "metrics": true}
+
+// instrument wraps a handler with per-route and aggregate metrics, the
+// chaos latency site, and the route's circuit breaker.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	routeCtr := s.reg.Counter("service.http." + route + ".requests")
+	var br *Breaker
+	if !breakerExempt[route] {
+		br = s.breakers[route]
+		if br == nil {
+			br = NewBreaker(route, s.cfg.BreakerThreshold, s.cfg.BreakerCooldown, s.reg)
+			s.breakers[route] = br
+		}
+	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		s.inflight.Set(s.inflight.Value() + 1)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		h(sw, r)
+		if d := s.chaos.Latency(); d > 0 {
+			time.Sleep(d)
+		}
+		if br != nil {
+			if ok, retryAfter := br.Allow(); !ok {
+				writeBackpressure(sw, retryAfter,
+					fmt.Errorf("service: %s circuit breaker open", route))
+			} else {
+				h(sw, r)
+				br.Report(sw.status >= 500 && !sw.backpressure)
+			}
+		} else {
+			h(sw, r)
+		}
 		s.inflight.Set(s.inflight.Value() - 1)
 		s.reqCtr.Inc()
 		routeCtr.Inc()
@@ -177,6 +255,22 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
+// writeBackpressure sheds load: 503 with a Retry-After hint, marked so the
+// circuit breaker does not count it as a handler failure.
+func writeBackpressure(w http.ResponseWriter, retryAfterSecs int, err error) {
+	if retryAfterSecs < 1 {
+		retryAfterSecs = 1
+	}
+	if sw, ok := w.(*statusWriter); ok {
+		sw.backpressure = true
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSecs))
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+		"error":       err.Error(),
+		"retry_after": retryAfterSecs,
+	})
+}
+
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
@@ -199,6 +293,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Live queue pressure, refreshed at scrape time (the event-driven
+	// gauges only move on submit/dequeue).
+	s.reg.Gauge("service.jobs.queue_depth").Set(float64(s.sched.QueueDepth()))
+	s.reg.Gauge("service.jobs.queue_cap").Set(float64(s.sched.QueueCap()))
 	w.Header().Set("Content-Type", "application/json")
 	if err := s.reg.Snapshot().WriteJSON(w); err != nil {
 		// Headers are gone; nothing useful to send.
@@ -224,7 +322,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		return SimulateResponse{
+		resp := SimulateResponse{
 			Key:      job.key,
 			Config:   job.view,
 			Kernel:   job.kernel.Name,
@@ -234,7 +332,12 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			NodeW:    res.NodeW,
 			PackageW: res.Power.PackageW(),
 			GFperW:   res.GFperW,
-		}, nil
+		}
+		if job.inj != nil {
+			resp.FaultMask = job.inj.Resolved.String()
+			resp.Disabled = job.inj.Disabled
+		}
+		return resp, nil
 	})
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -246,7 +349,101 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := val.(SimulateResponse)
 	resp.Cached = shared
+	if job.detailed {
+		s.runDetailed(ctx, &resp, job)
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// detailedResult is the cached payload of a detailed-NoC simulate phase.
+type detailedResult struct {
+	Partitioned   bool
+	MeanLatencyNs float64
+	SustainedGBps float64
+	TFLOPs        float64
+}
+
+// runDetailed runs the event-driven NoC phase of a detailed simulate request
+// and merges the measurements into resp. The phase is deadline-aware: it gets
+// at most DetailedBudget (less if the request deadline is closer), and on
+// running out, the response keeps the already-computed analytic numbers and
+// is flagged degraded instead of failing — the fallback the exascale service
+// contract prefers over a late answer.
+func (s *Server) runDetailed(ctx context.Context, resp *SimulateResponse, job simJob) {
+	budget := s.cfg.DetailedBudget
+	if dl, ok := ctx.Deadline(); ok {
+		if left := time.Until(dl) - 50*time.Millisecond; left < budget {
+			budget = left
+		}
+	}
+	if budget <= 0 {
+		s.fallbacks.Inc()
+		resp.Degraded = true
+		resp.DegradedReason = "request deadline too tight for the detailed simulation; analytic fallback"
+		return
+	}
+	dctx, cancel := context.WithTimeout(ctx, budget)
+	defer cancel()
+	val, _, err := s.cache.Do(dctx, job.detailedKey, func() (any, error) {
+		var down []noc.LinkFault
+		if job.inj != nil {
+			down = job.inj.DownLinks
+		}
+		nr, err := noc.SimulateContext(dctx, job.cfg, job.kernel, noc.Options{
+			Seed:      job.seed,
+			Requests:  s.cfg.DetailedRequests,
+			DownLinks: down,
+		})
+		if errors.Is(err, noc.ErrPartitioned) {
+			return detailedResult{Partitioned: true}, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		// Refine throughput with the measured memory environment (the
+		// coupling noc.Compare uses): bandwidth capped by what the —
+		// possibly degraded — network sustained, latency as loaded.
+		bw := job.cfg.InPackageBWTBps()
+		if sus := nr.SustainedGBps / 1000; sus > 0 && sus < bw {
+			bw = sus
+		}
+		eff := 0.0
+		if bw > 0 {
+			eff = float64(job.cfg.TotalCUs()) * job.cfg.GPUFreqMHz() * 1e6 / (bw * 1e12)
+		}
+		pr := perf.Estimate(job.cfg, job.kernel, perf.MemEnv{
+			BWTBps: bw, LatencyNs: nr.MeanLatencyNs, EffOpsPerByte: eff,
+		})
+		return detailedResult{
+			MeanLatencyNs: nr.MeanLatencyNs,
+			SustainedGBps: nr.SustainedGBps,
+			TFLOPs:        pr.TFLOPs,
+		}, nil
+	})
+	if err != nil {
+		// The detailed phase did not make it; the analytic answer stands.
+		// Errors are never cached, so a later retry gets a fresh budget.
+		s.fallbacks.Inc()
+		resp.Degraded = true
+		resp.DegradedReason = "detailed simulation exceeded its budget; analytic fallback: " + err.Error()
+		return
+	}
+	d := val.(detailedResult)
+	resp.Detailed = true
+	if d.Partitioned {
+		resp.Partitioned = true
+		resp.Degraded = true
+		resp.DegradedReason = "link faults partition the interposer network"
+		resp.TFLOPs = 0
+		resp.GFperW = 0
+		return
+	}
+	resp.MeanLatencyNs = d.MeanLatencyNs
+	resp.SustainedGBps = d.SustainedGBps
+	resp.TFLOPs = d.TFLOPs
+	if resp.NodeW > 0 {
+		resp.GFperW = d.TFLOPs * 1000 / resp.NodeW
+	}
 }
 
 func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
@@ -279,10 +476,12 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	})
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		writeErr(w, http.StatusTooManyRequests, err)
+		// Saturation is load-shedding, not failure: tell the client when
+		// to come back rather than making it guess.
+		writeBackpressure(w, s.sched.RetryAfterSecs(), err)
 		return
 	case errors.Is(err, ErrDraining):
-		writeErr(w, http.StatusServiceUnavailable, err)
+		writeBackpressure(w, 1, err)
 		return
 	case err != nil:
 		writeErr(w, http.StatusInternalServerError, err)

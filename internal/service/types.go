@@ -12,6 +12,7 @@ import (
 	"ena/internal/arch"
 	"ena/internal/core"
 	"ena/internal/dse"
+	"ena/internal/faults"
 	"ena/internal/memsys"
 	"ena/internal/powopt"
 	"ena/internal/workload"
@@ -27,12 +28,22 @@ type ConfigView struct {
 // SimulateRequest is the body of POST /v1/simulate. Zero config fields
 // default to the paper's best-mean design point (320 CUs / 1000 MHz /
 // 3 TB/s); Kernel is required.
+//
+// FaultMask, when set, degrades the node before simulating (grammar of
+// faults.ParseMask, e.g. "gpu:2,hbm@0"); Seed picks the victims of
+// count-based entries. Detailed additionally runs the event-driven NoC
+// simulation — the only model that sees link faults — with a deadline-aware
+// fallback to the analytic result (flagged degraded) when the simulation
+// budget runs out.
 type SimulateRequest struct {
-	CUs     int        `json:"cus,omitempty"`
-	FreqMHz float64    `json:"freq_mhz,omitempty"`
-	BWTBps  float64    `json:"bw_tbps,omitempty"`
-	Kernel  string     `json:"kernel"`
-	Options SimOptions `json:"options,omitempty"`
+	CUs       int        `json:"cus,omitempty"`
+	FreqMHz   float64    `json:"freq_mhz,omitempty"`
+	BWTBps    float64    `json:"bw_tbps,omitempty"`
+	Kernel    string     `json:"kernel"`
+	FaultMask string     `json:"fault_mask,omitempty"`
+	Seed      int64      `json:"seed,omitempty"`
+	Detailed  bool       `json:"detailed,omitempty"`
+	Options   SimOptions `json:"options,omitempty"`
 }
 
 // SimOptions mirrors core.Options with JSON-friendly names. Policy is one of
@@ -63,21 +74,43 @@ type SimulateResponse struct {
 	NodeW    float64    `json:"node_w"`
 	PackageW float64    `json:"package_w"`
 	GFperW   float64    `json:"gf_per_w"`
+	// Fault-injection annotations (zero on healthy requests). FaultMask is
+	// the resolved, fully-targeted canonical mask; Disabled lists the
+	// failed units. Degraded marks a response produced by a fallback path
+	// (analytic instead of detailed, or a partitioned network), with the
+	// reason alongside.
+	FaultMask      string   `json:"fault_mask,omitempty"`
+	Disabled       []string `json:"disabled,omitempty"`
+	Degraded       bool     `json:"degraded,omitempty"`
+	DegradedReason string   `json:"degraded_reason,omitempty"`
+	Detailed       bool     `json:"detailed,omitempty"`
+	Partitioned    bool     `json:"partitioned,omitempty"`
+	MeanLatencyNs  float64  `json:"mean_latency_ns,omitempty"`
+	SustainedGBps  float64  `json:"sustained_gbps,omitempty"`
 }
 
 // simJob is a resolved, validated simulate request: everything the worker
-// needs plus the canonical cache key.
+// needs plus the canonical cache keys. inj is nil for a healthy node. The
+// detailed phase has its own key (detailedKey) so a deadline-pressed fallback
+// — which serves the analytic result — never occupies the detailed slot.
 type simJob struct {
-	cfg    *arch.NodeConfig
-	view   ConfigView
-	kernel workload.Kernel
-	opt    core.Options
-	key    string
+	cfg         *arch.NodeConfig
+	view        ConfigView
+	kernel      workload.Kernel
+	opt         core.Options
+	inj         *faults.Injection
+	detailed    bool
+	seed        int64
+	key         string
+	detailedKey string
 }
 
 // simCanon is the canonical-JSON form hashed into a simulate cache key. The
 // field set and order are fixed; V bumps when the semantics of any field
-// change so stale keys never alias new results.
+// change so stale keys never alias new results (V=2 added fault injection:
+// Mask is the resolved fully-targeted mask, so equivalent spellings — and
+// count masks that resolve to the same victims — share a slot; Detailed
+// splits the event-driven phase into its own slot).
 type simCanon struct {
 	V               int     `json:"v"`
 	CUs             int     `json:"cus"`
@@ -90,6 +123,9 @@ type simCanon struct {
 	Opts            uint    `json:"opts"`
 	TempC           float64 `json:"temp_c"`
 	ExcludeExternal bool    `json:"exclude_external"`
+	Mask            string  `json:"mask"`
+	Seed            int64   `json:"seed"`
+	Detailed        bool    `json:"detailed"`
 }
 
 // hashCanon hashes a canonical struct's JSON encoding. encoding/json emits
@@ -192,6 +228,21 @@ func (r SimulateRequest) resolve() (simJob, error) {
 	if err := cfg.Validate(); err != nil {
 		return simJob{}, err
 	}
+	var inj *faults.Injection
+	var maskStr string
+	if mask, err := faults.ParseMask(r.FaultMask); err != nil {
+		return simJob{}, err
+	} else if !mask.Empty() {
+		inj, err = faults.Apply(cfg, mask, r.Seed)
+		if err != nil {
+			return simJob{}, err
+		}
+		cfg = inj.Config
+		// The resolved mask — not the request spelling — is the cache
+		// identity, so equivalent masks (and count masks that happen to
+		// pick the same victims) share one slot.
+		maskStr = inj.Resolved.String()
+	}
 	opt := core.Options{
 		MissFrac:         r.Options.MissFrac,
 		UseAppExtTraffic: r.Options.UseAppExtTraffic,
@@ -200,8 +251,8 @@ func (r SimulateRequest) resolve() (simJob, error) {
 		TempC:            r.Options.TempC,
 		ExcludeExternal:  r.Options.ExcludeExternal,
 	}
-	key := hashCanon(simCanon{
-		V:               1,
+	canon := simCanon{
+		V:               2,
 		CUs:             r.CUs,
 		FreqMHz:         r.FreqMHz,
 		BWTBps:          r.BWTBps,
@@ -212,14 +263,26 @@ func (r SimulateRequest) resolve() (simJob, error) {
 		Opts:            uint(tech),
 		TempC:           opt.TempC,
 		ExcludeExternal: opt.ExcludeExternal,
-	})
-	return simJob{
-		cfg:    cfg,
-		view:   ConfigView{CUs: r.CUs, FreqMHz: r.FreqMHz, BWTBps: r.BWTBps},
-		kernel: k,
-		opt:    opt,
-		key:    key,
-	}, nil
+		Mask:            maskStr,
+	}
+	job := simJob{
+		cfg:      cfg,
+		view:     ConfigView{CUs: r.CUs, FreqMHz: r.FreqMHz, BWTBps: r.BWTBps},
+		kernel:   k,
+		opt:      opt,
+		inj:      inj,
+		detailed: r.Detailed,
+		seed:     r.Seed,
+		key:      hashCanon(canon),
+	}
+	if r.Detailed {
+		// The detailed phase depends on the traffic seed; the analytic
+		// phase does not, so only this key carries it.
+		canon.Detailed = true
+		canon.Seed = r.Seed
+		job.detailedKey = hashCanon(canon)
+	}
+	return job, nil
 }
 
 // ExploreRequest is the body of POST /v1/explore. Empty grids default to the
