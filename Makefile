@@ -1,6 +1,6 @@
 # Convenience targets for the ENA reproduction.
 
-.PHONY: all build test test-race test-service chaos-short vet fuzz-short verify bench bench-json serve experiments csv examples clean
+.PHONY: all build test test-race test-service chaos-short vet fuzz-short verify bench bench-json bench-compare serve experiments csv examples clean
 
 all: build vet test
 
@@ -39,8 +39,11 @@ fuzz-short:
 	go test -run='^$$' -fuzz=FuzzParseMask -fuzztime=5s ./internal/faults
 
 # Tier-1 verification gate: everything must build, vet clean, and pass,
-# including the race pass over the service layer and the chaos suite.
+# including the race pass over the service layer and the chaos suite. The
+# bench gate is a soft warning (leading '-'): it only compares snapshots
+# already committed, so it never blocks when fewer than two exist.
 verify: build vet test test-service chaos-short
+	-@$(MAKE) --no-print-directory bench-compare
 
 # Regenerate every table/figure and record the outputs (the reproduction log).
 bench:
@@ -50,6 +53,15 @@ bench:
 # dated JSON summary for the repo's performance trajectory.
 bench-json:
 	go test -run='^$$' -bench=. -benchmem . | go run ./cmd/enabench -out BENCH_$$(date +%Y-%m-%d).json
+
+# Diff the two most recent BENCH_*.json snapshots with a ±10% wall-time gate
+# on the guarded hot paths (Figure 10/11, Table II, SimulateNode, NoC and
+# memory queue sims). Regressions warn; add -strict in CI to hard-fail.
+bench-compare:
+	@set -- $$(ls -t BENCH_*.json 2>/dev/null); \
+	if [ $$# -lt 2 ]; then echo "bench-compare: need two BENCH_*.json snapshots (have $$#)"; exit 0; fi; \
+	new=$$1; old=$$2; \
+	go run ./cmd/enabench -compare $$old $$new
 
 # Run the simulation service (POST /v1/simulate, /v1/explore, GET /metrics).
 serve:

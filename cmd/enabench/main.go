@@ -7,6 +7,13 @@
 //
 //	go test -bench=. -benchmem | enabench -out BENCH_2026-08-06.json
 //	enabench -in bench_output.txt            # print JSON to stdout
+//	enabench -compare OLD.json NEW.json      # diff two snapshots
+//
+// Compare mode prints per-benchmark speedups and applies a ±10% wall-time
+// gate to the benchmarks named by -gate (the repo's guarded hot paths).
+// Gate violations are reported but exit 0 unless -strict is set, so `make
+// verify` can surface regressions as a soft warning while a dedicated CI
+// lane can hard-fail.
 package main
 
 import (
@@ -96,10 +103,94 @@ func parse(r io.Reader) ([]Result, error) {
 	return out, sc.Err()
 }
 
+// defaultGate lists the benchmarks held to the ±10% regression gate: the
+// thermal-dominated figures, the DSE/TableII sweeps, the per-simulation unit
+// of work, and the two event-driven micro-simulators.
+const defaultGate = "BenchmarkFigure10,BenchmarkFigure11,BenchmarkTable2,BenchmarkSimulateNode,BenchmarkNoCSimulation,BenchmarkMemoryQueueSim"
+
+// gateTolerance is the allowed fractional wall-time regression on gated
+// benchmarks before compare flags them.
+const gateTolerance = 0.10
+
+// readSummary loads one BENCH_*.json document.
+func readSummary(path string) (Summary, error) {
+	var s Summary
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(b, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// compare diffs two snapshots and returns the gated benchmarks that
+// regressed beyond the tolerance.
+func compare(w io.Writer, old, new Summary, gate map[string]bool) []string {
+	oldBy := make(map[string]Result, len(old.Benchmarks))
+	for _, r := range old.Benchmarks {
+		oldBy[r.Name] = r
+	}
+	var regressions []string
+	fmt.Fprintf(w, "%-32s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, nr := range new.Benchmarks {
+		or, ok := oldBy[nr.Name]
+		if !ok || or.NsPerOp == 0 {
+			fmt.Fprintf(w, "%-32s %14s %14.0f %8s\n", nr.Name, "-", nr.NsPerOp, "new")
+			continue
+		}
+		delta := nr.NsPerOp/or.NsPerOp - 1
+		mark := ""
+		if gate[nr.Name] {
+			mark = " [gated]"
+			if delta > gateTolerance {
+				mark = " [REGRESSION]"
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%)", nr.Name, or.NsPerOp, nr.NsPerOp, delta*100))
+			}
+		}
+		fmt.Fprintf(w, "%-32s %14.0f %14.0f %+7.1f%%%s\n", nr.Name, or.NsPerOp, nr.NsPerOp, delta*100, mark)
+	}
+	return regressions
+}
+
 func main() {
 	in := flag.String("in", "", "read bench output from this file (default: stdin)")
 	out := flag.String("out", "", "write the JSON summary to this file (default: stdout)")
+	cmp := flag.Bool("compare", false, "compare two JSON snapshots: enabench -compare OLD.json NEW.json")
+	gate := flag.String("gate", defaultGate, "comma-separated benchmarks held to the ±10% gate in compare mode")
+	strict := flag.Bool("strict", false, "exit non-zero when a gated benchmark regresses")
 	flag.Parse()
+
+	if *cmp {
+		if flag.NArg() != 2 {
+			fail(fmt.Errorf("compare mode wants exactly two files: enabench -compare OLD.json NEW.json"))
+		}
+		oldSum, err := readSummary(flag.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		newSum, err := readSummary(flag.Arg(1))
+		if err != nil {
+			fail(err)
+		}
+		gated := map[string]bool{}
+		for _, name := range strings.Split(*gate, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				gated[name] = true
+			}
+		}
+		fmt.Printf("enabench: comparing %s (%s) -> %s (%s)\n", flag.Arg(0), oldSum.Date, flag.Arg(1), newSum.Date)
+		regressions := compare(os.Stdout, oldSum, newSum, gated)
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "enabench: WARNING: gated regression:", r)
+		}
+		if len(regressions) > 0 && *strict {
+			os.Exit(1)
+		}
+		return
+	}
 
 	src := io.Reader(os.Stdin)
 	if *in != "" {

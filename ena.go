@@ -162,6 +162,8 @@ type (
 	DesignPoint = dse.Point
 	// Exploration is a completed sweep.
 	Exploration = dse.Outcome
+	// TableIIRow is one line of the paper's Table II.
+	TableIIRow = dse.TableRow
 )
 
 // DefaultSpace reproduces the paper's exploration ranges.
@@ -186,6 +188,14 @@ func ExploreObserved(space Space, kernels []Kernel, budgetW float64, opts Techni
 // Ctrl-C handling and the enaserve job scheduler.
 func ExploreContext(ctx context.Context, space Space, kernels []Kernel, budgetW float64, opts Technique, reg *MetricsRegistry, tr *Tracer) (Exploration, error) {
 	return dse.ExploreContext(ctx, space, kernels, budgetW, opts, dse.Instr{Reg: reg, Tracer: tr})
+}
+
+// TableII derives the paper's Table II: the per-kernel best configurations
+// without and with the §V-E power optimizations, and their benefit over the
+// best-mean configuration. The optimized sweep reuses the baseline sweep's
+// performance results (optimizations change power, not performance).
+func TableII(space Space, kernels []Kernel, budgetW float64) []TableIIRow {
+	return dse.TableII(space, kernels, budgetW)
 }
 
 // Observability (internal/obs).

@@ -217,3 +217,38 @@ func TestSimulateContext(t *testing.T) {
 		t.Errorf("cancelled SimulateContext err = %v, want context.Canceled", err)
 	}
 }
+
+// TestSplitPhaseBitIdentical pins the contract the DSE's perf cache relies
+// on: the inline Simulate and the split SimulatePerf + SimulateFromPerf
+// composition produce bit-identical results, for every kernel, under every
+// option combination that is valid to replay (Optimizations and
+// ExcludeExternal vary; the phase-shaping options are fixed at phase time).
+func TestSplitPhaseBitIdentical(t *testing.T) {
+	cfgs := []*arch.NodeConfig{
+		arch.BestMeanEHP(),
+		arch.EHP(256, 1200, 5),
+	}
+	optVariants := []Options{
+		{},
+		{Optimizations: powopt.All},
+		{Optimizations: powopt.All, ExcludeExternal: true},
+		{MissFrac: 0.3, TempC: 85},
+		{UseAppExtTraffic: true, Policy: memsys.SoftwareManaged},
+	}
+	for _, cfg := range cfgs {
+		for _, k := range workload.Suite() {
+			for _, opt := range optVariants {
+				inline := Simulate(cfg, k, opt)
+				split := SimulateFromPerf(cfg, k, opt, SimulatePerf(cfg, k, opt))
+				if math.Float64bits(inline.NodeW) != math.Float64bits(split.NodeW) ||
+					math.Float64bits(inline.GFperW) != math.Float64bits(split.GFperW) ||
+					math.Float64bits(inline.Perf.TFLOPs) != math.Float64bits(split.Perf.TFLOPs) ||
+					math.Float64bits(inline.MissFrac) != math.Float64bits(split.MissFrac) ||
+					inline.Power != split.Power {
+					t.Fatalf("%s/%s/%+v: inline and split-phase results diverge:\n%+v\nvs\n%+v",
+						cfg, k.Name, opt, inline, split)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package dse
+
+import (
+	"testing"
+
+	"ena/internal/arch"
+	"ena/internal/powopt"
+	"ena/internal/workload"
+)
+
+// TestCachedSweepBitIdentical is the memoization's correctness contract:
+// a sweep replayed from a cached perf phase — including under a different
+// optimization setting than the sweep that populated the cache — is
+// bit-identical to an uncached sweep.
+func TestCachedSweepBitIdentical(t *testing.T) {
+	space := Space{
+		CUs:      []int{256, 320},
+		FreqsMHz: []float64{925, 1000},
+		BWsTBps:  []float64{2, 3},
+	}
+	ks := workload.Suite()[:4]
+
+	freshBase := Explore(space, ks, arch.NodePowerBudgetW, 0)
+	freshOpt := Explore(space, ks, arch.NodePowerBudgetW, powopt.All)
+
+	cache := NewPerfCache()
+	t.Run("populate", func(t *testing.T) {
+		// First cached sweep fills the cache; it must already match.
+		requireBitIdentical(t, freshBase,
+			ExploreCached(space, ks, arch.NodePowerBudgetW, 0, cache))
+	})
+	t.Run("replay with opts", func(t *testing.T) {
+		// Second sweep hits the cache under different optimizations.
+		requireBitIdentical(t, freshOpt,
+			ExploreCached(space, ks, arch.NodePowerBudgetW, powopt.All, cache))
+	})
+	t.Run("replay original", func(t *testing.T) {
+		requireBitIdentical(t, freshBase,
+			ExploreCached(space, ks, arch.NodePowerBudgetW, 0, cache))
+	})
+	if len(cache.m) != 1 {
+		t.Errorf("cache holds %d entries, want 1 (same space+kernels)", len(cache.m))
+	}
+}
+
+// TestCacheKeyedBySweepInputs: changing the space or the kernel set must miss.
+func TestCacheKeyedBySweepInputs(t *testing.T) {
+	space := Space{CUs: []int{320}, FreqsMHz: []float64{1000}, BWsTBps: []float64{3}}
+	ks := workload.Suite()[:2]
+	cache := NewPerfCache()
+	ExploreCached(space, ks, arch.NodePowerBudgetW, 0, cache)
+
+	space2 := space
+	space2.BWsTBps = []float64{4}
+	ExploreCached(space2, ks, arch.NodePowerBudgetW, 0, cache)
+	ExploreCached(space, ks[:1], arch.NodePowerBudgetW, 0, cache)
+	if len(cache.m) != 3 {
+		t.Errorf("cache holds %d entries, want 3 distinct sweeps", len(cache.m))
+	}
+}

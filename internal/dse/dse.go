@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -109,6 +110,76 @@ func Explore(space Space, kernels []workload.Kernel, budgetW float64, opts powop
 	return ExploreObserved(space, kernels, budgetW, opts, Instr{})
 }
 
+// PerfCache memoizes the optimization-independent perf phase of sweep
+// evaluations, keyed by the (space, kernels) signature. Power optimizations
+// change a point's power draw, never its performance (see Explore), so two
+// sweeps over the same space and kernels — TableII's base and optimized
+// passes, or repeated service sweeps under different budgets — share their
+// perf/traffic results and recompute only the power phase. Safe for
+// concurrent use; only complete (non-cancelled) sweeps are stored, and
+// stored rows are immutable thereafter.
+type PerfCache struct {
+	mu sync.Mutex
+	m  map[string]sweepEntry
+}
+
+// sweepEntry is one memoized sweep: per-point perf phases plus the
+// materialized node configs (rebuilding a config per point per sweep is a
+// measurable slice of replay cost). Configs are shared read-only — every
+// NodeConfig accessor is a getter, and mutation goes through Clone.
+type sweepEntry struct {
+	rows [][]core.PerfPhase // [pointIdx][kernelIdx]
+	cfgs []*arch.NodeConfig
+}
+
+// NewPerfCache returns an empty cache.
+func NewPerfCache() *PerfCache {
+	return &PerfCache{m: make(map[string]sweepEntry)}
+}
+
+// cacheKey canonicalizes the sweep inputs. Kernels are formatted with %+v:
+// every model parameter participates, and the Trace generator contributes
+// its identity, so distinct workload sets never collide.
+func cacheKey(space Space, kernels []workload.Kernel) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cus=%v;f=%v;bw=%v", space.CUs, space.FreqsMHz, space.BWsTBps)
+	for _, k := range kernels {
+		fmt.Fprintf(&b, ";k=%+v", k)
+	}
+	return b.String()
+}
+
+func (c *PerfCache) get(key string, nPoints int) (sweepEntry, bool) {
+	if c == nil {
+		return sweepEntry{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	if !ok || len(e.rows) != nPoints {
+		return sweepEntry{}, false
+	}
+	return e, true
+}
+
+func (c *PerfCache) put(key string, e sweepEntry) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.m[key] = e
+	c.mu.Unlock()
+}
+
+// ExploreCached is Explore with a sweep-level perf cache: a prior complete
+// sweep over the same (space, kernels) — under any budget or optimization
+// setting — supplies the perf phase, leaving only the power phase to run.
+// Results are bit-identical to Explore's.
+func ExploreCached(space Space, kernels []workload.Kernel, budgetW float64, opts powopt.Technique, cache *PerfCache) Outcome {
+	out, _ := ExploreCachedContext(context.Background(), space, kernels, budgetW, opts, Instr{}, cache)
+	return out
+}
+
 // ExploreObserved is Explore with explicit observability sinks: it counts
 // points and kernel evaluations, measures the sweep's wall time, eval rate
 // and worker-pool utilization, and (when tracing) emits one span per design
@@ -129,6 +200,15 @@ func ExploreObserved(space Space, kernels []workload.Kernel, budgetW float64, op
 // (dse.points_evaluated), which is how callers observe an aborted sweep's
 // progress.
 func ExploreContext(ctx context.Context, space Space, kernels []workload.Kernel, budgetW float64, opts powopt.Technique, ins Instr) (Outcome, error) {
+	return ExploreCachedContext(ctx, space, kernels, budgetW, opts, ins, nil)
+}
+
+// ExploreCachedContext is ExploreContext with an optional sweep-level perf
+// cache (nil disables caching). On a cache hit every worker replays the
+// stored perf phases through the power model; on a miss the workers record
+// the phases they compute (each into its own point's slot, so no locking)
+// and the completed sweep is stored for the next caller.
+func ExploreCachedContext(ctx context.Context, space Space, kernels []workload.Kernel, budgetW float64, opts powopt.Technique, ins Instr, cache *PerfCache) (Outcome, error) {
 	reg, tracer := ins.Reg, ins.Tracer
 	if reg == nil && tracer == nil {
 		sc := obs.Default()
@@ -139,6 +219,28 @@ func ExploreContext(ctx context.Context, space Space, kernels []workload.Kernel,
 
 	pts := space.Points()
 	evals := make([]Eval, len(pts))
+
+	var key string
+	var cached sweepEntry
+	var hit bool
+	var fill sweepEntry
+	if cache != nil {
+		key = cacheKey(space, kernels)
+		cached, hit = cache.get(key, len(pts))
+		if !hit {
+			fill = sweepEntry{
+				rows: make([][]core.PerfPhase, len(pts)),
+				cfgs: make([]*arch.NodeConfig, len(pts)),
+			}
+		}
+		if reg != nil {
+			if hit {
+				reg.Counter("dse.perf_cache_hits").Inc()
+			} else {
+				reg.Counter("dse.perf_cache_misses").Inc()
+			}
+		}
+	}
 
 	// Progress counters update live, per point, so a concurrent registry
 	// scrape (the service layer's /metrics endpoint) observes a running
@@ -156,12 +258,28 @@ func ExploreContext(ctx context.Context, space Space, kernels []workload.Kernel,
 		go func(wid int) {
 			defer wg.Done()
 			var busy time.Duration
+			evalPoint := func(i int) (Eval, int64) {
+				var row []core.PerfPhase
+				var cfg *arch.NodeConfig
+				if hit {
+					row, cfg = cached.rows[i], cached.cfgs[i]
+				}
+				if cfg == nil {
+					cfg = pts[i].Config()
+				}
+				ev, outRow, n := evaluateConfigCtx(ctx, cfg, pts[i], kernels, budgetW, opts, row, fill.rows != nil)
+				if fill.rows != nil {
+					fill.rows[i] = outRow
+					fill.cfgs[i] = cfg
+				}
+				return ev, n
+			}
 			for i := range work {
 				if ctx.Err() != nil {
 					continue // drain the channel without evaluating
 				}
 				if !instrumented {
-					ev, n := evaluateCtx(ctx, pts[i], kernels, budgetW, opts)
+					ev, n := evalPoint(i)
 					evals[i] = ev
 					evaluated.Add(1)
 					pointsCtr.Inc()
@@ -169,7 +287,7 @@ func ExploreContext(ctx context.Context, space Space, kernels []workload.Kernel,
 					continue
 				}
 				t0 := time.Now()
-				ev, n := evaluateCtx(ctx, pts[i], kernels, budgetW, opts)
+				ev, n := evalPoint(i)
 				evals[i] = ev
 				evaluated.Add(1)
 				pointsCtr.Inc()
@@ -194,6 +312,11 @@ feed:
 	}
 	close(work)
 	wg.Wait()
+
+	// Store only complete sweeps: a cancelled run leaves holes in fill.
+	if fill.rows != nil && ctx.Err() == nil {
+		cache.put(key, fill)
+	}
 
 	if reg != nil {
 		wall := time.Since(start)
@@ -278,7 +401,7 @@ feed:
 // CU/frequency/bandwidth so renders label it like any other design point.
 func EvaluateConfigContext(ctx context.Context, cfg *arch.NodeConfig, kernels []workload.Kernel, budgetW float64, opts powopt.Technique) (Eval, error) {
 	p := Point{CUs: cfg.TotalCUs(), FreqMHz: cfg.GPUFreqMHz(), BWTBps: cfg.InPackageBWTBps()}
-	ev, _ := evaluateConfigCtx(ctx, cfg, p, kernels, budgetW, opts)
+	ev, _, _ := evaluateConfigCtx(ctx, cfg, p, kernels, budgetW, opts, nil, false)
 	if err := ctx.Err(); err != nil {
 		return Eval{}, err
 	}
@@ -289,11 +412,16 @@ func EvaluateConfigContext(ctx context.Context, cfg *arch.NodeConfig, kernels []
 // kernels; it reports how many kernel simulations actually ran so aborted
 // sweeps account their work accurately. A point cut short is marked
 // infeasible, but the whole sweep is discarded on cancellation anyway.
-func evaluateCtx(ctx context.Context, p Point, kernels []workload.Kernel, budgetW float64, opts powopt.Technique) (Eval, int64) {
-	return evaluateConfigCtx(ctx, p.Config(), p, kernels, budgetW, opts)
+func evaluateCtx(ctx context.Context, p Point, kernels []workload.Kernel, budgetW float64, opts powopt.Technique, cachedRow []core.PerfPhase, keepRow bool) (Eval, []core.PerfPhase, int64) {
+	return evaluateConfigCtx(ctx, p.Config(), p, kernels, budgetW, opts, cachedRow, keepRow)
 }
 
-func evaluateConfigCtx(ctx context.Context, cfg *arch.NodeConfig, p Point, kernels []workload.Kernel, budgetW float64, opts powopt.Technique) (Eval, int64) {
+// evaluateConfigCtx optionally replays a cached perf row (cachedRow, one
+// PerfPhase per kernel) instead of re-running the perf half of the model, and
+// optionally records the row it computed (keepRow) for a sweep-level cache.
+// An invalid config yields a nil row either way, so cached sweeps fall back
+// to full evaluation for such points — which short-circuit identically.
+func evaluateConfigCtx(ctx context.Context, cfg *arch.NodeConfig, p Point, kernels []workload.Kernel, budgetW float64, opts powopt.Technique, cachedRow []core.PerfPhase, keepRow bool) (Eval, []core.PerfPhase, int64) {
 	e := Eval{
 		Point:       p,
 		PerfTFLOPs:  make([]float64, len(kernels)),
@@ -302,15 +430,32 @@ func evaluateConfigCtx(ctx context.Context, cfg *arch.NodeConfig, p Point, kerne
 	}
 	if err := cfg.Validate(); err != nil {
 		e.FeasibleAll = false
-		return e, 0
+		return e, nil, 0
+	}
+	if len(cachedRow) != len(kernels) {
+		cachedRow = nil
+	}
+	var row []core.PerfPhase
+	if keepRow && cachedRow == nil {
+		row = make([]core.PerfPhase, len(kernels))
 	}
 	var n int64
+	simOpt := core.Options{Optimizations: opts}
 	for i, k := range kernels {
-		r, err := core.SimulateContext(ctx, cfg, k, core.Options{Optimizations: opts})
-		if err != nil {
+		if err := ctx.Err(); err != nil {
 			e.FeasibleAll = false
-			return e, n
+			return e, nil, n
 		}
+		var pp core.PerfPhase
+		if cachedRow != nil {
+			pp = cachedRow[i]
+		} else {
+			pp = core.SimulatePerf(cfg, k, simOpt)
+			if row != nil {
+				row[i] = pp
+			}
+		}
+		r := core.SimulateFromPerf(cfg, k, simOpt, pp)
 		n++
 		e.PerfTFLOPs[i] = r.Perf.TFLOPs
 		e.BudgetW[i] = r.Power.PackageW() + r.Power.ExtStatic + r.Power.SerDesStatic
@@ -318,7 +463,10 @@ func evaluateConfigCtx(ctx context.Context, cfg *arch.NodeConfig, p Point, kerne
 			e.FeasibleAll = false
 		}
 	}
-	return e, n
+	if cachedRow != nil {
+		row = cachedRow
+	}
+	return e, row, n
 }
 
 // TableRow is one Table II line.
@@ -335,8 +483,12 @@ type TableRow struct {
 // stack) and derives the paper's Table II: per-kernel best configurations
 // and their performance benefit over the best-mean configuration.
 func TableII(space Space, kernels []workload.Kernel, budgetW float64) []TableRow {
-	base := Explore(space, kernels, budgetW, 0)
-	opt := Explore(space, kernels, budgetW, powopt.All)
+	// The two sweeps differ only in their power optimizations, which never
+	// change performance, so they share one perf cache: the second sweep
+	// replays the first's perf phases and recomputes only power.
+	cache := NewPerfCache()
+	base := ExploreCached(space, kernels, budgetW, 0, cache)
+	opt := ExploreCached(space, kernels, budgetW, powopt.All, cache)
 
 	rows := make([]TableRow, len(kernels))
 	for i, k := range kernels {

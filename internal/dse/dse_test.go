@@ -379,7 +379,7 @@ func TestEvaluateConfigContext(t *testing.T) {
 		t.Errorf("per-kernel perf missing: %v", ev.PerfTFLOPs)
 	}
 	// Must agree with the sweep's own evaluation of the same point.
-	grid, _ := evaluateCtx(context.Background(), Point{CUs: 320, FreqMHz: 1000, BWTBps: 3}, ks, arch.NodePowerBudgetW, 0)
+	grid, _, _ := evaluateCtx(context.Background(), Point{CUs: 320, FreqMHz: 1000, BWTBps: 3}, ks, arch.NodePowerBudgetW, 0, nil, false)
 	for i := range ks {
 		if ev.PerfTFLOPs[i] != grid.PerfTFLOPs[i] || ev.BudgetW[i] != grid.BudgetW[i] {
 			t.Errorf("kernel %d: explicit-config eval diverges from grid eval", i)

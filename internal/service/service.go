@@ -104,6 +104,12 @@ type Server struct {
 	chaos    *faults.Chaos
 	breakers map[string]*Breaker // route -> breaker (fixed at route setup)
 
+	// perfCache memoizes the optimization-independent perf phase across
+	// explore jobs: sweeps over the same (space, kernels) under different
+	// budgets or optimization settings — distinct result-cache keys —
+	// recompute only the power phase.
+	perfCache *dse.PerfCache
+
 	// simExecs counts actual model executions (not cache/singleflight
 	// serves) — the counter tests assert dedup against.
 	simExecs  *obs.Counter
@@ -150,6 +156,7 @@ func New(ctx context.Context, cfg Config) *Server {
 		errCtr:    reg.Counter("service.http.errors"),
 		inflight:  reg.Gauge("service.http.inflight"),
 		latHist:   reg.Histogram("service.http.latency_ns", durationBounds),
+		perfCache: dse.NewPerfCache(),
 	}
 	s.cache.chaos = cfg.Chaos
 	s.routes()
@@ -571,8 +578,8 @@ func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
 
 // explore runs one cancellable sweep with the server's observability sinks.
 func (s *Server) explore(ctx context.Context, ej exploreJob) (ExploreResult, error) {
-	out, err := dse.ExploreContext(ctx, ej.space, ej.kernels, ej.budgetW, ej.tech,
-		dse.Instr{Reg: s.reg, Tracer: s.tracer})
+	out, err := dse.ExploreCachedContext(ctx, ej.space, ej.kernels, ej.budgetW, ej.tech,
+		dse.Instr{Reg: s.reg, Tracer: s.tracer}, s.perfCache)
 	if err != nil {
 		return ExploreResult{}, err
 	}

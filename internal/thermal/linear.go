@@ -1,6 +1,10 @@
 package thermal
 
-import "errors"
+import (
+	"errors"
+	"runtime"
+	"sync"
+)
 
 // The steady-state RC network is linear in the injected power, so the
 // temperature field is a superposition of per-source unit responses. A
@@ -25,7 +29,9 @@ type LinearModel struct {
 const dramCells = 4 * NX * NY
 
 // NewLinearModel builds the superposition model for a floorplan by solving
-// unit-power cases with the given boundary parameters.
+// unit-power cases with the given boundary parameters. The basis solves are
+// independent, so they fan out across GOMAXPROCS goroutines; each solve
+// then runs its sweeps single-threaded to avoid oversubscription.
 func NewLinearModel(fp *Floorplan, ambientC float64, prm Params) (*LinearModel, error) {
 	m := &LinearModel{fp: fp, ambientC: ambientC}
 	n := len(fp.GPU)
@@ -37,7 +43,7 @@ func NewLinearModel(fp *Floorplan, ambientC float64, prm Params) (*LinearModel, 
 		}
 	}
 	rise := func(pa PowerAssignment) ([]float64, error) {
-		sol, err := SolveWithParams(fp, pa, ambientC, prm)
+		sol, err := solveObservedWorkers(fp, pa, ambientC, prm, nil, nil, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -51,36 +57,55 @@ func NewLinearModel(fp *Floorplan, ambientC float64, prm Params) (*LinearModel, 
 	}
 
 	// Exploit the floorplan's left/right mirror symmetry? Keep it simple
-	// and exact: one solve per chiplet, plus CPU and interposer.
+	// and exact: one solve per chiplet, plus CPU and interposer. Each basis
+	// job writes its own response slot, so the fan-out needs no locking
+	// beyond the error capture.
+	m.gpuResp = make([][]float64, n)
+	m.hbmResp = make([][]float64, n)
+	type basisJob struct {
+		pa  PowerAssignment
+		dst *[]float64
+	}
+	jobs := make([]basisJob, 0, 2*n+2)
 	for i := 0; i < n; i++ {
 		pa := zero()
 		pa.GPUChipletW[i] = 1
-		r, err := rise(pa)
-		if err != nil {
-			return nil, err
-		}
-		m.gpuResp = append(m.gpuResp, r)
+		jobs = append(jobs, basisJob{pa, &m.gpuResp[i]})
 
 		pa = zero()
 		pa.HBMStackW[i] = 1
-		r, err = rise(pa)
-		if err != nil {
-			return nil, err
-		}
-		m.hbmResp = append(m.hbmResp, r)
+		jobs = append(jobs, basisJob{pa, &m.hbmResp[i]})
 	}
 	pa := zero()
 	pa.CPUW = 1
-	r, err := rise(pa)
-	if err != nil {
-		return nil, err
-	}
-	m.cpuResp = r
-
+	jobs = append(jobs, basisJob{pa, &m.cpuResp})
 	pa = zero()
 	pa.InterposerW = 1
-	if m.ipResp, err = rise(pa); err != nil {
-		return nil, err
+	jobs = append(jobs, basisJob{pa, &m.ipResp})
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	sem := make(chan struct{}, max(1, runtime.GOMAXPROCS(0)))
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j basisJob) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r, err := rise(j.pa)
+			if err != nil {
+				errOnce.Do(func() { firstErr = err })
+				return
+			}
+			*j.dst = r
+		}(j)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return m, nil
 }

@@ -1,0 +1,99 @@
+package thermal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomAssignment draws an uncorrelated power assignment spanning the
+// realistic operating range (per-chiplet CU power up to ~20 W, HBM stacks up
+// to ~4 W, tens of watts of CPU and interposer power).
+func randomAssignment(rng *rand.Rand, fp *Floorplan) PowerAssignment {
+	n := len(fp.GPU)
+	pa := PowerAssignment{
+		GPUChipletW: make([]float64, n),
+		HBMStackW:   make([]float64, n),
+		CPUW:        rng.Float64() * 40,
+		InterposerW: rng.Float64() * 30,
+	}
+	for i := 0; i < n; i++ {
+		pa.GPUChipletW[i] = rng.Float64() * 20
+		pa.HBMStackW[i] = rng.Float64() * 4
+	}
+	return pa
+}
+
+// TestRedBlackMatchesLegacySweep is the red-black solver's property test:
+// on randomized power assignments the checkerboard solver (with its
+// precomputed stencil, strided convergence check, and worker pool) and the
+// legacy natural-order per-cell sweep must relax to the same fixed point.
+// Both stop on a 1e-4 max-delta criterion rather than a true residual, so
+// the fields are not bit-identical; empirically they agree to well under
+// 0.01 C and the bound below leaves an order of magnitude of headroom while
+// still catching any stencil or ordering bug (those show up as >1 C errors).
+func TestRedBlackMatchesLegacySweep(t *testing.T) {
+	fp := EHPFloorplan()
+	prm := DefaultParams()
+	rng := rand.New(rand.NewSource(42))
+	const trials = 5
+	const boundC = 0.1
+	for trial := 0; trial < trials; trial++ {
+		pa := randomAssignment(rng, fp)
+		// workers=4 exercises the slab-parallel pool even on small hosts
+		// (and puts it under the race detector in `make test-race`).
+		got, err := solveObservedWorkers(fp, pa, DefaultAmbientC, prm, nil, nil, 4)
+		if err != nil {
+			t.Fatalf("trial %d: red-black solve: %v", trial, err)
+		}
+		want, err := solveLegacy(fp, pa, DefaultAmbientC, prm)
+		if err != nil {
+			t.Fatalf("trial %d: legacy solve: %v", trial, err)
+		}
+		var maxDiff float64
+		for l := 0; l < NumLayers; l++ {
+			for i, tw := range want.TempC[l] {
+				if d := math.Abs(got.TempC[l][i] - tw); d > maxDiff {
+					maxDiff = d
+				}
+			}
+		}
+		if maxDiff > boundC {
+			t.Errorf("trial %d: red-black and legacy fields differ by %.4f C (> %.2f C)",
+				trial, maxDiff, boundC)
+		}
+		if d := math.Abs(got.PeakDRAMTempC() - want.PeakDRAMTempC()); d > boundC {
+			t.Errorf("trial %d: peak DRAM temp differs by %.4f C", trial, d)
+		}
+	}
+}
+
+// TestSolverWorkerCountInvariance pins the slab decomposition: any worker
+// count must produce the same field as the sequential sweep (red-black
+// updates are order-independent within a color).
+func TestSolverWorkerCountInvariance(t *testing.T) {
+	fp := EHPFloorplan()
+	prm := DefaultParams()
+	pa := uniformAssignment(fp, 11, 2, 9, 12)
+	seq, err := solveObservedWorkers(fp, pa, DefaultAmbientC, prm, nil, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, NumLayers * NY} {
+		par, err := solveObservedWorkers(fp, pa, DefaultAmbientC, prm, nil, nil, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if par.Iterations != seq.Iterations {
+			t.Errorf("workers=%d: %d iterations, sequential took %d",
+				workers, par.Iterations, seq.Iterations)
+		}
+		for l := 0; l < NumLayers; l++ {
+			for i := range seq.TempC[l] {
+				if seq.TempC[l][i] != par.TempC[l][i] {
+					t.Fatalf("workers=%d: field diverges at layer %d cell %d", workers, l, i)
+				}
+			}
+		}
+	}
+}

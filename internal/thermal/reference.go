@@ -1,0 +1,108 @@
+package thermal
+
+import (
+	"errors"
+	"math"
+)
+
+// solveLegacy is the original natural-order scalar SOR sweep, with the
+// conductance logic evaluated per cell per iteration. It is retained solely
+// as the oracle for the red-black solver's property tests: both must relax
+// to the same fixed point of the same resistance network, so agreement
+// within solver tolerance on arbitrary power assignments validates the
+// stencil precomputation and the checkerboard update order at once. Inputs
+// are assumed validated by the caller.
+func solveLegacy(fp *Floorplan, p PowerAssignment, ambientC float64, prm Params) (*Solution, error) {
+	n := NX * NY
+	cellA := (CellMM * 1e-3) * (CellMM * 1e-3)
+	pw := powerDensity(fp, p)
+
+	lateralG := func(layer, x1, y1, x2, y2 int) float64 {
+		// Series of two half-cells.
+		k1 := kOf(fp, layer, x1, y1)
+		k2 := kOf(fp, layer, x2, y2)
+		t := layerThicknessM[layer]
+		area := t * CellMM * 1e-3
+		halfL := CellMM * 1e-3 / 2
+		r := halfL/(k1*area) + halfL/(k2*area)
+		return 1 / r
+	}
+	verticalG := func(l1, l2, x, y int) float64 {
+		k1 := kOf(fp, l1, x, y)
+		k2 := kOf(fp, l2, x, y)
+		r := layerThicknessM[l1]/(2*k1*cellA) + layerThicknessM[l2]/(2*k2*cellA) + prm.RContact/cellA
+		return 1 / r
+	}
+	gSink := prm.HSink * cellA
+	gBoard := hBoardWm2K * cellA
+
+	var sol Solution
+	sol.AmbientC = ambientC
+	sol.fp = fp
+	for l := range sol.TempC {
+		sol.TempC[l] = make([]float64, n)
+		for i := range sol.TempC[l] {
+			sol.TempC[l][i] = ambientC + 10
+		}
+	}
+
+	T := &sol.TempC
+	for iter := 0; iter < maxIter; iter++ {
+		maxDelta := 0.0
+		for l := 0; l < NumLayers; l++ {
+			for y := 0; y < NY; y++ {
+				for x := 0; x < NX; x++ {
+					i := y*NX + x
+					var gSum, gtSum float64
+					if x > 0 {
+						g := lateralG(l, x, y, x-1, y)
+						gSum += g
+						gtSum += g * T[l][i-1]
+					}
+					if x < NX-1 {
+						g := lateralG(l, x, y, x+1, y)
+						gSum += g
+						gtSum += g * T[l][i+1]
+					}
+					if y > 0 {
+						g := lateralG(l, x, y, x, y-1)
+						gSum += g
+						gtSum += g * T[l][i-NX]
+					}
+					if y < NY-1 {
+						g := lateralG(l, x, y, x, y+1)
+						gSum += g
+						gtSum += g * T[l][i+NX]
+					}
+					if l > 0 {
+						g := verticalG(l, l-1, x, y)
+						gSum += g
+						gtSum += g * T[l-1][i]
+					} else {
+						gSum += gBoard
+						gtSum += gBoard * ambientC
+					}
+					if l < NumLayers-1 {
+						g := verticalG(l, l+1, x, y)
+						gSum += g
+						gtSum += g * T[l+1][i]
+					} else {
+						gSum += gSink
+						gtSum += gSink * ambientC
+					}
+					tNew := (gtSum + pw[l][i]) / gSum
+					tRelaxed := T[l][i] + omega*(tNew-T[l][i])
+					if d := math.Abs(tRelaxed - T[l][i]); d > maxDelta {
+						maxDelta = d
+					}
+					T[l][i] = tRelaxed
+				}
+			}
+		}
+		sol.Iterations = iter + 1
+		if maxDelta < tol {
+			return &sol, nil
+		}
+	}
+	return &sol, errors.New("thermal: reference SOR did not converge")
+}

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
 
 	"ena/internal/obs"
@@ -224,9 +225,15 @@ func SolveWithParams(fp *Floorplan, p PowerAssignment, ambientC float64, prm Par
 
 // SolveObserved is SolveWithParams with observability sinks: it counts
 // solves and iterations, records convergence, and (when tracing) samples the
-// SOR residual every 50 iterations so a stalled solve is visible in the
-// trace. When both sinks are nil the process-default scope is consulted.
+// SOR residual periodically so a stalled solve is visible in the trace. When
+// both sinks are nil the process-default scope is consulted.
 func SolveObserved(fp *Floorplan, p PowerAssignment, ambientC float64, prm Params, reg *obs.Registry, tracer *obs.Tracer) (*Solution, error) {
+	return solveObservedWorkers(fp, p, ambientC, prm, reg, tracer, runtime.GOMAXPROCS(0))
+}
+
+// solveObservedWorkers runs one solve with an explicit sweep-worker count
+// (callers that already fan out whole solves, like LinearModel, pass 1).
+func solveObservedWorkers(fp *Floorplan, p PowerAssignment, ambientC float64, prm Params, reg *obs.Registry, tracer *obs.Tracer, workers int) (*Solution, error) {
 	if reg == nil && tracer == nil {
 		sc := obs.Default()
 		reg, tracer = sc.Reg, sc.Tr
@@ -238,47 +245,64 @@ func SolveObserved(fp *Floorplan, p PowerAssignment, ambientC float64, prm Param
 		return nil, errors.New("thermal: HBM power count mismatch")
 	}
 
-	n := NX * NY
-	cellA := (CellMM * 1e-3) * (CellMM * 1e-3) // m^2
+	pw := powerDensity(fp, p)
+	st := buildStencil(fp, &pw, ambientC, prm)
 
-	// Conductivity per cell per layer (silicon where a die is present,
-	// underfill elsewhere, copper for the spreader).
-	kOf := func(layer, x, y int) float64 {
-		switch layer {
-		case LayerInterposer:
-			return kSilicon
-		case LayerSpreader:
-			return kCopper
-		case LayerCompute:
-			for _, r := range fp.GPU {
-				if r.Contains(x, y) {
-					return kSilicon
-				}
-			}
-			for _, r := range fp.CPU {
-				if r.Contains(x, y) {
-					return kSilicon
-				}
-			}
-			return kUnderfill
-		default:
-			// DRAM dies sit above the GPU chiplets; everywhere else
-			// the stack height is made up with dummy-silicon spacers
-			// (standard practice for planarity and heat removal), so
-			// CPU heat still has a low-resistance path to the sink.
-			return kSilicon
+	var sol Solution
+	sol.AmbientC = ambientC
+	sol.fp = fp
+	for l := range sol.TempC {
+		sol.TempC[l] = make([]float64, NX*NY)
+		for i := range sol.TempC[l] {
+			sol.TempC[l][i] = ambientC + 10
 		}
 	}
 
-	// Power per cell.
+	iters, err := st.runSOR(&sol.TempC, workers, tracer)
+	sol.Iterations = iters
+	recordSolve(reg, &sol, err == nil)
+	return &sol, err
+}
+
+// kOf returns the thermal conductivity of a cell: silicon where a die is
+// present, underfill elsewhere in the compute layer, copper for the
+// spreader. DRAM layers are silicon everywhere — off-stack area is made up
+// with dummy-silicon spacers (standard practice for planarity and heat
+// removal), so CPU heat still has a low-resistance path to the sink.
+func kOf(fp *Floorplan, layer, x, y int) float64 {
+	switch layer {
+	case LayerInterposer:
+		return kSilicon
+	case LayerSpreader:
+		return kCopper
+	case LayerCompute:
+		for _, r := range fp.GPU {
+			if r.Contains(x, y) {
+				return kSilicon
+			}
+		}
+		for _, r := range fp.CPU {
+			if r.Contains(x, y) {
+				return kSilicon
+			}
+		}
+		return kUnderfill
+	default:
+		return kSilicon
+	}
+}
+
+// powerDensity spreads a PowerAssignment over the grid. CU power
+// concentrates in the chiplet's compute core (the SIMD array occupies the
+// center; cache/IO periphery dissipates far less), which is what makes
+// GPU-heavy operating points produce the Fig. 11 hot spots. DRAM power
+// spreads over the whole stack footprint.
+func powerDensity(fp *Floorplan, p PowerAssignment) [NumLayers][]float64 {
+	n := NX * NY
 	pw := [NumLayers][]float64{}
 	for l := range pw {
 		pw[l] = make([]float64, n)
 	}
-	// CU power concentrates in the chiplet's compute core (the SIMD array
-	// occupies the center; cache/IO periphery dissipates far less), which
-	// is what makes GPU-heavy operating points produce the Fig. 11 hot
-	// spots. DRAM power spreads over the whole stack footprint.
 	const coreShare = 0.85
 	for i, r := range fp.GPU {
 		core := Rect{X0: r.X0 + 1, Y0: r.Y0 + 1, X1: r.X1 - 1, Y1: r.Y1 - 1}
@@ -314,109 +338,250 @@ func SolveObserved(fp *Floorplan, p PowerAssignment, ambientC float64, prm Param
 	for i := 0; i < n; i++ {
 		pw[LayerInterposer][i] += p.InterposerW / float64(n)
 	}
+	return pw
+}
 
-	// Precompute conductances.
-	lateralG := func(layer, x1, y1, x2, y2 int) float64 {
-		// Series of two half-cells.
-		k1 := kOf(layer, x1, y1)
-		k2 := kOf(layer, x2, y2)
-		t := layerThicknessM[layer]
-		area := t * CellMM * 1e-3
-		halfL := CellMM * 1e-3 / 2
-		r := halfL/(k1*area) + halfL/(k2*area)
-		return 1 / r
-	}
-	verticalG := func(l1, l2, x, y int) float64 {
-		k1 := kOf(l1, x, y)
-		k2 := kOf(l2, x, y)
-		r := layerThicknessM[l1]/(2*k1*cellA) + layerThicknessM[l2]/(2*k2*cellA) + prm.RContact/cellA
-		return 1 / r
-	}
+// stencil is the precomputed seven-point stencil: per-cell neighbour
+// conductances (zero across package edges and stack ends, so the sweep
+// needs no boundary branches beyond index clamping), the inverted diagonal
+// including the board/sink boundary terms, and the right-hand side
+// (injected power plus boundary conductance times ambient). Hoisting this
+// out of the iteration loop removes the per-cell floorplan scans that
+// dominated the legacy solver.
+type stencil struct {
+	cXm, cXp [NumLayers][]float64 // west/east lateral conductances
+	cYm, cYp [NumLayers][]float64 // south/north lateral conductances
+	cDn, cUp [NumLayers][]float64 // inter-layer conductances
+	invG     [NumLayers][]float64 // 1 / (Σ neighbour g + boundary g)
+	rhs      [NumLayers][]float64 // power + boundary g × ambient
+}
+
+func buildStencil(fp *Floorplan, pw *[NumLayers][]float64, ambientC float64, prm Params) *stencil {
+	n := NX * NY
+	cellM := CellMM * 1e-3
+	cellA := cellM * cellM
 	gSink := prm.HSink * cellA
 	gBoard := hBoardWm2K * cellA
 
-	var sol Solution
-	sol.AmbientC = ambientC
-	sol.fp = fp
-	for l := range sol.TempC {
-		sol.TempC[l] = make([]float64, n)
-		for i := range sol.TempC[l] {
-			sol.TempC[l][i] = ambientC + 10
+	var k [NumLayers][]float64
+	for l := range k {
+		k[l] = make([]float64, n)
+		for y := 0; y < NY; y++ {
+			for x := 0; x < NX; x++ {
+				k[l][y*NX+x] = kOf(fp, l, x, y)
+			}
 		}
 	}
 
-	const (
-		omega   = 1.85
-		maxIter = 20000
-		tol     = 1e-4
-	)
-	T := &sol.TempC
-	for iter := 0; iter < maxIter; iter++ {
-		maxDelta := 0.0
-		for l := 0; l < NumLayers; l++ {
-			for y := 0; y < NY; y++ {
-				for x := 0; x < NX; x++ {
-					i := y*NX + x
-					var gSum, gtSum float64
-					// Lateral neighbours.
-					if x > 0 {
-						g := lateralG(l, x, y, x-1, y)
-						gSum += g
-						gtSum += g * T[l][i-1]
-					}
-					if x < NX-1 {
-						g := lateralG(l, x, y, x+1, y)
-						gSum += g
-						gtSum += g * T[l][i+1]
-					}
-					if y > 0 {
-						g := lateralG(l, x, y, x, y-1)
-						gSum += g
-						gtSum += g * T[l][i-NX]
-					}
-					if y < NY-1 {
-						g := lateralG(l, x, y, x, y+1)
-						gSum += g
-						gtSum += g * T[l][i+NX]
-					}
-					// Vertical neighbours and boundaries.
-					if l > 0 {
-						g := verticalG(l, l-1, x, y)
-						gSum += g
-						gtSum += g * T[l-1][i]
-					} else {
-						gSum += gBoard
-						gtSum += gBoard * ambientC
-					}
-					if l < NumLayers-1 {
-						g := verticalG(l, l+1, x, y)
-						gSum += g
-						gtSum += g * T[l+1][i]
-					} else {
-						gSum += gSink
-						gtSum += gSink * ambientC
-					}
-					tNew := (gtSum + pw[l][i]) / gSum
-					tRelaxed := T[l][i] + omega*(tNew-T[l][i])
-					if d := math.Abs(tRelaxed - T[l][i]); d > maxDelta {
-						maxDelta = d
-					}
-					T[l][i] = tRelaxed
+	st := &stencil{}
+	for l := 0; l < NumLayers; l++ {
+		for _, arr := range []*[NumLayers][]float64{&st.cXm, &st.cXp, &st.cYm, &st.cYp, &st.cDn, &st.cUp, &st.invG, &st.rhs} {
+			arr[l] = make([]float64, n)
+		}
+		t := layerThicknessM[l]
+		area := t * cellM // lateral conduction cross-section
+		halfL := cellM / 2
+		for y := 0; y < NY; y++ {
+			for x := 0; x < NX; x++ {
+				i := y*NX + x
+				k0 := k[l][i]
+				// Lateral: series of two half-cells.
+				lat := func(k1 float64) float64 {
+					return 1 / (halfL/(k0*area) + halfL/(k1*area))
 				}
+				if x > 0 {
+					st.cXm[l][i] = lat(k[l][i-1])
+				}
+				if x < NX-1 {
+					st.cXp[l][i] = lat(k[l][i+1])
+				}
+				if y > 0 {
+					st.cYm[l][i] = lat(k[l][i-NX])
+				}
+				if y < NY-1 {
+					st.cYp[l][i] = lat(k[l][i+NX])
+				}
+				// Vertical: two half-thicknesses plus the bond interface.
+				if l > 0 {
+					st.cDn[l][i] = 1 / (t/(2*k0*cellA) + layerThicknessM[l-1]/(2*k[l-1][i]*cellA) + prm.RContact/cellA)
+				}
+				if l < NumLayers-1 {
+					st.cUp[l][i] = 1 / (t/(2*k0*cellA) + layerThicknessM[l+1]/(2*k[l+1][i]*cellA) + prm.RContact/cellA)
+				}
+				gSum := st.cXm[l][i] + st.cXp[l][i] + st.cYm[l][i] + st.cYp[l][i] + st.cDn[l][i] + st.cUp[l][i]
+				rhs := pw[l][i]
+				if l == 0 {
+					gSum += gBoard
+					rhs += gBoard * ambientC
+				}
+				if l == NumLayers-1 {
+					gSum += gSink
+					rhs += gSink * ambientC
+				}
+				st.invG[l][i] = 1 / gSum
+				st.rhs[l][i] = rhs
 			}
 		}
-		sol.Iterations = iter + 1
-		if tracer != nil && iter%50 == 0 {
+	}
+	return st
+}
+
+// Solver constants. Red-black ordering converges to the same fixed point as
+// the legacy natural-order sweep (it is Gauss-Seidel under a different
+// update order; the fixed point is order-independent), so tolerance and
+// iteration cap carry over unchanged.
+const (
+	omega      = 1.85
+	maxIter    = 20000
+	tol        = 1e-4
+	convStride = 4 // convergence (max per-cell delta) checked every 4th sweep
+)
+
+// sweepRows relaxes every cell of one color in the flattened (layer,row)
+// range [r0, r1). Cell (x, y, l) is red when (x+y+l) is even: every
+// neighbour differs by one in exactly one coordinate, so a color sweep only
+// reads opposite-color cells and is safe to run concurrently over disjoint
+// row slabs. When track is set the maximum relaxation delta is returned.
+func (st *stencil) sweepRows(T *[NumLayers][]float64, color, r0, r1 int, track bool) float64 {
+	maxDelta := 0.0
+	for r := r0; r < r1; r++ {
+		l, y := r/NY, r%NY
+		base := y * NX
+		row := T[l][base : base+NX : base+NX]
+		// Clamped neighbour rows: at a boundary the matching coefficient is
+		// zero, so the duplicated in-bounds read contributes nothing.
+		south, north := row, row
+		if y > 0 {
+			south = T[l][base-NX : base : base]
+		}
+		if y < NY-1 {
+			north = T[l][base+NX : base+2*NX : base+2*NX]
+		}
+		below, above := row, row
+		if l > 0 {
+			below = T[l-1][base : base+NX : base+NX]
+		}
+		if l < NumLayers-1 {
+			above = T[l+1][base : base+NX : base+NX]
+		}
+		cxm := st.cXm[l][base : base+NX]
+		cxp := st.cXp[l][base : base+NX]
+		cym := st.cYm[l][base : base+NX]
+		cyp := st.cYp[l][base : base+NX]
+		cdn := st.cDn[l][base : base+NX]
+		cup := st.cUp[l][base : base+NX]
+		invg := st.invG[l][base : base+NX]
+		rhs := st.rhs[l][base : base+NX]
+		for x := (color + l + y) & 1; x < NX; x += 2 {
+			xm, xp := x-1, x+1
+			if xm < 0 {
+				xm = 0 // cXm is zero at the west edge
+			}
+			if xp > NX-1 {
+				xp = NX - 1 // cXp is zero at the east edge
+			}
+			t := row[x]
+			tNew := (cxm[x]*row[xm] + cxp[x]*row[xp] +
+				cym[x]*south[x] + cyp[x]*north[x] +
+				cdn[x]*below[x] + cup[x]*above[x] + rhs[x]) * invg[x]
+			tRelaxed := t + omega*(tNew-t)
+			if track {
+				if d := math.Abs(tRelaxed - t); d > maxDelta {
+					maxDelta = d
+				}
+			}
+			row[x] = tRelaxed
+		}
+	}
+	return maxDelta
+}
+
+// sweepCmd asks a pool worker for one color sweep over its slab.
+type sweepCmd struct {
+	color int
+	track bool
+}
+
+// sweepPool fans color sweeps across persistent workers, each owning a
+// contiguous slab of the NumLayers*NY flattened rows. The channel
+// send/receive pairs double as the inter-sweep barrier (happens-before for
+// the temperature array); within one color sweep workers only write their
+// own slab's cells of that color and read opposite-color cells, so
+// concurrent slabs never race.
+type sweepPool struct {
+	workers int
+	cmds    []chan sweepCmd
+	res     chan float64
+}
+
+func newSweepPool(st *stencil, T *[NumLayers][]float64, workers int) *sweepPool {
+	totalRows := NumLayers * NY
+	p := &sweepPool{workers: workers, res: make(chan float64, workers)}
+	per := (totalRows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := min(w*per, totalRows)
+		hi := min(lo+per, totalRows)
+		cmd := make(chan sweepCmd)
+		p.cmds = append(p.cmds, cmd)
+		go func(lo, hi int, cmd chan sweepCmd) {
+			for c := range cmd {
+				p.res <- st.sweepRows(T, c.color, lo, hi, c.track)
+			}
+		}(lo, hi, cmd)
+	}
+	return p
+}
+
+func (p *sweepPool) sweep(color int, track bool) float64 {
+	for _, c := range p.cmds {
+		c <- sweepCmd{color: color, track: track}
+	}
+	maxDelta := 0.0
+	for i := 0; i < p.workers; i++ {
+		if d := <-p.res; d > maxDelta {
+			maxDelta = d
+		}
+	}
+	return maxDelta
+}
+
+func (p *sweepPool) close() {
+	for _, c := range p.cmds {
+		close(c)
+	}
+}
+
+// runSOR iterates red-black SOR to convergence and returns the sweep count.
+func (st *stencil) runSOR(T *[NumLayers][]float64, workers int, tracer *obs.Tracer) (int, error) {
+	totalRows := NumLayers * NY
+	workers = min(workers, totalRows)
+	var pool *sweepPool
+	if workers > 1 {
+		pool = newSweepPool(st, T, workers)
+		defer pool.close()
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		track := (iter+1)%convStride == 0
+		var maxDelta float64
+		if pool != nil {
+			maxDelta = max(pool.sweep(0, track), pool.sweep(1, track))
+		} else {
+			maxDelta = max(st.sweepRows(T, 0, 0, totalRows, track),
+				st.sweepRows(T, 1, 0, totalRows, track))
+		}
+		if !track {
+			continue
+		}
+		// ~every 50th sweep, as the legacy solver sampled.
+		if tracer != nil && (iter+1)%(convStride*13) == 0 {
 			tracer.CounterEvent("thermal.sor_residual", float64(iter),
 				obs.PIDThermal, map[string]any{"max_delta_c": maxDelta})
 		}
 		if maxDelta < tol {
-			recordSolve(reg, &sol, true)
-			return &sol, nil
+			return iter + 1, nil
 		}
 	}
-	recordSolve(reg, &sol, false)
-	return &sol, errors.New("thermal: SOR did not converge")
+	return maxIter, errors.New("thermal: SOR did not converge")
 }
 
 // recordSolve writes one solve's outcome into the registry.
