@@ -1,6 +1,6 @@
 # Convenience targets for the ENA reproduction.
 
-.PHONY: all build test test-race test-service chaos-short vet fuzz-short verify bench bench-json bench-compare serve experiments csv examples clean
+.PHONY: all build test test-race test-service test-fabric chaos-short vet fuzz-short verify bench bench-json bench-compare serve experiments csv examples clean
 
 all: build vet test
 
@@ -23,12 +23,20 @@ test-race:
 test-service:
 	go test -race ./internal/service/...
 
+# The inter-node fabric under the race detector: the property tests pin the
+# analytic collective costs against the event-driven replay, and the curve
+# evaluator's worker pool must stay bit-identical across worker counts.
+test-fabric:
+	go test -race ./internal/fabric/
+
 # Chaos suite: the service layer under the race detector with fault
 # injection on — injected panics, transient failures, breaker trips, and
-# deadline fallbacks must all be survived, not just tolerated.
+# deadline fallbacks must all be survived, not just tolerated. The fabric
+# line covers the link-flap injection site in the collective replay.
 chaos-short:
 	go test -race -run='Chaos|Breaker|Fault|CacheEviction|CacheInflight' ./internal/service/
 	go test -run='Apply|Surface|Chaos' ./internal/faults/
+	go test -run='Chaos' ./internal/fabric/
 
 # Short fuzz pass over the compression codec (round-trip + ratio bounds)
 # and the fault-mask parser (never panics; accepted masks are canonical
@@ -42,7 +50,7 @@ fuzz-short:
 # including the race pass over the service layer and the chaos suite. The
 # bench gate is a soft warning (leading '-'): it only compares snapshots
 # already committed, so it never blocks when fewer than two exist.
-verify: build vet test test-service chaos-short
+verify: build vet test test-service test-fabric chaos-short
 	-@$(MAKE) --no-print-directory bench-compare
 
 # Regenerate every table/figure and record the outputs (the reproduction log).

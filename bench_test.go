@@ -17,6 +17,7 @@ import (
 	"ena/internal/dram"
 	"ena/internal/event"
 	"ena/internal/exp"
+	"ena/internal/fabric"
 	"ena/internal/memsys"
 	"ena/internal/noc"
 	"ena/internal/perf"
@@ -247,6 +248,33 @@ func BenchmarkDRAMChannel(b *testing.B) {
 func BenchmarkAblationYield(b *testing.B) { benchExperiment(b, "ablation-yield") }
 
 func BenchmarkApps(b *testing.B) { benchExperiment(b, "apps") }
+
+// BenchmarkFabricScaling measures the machine-scale strong/weak scaling
+// sweep: every topology kind x mode x kernel x size up to the §V-F 100k-node
+// machine through the analytic collective cost model.
+func BenchmarkFabricScaling(b *testing.B) { benchExperiment(b, "scaling") }
+
+// BenchmarkFabricResilience measures the whole-node-failure surface on the
+// 8x8x8 torus, including the BFS rerouting around each victim set.
+func BenchmarkFabricResilience(b *testing.B) { benchExperiment(b, "fabric-resilience") }
+
+// BenchmarkFabricReplay measures one event-driven all-to-all replay on a
+// 64-node torus — the brute-force model the property tests pin the analytic
+// costs against.
+func BenchmarkFabricReplay(b *testing.B) {
+	tor, err := fabric.NewTorus(4, 4, 4, fabric.DefaultLinkSpec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := fabric.NewComm(tor)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Replay(fabric.AllToAll, 1<<16, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkCPULeadingLoads measures the CPU DVFS state selection.
 func BenchmarkCPULeadingLoads(b *testing.B) {

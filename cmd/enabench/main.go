@@ -105,8 +105,9 @@ func parse(r io.Reader) ([]Result, error) {
 
 // defaultGate lists the benchmarks held to the ±10% regression gate: the
 // thermal-dominated figures, the DSE/TableII sweeps, the per-simulation unit
-// of work, and the two event-driven micro-simulators.
-const defaultGate = "BenchmarkFigure10,BenchmarkFigure11,BenchmarkTable2,BenchmarkSimulateNode,BenchmarkNoCSimulation,BenchmarkMemoryQueueSim"
+// of work, the two event-driven micro-simulators, and the inter-node fabric
+// (collective replay plus the machine-scale curve sweep).
+const defaultGate = "BenchmarkFigure10,BenchmarkFigure11,BenchmarkTable2,BenchmarkSimulateNode,BenchmarkNoCSimulation,BenchmarkMemoryQueueSim,BenchmarkFabricReplay,BenchmarkFabricScaling"
 
 // gateTolerance is the allowed fractional wall-time regression on gated
 // benchmarks before compare flags them.
@@ -126,18 +127,23 @@ func readSummary(path string) (Summary, error) {
 }
 
 // compare diffs two snapshots and returns the gated benchmarks that
-// regressed beyond the tolerance.
+// regressed beyond the tolerance. Benchmarks present in only one snapshot
+// get explicit "added"/"removed" rows — a silently vanished benchmark looks
+// exactly like a passing gate otherwise, so a removed gated benchmark also
+// counts as a regression.
 func compare(w io.Writer, old, new Summary, gate map[string]bool) []string {
 	oldBy := make(map[string]Result, len(old.Benchmarks))
 	for _, r := range old.Benchmarks {
 		oldBy[r.Name] = r
 	}
+	newNames := make(map[string]bool, len(new.Benchmarks))
 	var regressions []string
 	fmt.Fprintf(w, "%-32s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
 	for _, nr := range new.Benchmarks {
+		newNames[nr.Name] = true
 		or, ok := oldBy[nr.Name]
 		if !ok || or.NsPerOp == 0 {
-			fmt.Fprintf(w, "%-32s %14s %14.0f %8s\n", nr.Name, "-", nr.NsPerOp, "new")
+			fmt.Fprintf(w, "%-32s %14s %14.0f %8s\n", nr.Name, "-", nr.NsPerOp, "added")
 			continue
 		}
 		delta := nr.NsPerOp/or.NsPerOp - 1
@@ -151,6 +157,18 @@ func compare(w io.Writer, old, new Summary, gate map[string]bool) []string {
 			}
 		}
 		fmt.Fprintf(w, "%-32s %14.0f %14.0f %+7.1f%%%s\n", nr.Name, or.NsPerOp, nr.NsPerOp, delta*100, mark)
+	}
+	for _, or := range old.Benchmarks {
+		if newNames[or.Name] {
+			continue
+		}
+		mark := ""
+		if gate[or.Name] {
+			mark = " [REGRESSION]"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: gated benchmark removed (was %.0f ns/op)", or.Name, or.NsPerOp))
+		}
+		fmt.Fprintf(w, "%-32s %14.0f %14s %8s%s\n", or.Name, or.NsPerOp, "-", "removed", mark)
 	}
 	return regressions
 }

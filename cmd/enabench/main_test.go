@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 )
@@ -38,6 +39,55 @@ func TestParseLine(t *testing.T) {
 		if ok && got != tc.want {
 			t.Errorf("parseLine(%q) = %+v, want %+v", tc.line, got, tc.want)
 		}
+	}
+}
+
+// TestCompareAddedRemoved: benchmarks present in only one snapshot must show
+// up as explicit rows — an "added" row for new-only entries, a "removed" row
+// for old-only ones — and a gated benchmark that vanished counts as a
+// regression (it would otherwise read as a passing gate).
+func TestCompareAddedRemoved(t *testing.T) {
+	old := Summary{Benchmarks: []Result{
+		{Name: "BenchmarkKept", NsPerOp: 100},
+		{Name: "BenchmarkGone", NsPerOp: 50},
+		{Name: "BenchmarkGatedGone", NsPerOp: 10},
+	}}
+	cur := Summary{Benchmarks: []Result{
+		{Name: "BenchmarkKept", NsPerOp: 104},
+		{Name: "BenchmarkAdded", NsPerOp: 70},
+	}}
+	gate := map[string]bool{"BenchmarkGatedGone": true}
+
+	var buf bytes.Buffer
+	regs := compare(&buf, old, cur, gate)
+	out := buf.String()
+
+	for _, want := range []string{"BenchmarkAdded", "added", "BenchmarkGone", "removed", "BenchmarkGatedGone"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "BenchmarkAdded") && strings.Contains(out, " new\n") {
+		t.Errorf("new-only rows must say added, not new:\n%s", out)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkGatedGone") || !strings.Contains(regs[0], "removed") {
+		t.Errorf("removed gated benchmark must be a regression, got %v", regs)
+	}
+}
+
+// TestCompareGateTolerance: within tolerance passes; beyond it regresses.
+func TestCompareGateTolerance(t *testing.T) {
+	old := Summary{Benchmarks: []Result{{Name: "BenchmarkHot", NsPerOp: 100}}}
+	gate := map[string]bool{"BenchmarkHot": true}
+
+	var buf bytes.Buffer
+	ok := Summary{Benchmarks: []Result{{Name: "BenchmarkHot", NsPerOp: 109}}}
+	if regs := compare(&buf, old, ok, gate); len(regs) != 0 {
+		t.Errorf("+9%% within the ±10%% gate flagged: %v", regs)
+	}
+	bad := Summary{Benchmarks: []Result{{Name: "BenchmarkHot", NsPerOp: 115}}}
+	if regs := compare(&buf, old, bad, gate); len(regs) != 1 {
+		t.Errorf("+15%% regression not flagged: %v", regs)
 	}
 }
 

@@ -172,6 +172,21 @@ func tabulate(id string, r exp.Result) ([][]string, bool) {
 		}
 		return rows, true
 
+	case exp.ScalingResult:
+		rows := [][]string{{"topology", "mode", "kernel", "nodes", "efficiency", "delivered_ef", "ideal_ef"}}
+		for _, row := range res.Rows {
+			rows = append(rows, []string{row.Topology, row.Mode, row.Kernel, strconv.Itoa(row.Nodes),
+				f64(row.Efficiency), f64(row.DeliveredEF), f64(row.IdealEF)})
+		}
+		return rows, true
+
+	case exp.FabricResilienceResult:
+		rows := [][]string{{"topology", "kernel", "dead_nodes", "rel_perf"}}
+		for k, rel := range res.RelPerf {
+			rows = append(rows, []string{res.Topology, res.Kernel, strconv.Itoa(k), f64(rel)})
+		}
+		return rows, true
+
 	default:
 		_ = id
 		return nil, false

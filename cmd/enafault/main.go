@@ -10,10 +10,18 @@
 //	enafault -sweep link -detailed           # link faults need the NoC sim
 //	enafault -mask gpu:1 -json               # machine-readable report
 //
+// Masks with node terms leave the package and kill whole nodes of the
+// inter-node fabric; collectives reroute around the victims and the report
+// becomes machine-scoped (local terms still degrade every surviving node):
+//
+//	enafault -mask node:2 -nodes 64                    # 2 dead nodes on a 4x4x4 torus
+//	enafault -mask "node@3,gpu:1" -topology fat-tree   # dead node + weaker survivors
+//	enafault -sweep node -max-faults 8                 # progressive whole-node surface
+//
 // Masks compose class counts (gpu:2), targeted units (hbm@3, ext@0.1,
-// link@0-5), and mix freely; identical (mask, seed) pairs always fail
-// identical units, and the resolved mask printed in every report reproduces
-// the scenario under any seed.
+// link@0-5, node@3), and mix freely; identical (mask, seed) pairs always
+// fail identical units, and the resolved mask printed in every report
+// reproduces the scenario under any seed.
 package main
 
 import (
@@ -27,8 +35,10 @@ import (
 	"ena/internal/arch"
 	"ena/internal/core"
 	"ena/internal/dse"
+	"ena/internal/fabric"
 	"ena/internal/faults"
 	"ena/internal/noc"
+	"ena/internal/ras"
 	"ena/internal/workload"
 )
 
@@ -39,14 +49,17 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("enafault", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	mask := fs.String("mask", "", "fault mask to apply once (e.g. \"gpu:2,hbm@3\")")
-	sweep := fs.String("sweep", "", "component class to sweep progressively (gpu|hbm|cpu|ext|link)")
+	mask := fs.String("mask", "", "fault mask to apply once (e.g. \"gpu:2,hbm@3\" or \"node:2,gpu:1\")")
+	sweep := fs.String("sweep", "", "component class to sweep progressively (gpu|hbm|cpu|ext|link|node)")
 	kernel := fs.String("kernel", "CoMD", "workload name (see Table I)")
 	seed := fs.Int64("seed", 1, "seed for count-entry victim selection")
 	maxFaults := fs.Int("max-faults", 4, "deepest failure count in a sweep")
 	detailed := fs.Bool("detailed", false, "also run the event-driven NoC simulation (required for link faults)")
 	requests := fs.Int("requests", 20000, "detailed-simulation request count")
 	jsonOut := fs.Bool("json", false, "emit JSON instead of text")
+	topology := fs.String("topology", "torus", "fabric topology for node faults (torus|fat-tree|dragonfly)")
+	nodes := fs.Int("nodes", 64, "fabric node count for node faults")
+	scaling := fs.String("scaling", "weak", "scaling mode for node faults (strong|weak)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -64,11 +77,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 	base := arch.BestMeanEHP()
 	ctx := context.Background()
 
+	mode, err := parseScaling(*scaling)
+	if err != nil {
+		fmt.Fprintln(stderr, "enafault:", err)
+		return 1
+	}
+
 	if *sweep != "" {
 		comp, err := faults.ParseComponent(*sweep)
 		if err != nil {
 			fmt.Fprintln(stderr, "enafault:", err)
 			return 1
+		}
+		if comp == faults.NodeUnit {
+			rep, err := nodeSweep(base, k, *topology, *nodes, mode, *maxFaults, *seed)
+			if err != nil {
+				fmt.Fprintln(stderr, "enafault:", err)
+				return 1
+			}
+			if *jsonOut {
+				return emitJSON(stdout, stderr, rep)
+			}
+			printNodeSurface(stdout, rep)
+			return 0
 		}
 		s, err := faults.ResilienceSurface(ctx, base, k, comp, faults.SurfaceOptions{
 			MaxFaults:        *maxFaults,
@@ -92,6 +123,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "enafault:", err)
 		return 1
 	}
+	if nodeMask, localMask := m.SplitNode(); !nodeMask.Empty() {
+		rep, err := machineShot(ctx, base, k, nodeMask, localMask, *seed, *topology, *nodes, mode)
+		if err != nil {
+			fmt.Fprintln(stderr, "enafault:", err)
+			return 1
+		}
+		if *jsonOut {
+			return emitJSON(stdout, stderr, rep)
+		}
+		printMachine(stdout, rep)
+		return 0
+	}
 	rep, err := oneShot(ctx, base, k, m, *seed, *detailed, *requests)
 	if err != nil {
 		fmt.Fprintln(stderr, "enafault:", err)
@@ -102,6 +145,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	printReport(stdout, rep)
 	return 0
+}
+
+func parseScaling(s string) (fabric.Mode, error) {
+	switch s {
+	case "weak":
+		return fabric.Weak, nil
+	case "strong":
+		return fabric.Strong, nil
+	}
+	return 0, fmt.Errorf("unknown scaling mode %q (want strong or weak)", s)
 }
 
 // report is the one-shot injection outcome: healthy vs degraded, side by side.
@@ -238,6 +291,167 @@ func printSurface(w io.Writer, s faults.Surface) {
 		fmt.Fprintf(w, "%-6d  %-28s  %4d  %7.2f  %9.1f  %7.1f  %7.1f%%  %7.1f%%  %v%s\n",
 			p.Faults, mask, p.CUs, p.BWTBps, p.TFLOPs, p.NodeW, p.RelPerf*100, p.RelPower*100, p.Feasible, extra)
 	}
+}
+
+// mttrHours is the assumed node repair time for the steady-state
+// degraded-throughput expectation (matches the exp resilience harnesses).
+const mttrHours = 72
+
+// machineReport is the machine-scoped outcome of a mask with node terms:
+// whole-node deaths rerouted through the fabric, with local terms (if any)
+// additionally degrading every surviving node.
+type machineReport struct {
+	Kernel   string `json:"kernel"`
+	Topology string `json:"topology"`
+	Nodes    int    `json:"nodes"`
+	Mode     string `json:"mode"`
+	Mask     string `json:"mask"`
+	Seed     int64  `json:"seed"`
+
+	FailedNodes []int `json:"failed_nodes"`
+	// Node is the intra-node report for the local mask terms; nil when the
+	// mask kills whole nodes only.
+	Node *report `json:"node,omitempty"`
+
+	HealthyTFLOPs  float64 `json:"healthy_tflops"`
+	DegradedTFLOPs float64 `json:"degraded_tflops"`
+	HealthyEff     float64 `json:"healthy_efficiency"`
+	DegradedEff    float64 `json:"degraded_efficiency"`
+	RelPerf        float64 `json:"rel_perf"`
+	Partitioned    bool    `json:"partitioned,omitempty"`
+}
+
+func machineShot(ctx context.Context, base *arch.NodeConfig, k workload.Kernel,
+	nodeMask, localMask faults.Mask, seed int64, kind string, p int, mode fabric.Mode) (machineReport, error) {
+	t, err := fabric.New(kind, p, fabric.DefaultLinkSpec())
+	if err != nil {
+		return machineReport{}, err
+	}
+	res, err := core.SimulateContext(ctx, base, k, core.Options{})
+	if err != nil {
+		return machineReport{}, err
+	}
+	rate := res.Perf.TFLOPs
+	rep := machineReport{
+		Kernel:   k.Name,
+		Topology: t.Name(),
+		Nodes:    t.Nodes(),
+		Mode:     mode.String(),
+		Seed:     seed,
+	}
+	hPt, err := fabric.Evaluate(fabric.NewComm(t), k, rate, mode)
+	if err != nil {
+		return machineReport{}, err
+	}
+	rep.HealthyTFLOPs = hPt.DeliveredTFLOPs
+	rep.HealthyEff = hPt.Efficiency
+
+	// Local terms weaken every surviving node before the fabric does its
+	// damage; the intra-node report rides along for the breakdown.
+	degRate := rate
+	maskStr := nodeMask.String()
+	if !localMask.Empty() {
+		local, err := oneShot(ctx, base, k, localMask, seed, false, 0)
+		if err != nil {
+			return machineReport{}, err
+		}
+		degRate = local.Degraded.TFLOPs
+		rep.Node = &local
+		maskStr += "," + local.Resolved
+	}
+	rep.Mask = maskStr
+
+	failed, err := fabric.FailedNodes(t.Nodes(), nodeMask, seed)
+	if err != nil {
+		return machineReport{}, err
+	}
+	rep.FailedNodes = failed
+	comm, err := fabric.NewDegradedComm(t, failed)
+	if err != nil {
+		return machineReport{}, err
+	}
+	dPt, err := fabric.Evaluate(comm, k, degRate, mode)
+	switch {
+	case err == fabric.ErrPartitioned:
+		rep.Partitioned = true
+	case err != nil:
+		return machineReport{}, err
+	default:
+		rep.DegradedTFLOPs = dPt.DeliveredTFLOPs
+		rep.DegradedEff = dPt.Efficiency
+	}
+	if rep.HealthyTFLOPs > 0 {
+		rep.RelPerf = rep.DegradedTFLOPs / rep.HealthyTFLOPs
+	}
+	return rep, nil
+}
+
+func printMachine(w io.Writer, r machineReport) {
+	fmt.Fprintf(w, "%s on %s (%d nodes, %s scaling) under mask %q (seed %d)\n",
+		r.Kernel, r.Topology, r.Nodes, r.Mode, r.Mask, r.Seed)
+	fmt.Fprintf(w, "dead nodes: %v\n\n", r.FailedNodes)
+	if r.Node != nil {
+		fmt.Fprintf(w, "surviving nodes degraded by %s: %.1f -> %.1f TFLOP/s each\n",
+			r.Node.Resolved, r.Node.Healthy.TFLOPs, r.Node.Degraded.TFLOPs)
+	}
+	fmt.Fprintf(w, "healthy : %10.1f TFLOP/s machine (efficiency %.1f%%)\n", r.HealthyTFLOPs, r.HealthyEff*100)
+	if r.Partitioned {
+		fmt.Fprintln(w, "degraded: fabric PARTITIONED — machine cannot compute")
+	} else {
+		fmt.Fprintf(w, "degraded: %10.1f TFLOP/s machine (efficiency %.1f%%)\n", r.DegradedTFLOPs, r.DegradedEff*100)
+	}
+	fmt.Fprintf(w, "\nrelative: %.1f%% machine performance\n", r.RelPerf*100)
+}
+
+// nodeSurfaceReport is the progressive whole-node-failure sweep: the
+// relative-performance surface and its steady-state expectation at the
+// node's analyzed FIT rate.
+type nodeSurfaceReport struct {
+	Kernel   string  `json:"kernel"`
+	Topology string  `json:"topology"`
+	Nodes    int     `json:"nodes"`
+	Mode     string  `json:"mode"`
+	Seed     int64   `json:"seed"`
+	NodeFIT  float64 `json:"node_fit"`
+
+	RelPerf  []float64          `json:"rel_perf"`
+	Degraded ras.DegradedResult `json:"degraded"`
+}
+
+func nodeSweep(base *arch.NodeConfig, k workload.Kernel, kind string, p int,
+	mode fabric.Mode, maxDead int, seed int64) (nodeSurfaceReport, error) {
+	t, err := fabric.New(kind, p, fabric.DefaultLinkSpec())
+	if err != nil {
+		return nodeSurfaceReport{}, err
+	}
+	rate := core.Simulate(base, k, core.Options{}).Perf.TFLOPs
+	nodeFIT := ras.Analyze(base, ras.DefaultConfig(), t.Nodes()).NodeFIT
+	res, err := fabric.AnalyzeNodeFailures(t, k, rate, mode, maxDead, seed, nodeFIT, mttrHours)
+	if err != nil {
+		return nodeSurfaceReport{}, err
+	}
+	return nodeSurfaceReport{
+		Kernel:   k.Name,
+		Topology: t.Name(),
+		Nodes:    t.Nodes(),
+		Mode:     mode.String(),
+		Seed:     seed,
+		NodeFIT:  nodeFIT,
+		RelPerf:  res.RelPerf,
+		Degraded: res.Degraded,
+	}, nil
+}
+
+func printNodeSurface(w io.Writer, r nodeSurfaceReport) {
+	fmt.Fprintf(w, "%s: progressive whole-node failure on %s (%s scaling, seed %d, %.0f FIT/node)\n\n",
+		r.Kernel, r.Topology, r.Mode, r.Seed, r.NodeFIT)
+	fmt.Fprintf(w, "%-10s  %s\n", "dead nodes", "rel perf")
+	for k, rel := range r.RelPerf {
+		fmt.Fprintf(w, "%-10d  %7.1f%%\n", k, rel*100)
+	}
+	d := r.Degraded
+	fmt.Fprintf(w, "\nsteady state: E[rel perf] %.1f%% vs binary up/down %.1f%% (graceful-degradation gain %+.4f pp)\n",
+		d.ExpectedRelPerf*100, d.BinaryRelPerf*100, d.DegradedGain*100)
 }
 
 func emitJSON(stdout, stderr io.Writer, v any) int {

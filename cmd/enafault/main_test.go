@@ -55,6 +55,66 @@ func TestSweepSurface(t *testing.T) {
 	}
 }
 
+// TestNodeMaskMachineReport: node terms switch the report to machine scope,
+// kill exactly the asked-for nodes, and compose with local terms degrading
+// the survivors.
+func TestNodeMaskMachineReport(t *testing.T) {
+	runJSON := func(args ...string) machineReport {
+		t.Helper()
+		var out, errb bytes.Buffer
+		if code := run(append(args, "-json"), &out, &errb); code != 0 {
+			t.Fatalf("exit %d, stderr: %s", code, errb.String())
+		}
+		var r machineReport
+		if err := json.Unmarshal(out.Bytes(), &r); err != nil {
+			t.Fatalf("bad JSON: %v\n%s", err, out.String())
+		}
+		return r
+	}
+
+	a := runJSON("-mask", "node:2", "-nodes", "64", "-seed", "7")
+	if a.Topology != "torus-4x4x4" || a.Nodes != 64 {
+		t.Fatalf("topology = %s/%d", a.Topology, a.Nodes)
+	}
+	if len(a.FailedNodes) != 2 {
+		t.Fatalf("failed nodes = %v, want 2", a.FailedNodes)
+	}
+	if a.RelPerf <= 0 || a.RelPerf >= 1 {
+		t.Errorf("rel perf = %v, want in (0,1) after 2 node deaths", a.RelPerf)
+	}
+	b := runJSON("-mask", "node:2", "-nodes", "64", "-seed", "7")
+	if a.RelPerf != b.RelPerf || len(b.FailedNodes) != 2 ||
+		a.FailedNodes[0] != b.FailedNodes[0] || a.FailedNodes[1] != b.FailedNodes[1] {
+		t.Errorf("seeded node deaths not reproducible: %+v vs %+v", a, b)
+	}
+
+	mixed := runJSON("-mask", "node@3,gpu:1", "-nodes", "27")
+	if mixed.Node == nil {
+		t.Fatal("mixed mask must carry the intra-node report")
+	}
+	if mixed.Node.Degraded.TFLOPs >= mixed.Node.Healthy.TFLOPs {
+		t.Errorf("local gpu fault must weaken the node: %+v", mixed.Node)
+	}
+	if mixed.RelPerf >= a.RelPerf && mixed.RelPerf >= 1 {
+		t.Errorf("mixed mask rel perf = %v", mixed.RelPerf)
+	}
+}
+
+// TestNodeSweep: -sweep node produces the whole-node surface with its
+// steady-state expectation.
+func TestNodeSweep(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-sweep", "node", "-max-faults", "3", "-nodes", "27"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"whole-node failure", "torus-3x3x3", "dead nodes", "steady state"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
 func TestUsageErrors(t *testing.T) {
 	cases := [][]string{
 		{},                            // neither -mask nor -sweep

@@ -59,6 +59,8 @@ func Experiments() []Experiment {
 		{ID: "reconfig", Title: "Extension: dynamic reconfiguration runtime (§VI)", Run: func() Result { return Reconfig() }},
 		{ID: "ras", Title: "Extension: RAS / MTTF / checkpointing", Run: func() Result { return RAS() }},
 		{ID: "resilience", Title: "Extension: performance under progressive component failure", Run: func() Result { return Resilience() }},
+		{ID: "scaling", Title: "Extension: strong/weak scaling on the explicit inter-node fabric", Run: func() Result { return Scaling() }},
+		{ID: "fabric-resilience", Title: "Extension: whole-node failures rerouted through the fabric", Run: func() Result { return FabricResilience() }},
 	}
 }
 

@@ -1,0 +1,76 @@
+package fabric
+
+import (
+	"testing"
+
+	"ena/internal/faults"
+	"ena/internal/obs"
+)
+
+// TestChaosLinkFlapRetransmits covers the fabric chaos-injection site: a
+// link flap doubles one hop's serialization, so at probability 1 every hop
+// retransmits, the collective slows down, and the injector counts every
+// flap; at probability 0 (and for the nil injector) the replay is
+// untouched.
+func TestChaosLinkFlapRetransmits(t *testing.T) {
+	tor, err := NewTorus(4, 3, 2, DefaultLinkSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewComm(tor)
+	clean, err := c.Replay(AllToAll, 1<<16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Retransmits != 0 {
+		t.Fatalf("nil injector retransmitted %d times", clean.Retransmits)
+	}
+
+	reg := obs.NewRegistry()
+	always := faults.NewChaos(faults.ChaosConfig{Seed: 1, LinkFlapProb: 1}, reg)
+	flapped, err := c.Replay(AllToAll, 1<<16, always)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flapped.Retransmits != flapped.Hops || flapped.Hops != clean.Hops {
+		t.Errorf("probability 1 must flap every hop: %d retransmits over %d hops (clean %d)",
+			flapped.Retransmits, flapped.Hops, clean.Hops)
+	}
+	if flapped.Ns <= clean.Ns {
+		t.Errorf("flapping every hop must slow the collective: %v vs %v", flapped.Ns, clean.Ns)
+	}
+
+	never := faults.NewChaos(faults.ChaosConfig{Seed: 1}, nil)
+	off, err := c.Replay(AllToAll, 1<<16, never)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != clean {
+		t.Errorf("zero probability must match the nil injector: %+v vs %+v", off, clean)
+	}
+}
+
+// TestChaosLinkFlapPartial: at an intermediate probability the flap count
+// is deterministic per seed and strictly between the extremes.
+func TestChaosLinkFlapPartial(t *testing.T) {
+	tor, err := NewTorus(4, 4, 4, DefaultLinkSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewComm(tor)
+	cfg := faults.ChaosConfig{Seed: 99, LinkFlapProb: 0.3}
+	a, err := c.Replay(AllReduceRing, 1<<20, faults.NewChaos(cfg, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Retransmits == 0 || a.Retransmits >= a.Hops {
+		t.Errorf("p=0.3 flapped %d of %d hops", a.Retransmits, a.Hops)
+	}
+	b, err := c.Replay(AllReduceRing, 1<<20, faults.NewChaos(cfg, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed must reproduce the same flaps: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,141 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ena/internal/faults"
+	"ena/internal/ras"
+	"ena/internal/workload"
+)
+
+// This file resolves the fault grammar's machine-scope terms (node:k,
+// node@i) against a topology and folds the result into the RAS math:
+// failed nodes drop out of the communicator, collectives reroute around
+// them (torus BFS detours; indirect topologies lose only the endpoint),
+// and the measured relative-performance surface feeds
+// ras.DegradedThroughput to price steady-state whole-node attrition.
+
+// FailedNodes resolves a mask's node entries against a p-node machine:
+// targeted node@i entries first (validated against p, deduplicated by the
+// mask's canonical form), then node:k entries drawn from the survivors
+// with the seeded generator — the same targeted-then-counted discipline
+// faults.Apply uses for node-local components. Non-node entries are
+// ignored (use Mask.SplitNode to route them to faults.Apply). The result
+// is sorted and deterministic in (mask, seed).
+func FailedNodes(p int, m faults.Mask, seed int64) ([]int, error) {
+	node, _ := m.SplitNode()
+	dead := make(map[int]bool)
+	count := 0
+	for _, e := range node.Entries {
+		if e.Count > 0 {
+			count += e.Count
+			continue
+		}
+		if e.Index >= p {
+			return nil, fmt.Errorf("fabric: node@%d out of range (machine has %d nodes)", e.Index, p)
+		}
+		dead[e.Index] = true
+	}
+	if count > 0 {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < count; i++ {
+			alive := p - len(dead)
+			if alive <= 1 {
+				return nil, fmt.Errorf("fabric: mask %s leaves no survivors on %d nodes", node, p)
+			}
+			j := rng.Intn(alive)
+			for n := 0; n < p; n++ {
+				if dead[n] {
+					continue
+				}
+				if j == 0 {
+					dead[n] = true
+					break
+				}
+				j--
+			}
+		}
+	}
+	out := make([]int, 0, len(dead))
+	for n := range dead {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Surface measures the machine's relative-performance surface under
+// progressive whole-node failure: relPerf[k] is delivered throughput with
+// k seed-chosen nodes dead divided by healthy delivered throughput, for
+// k = 0..maxDead. Each step kills one more node on top of the previous
+// set, so the surface reflects a single deterministic failure trajectory.
+// The surface truncates where failures partition the surviving nodes —
+// ras.DegradedThroughput treats points past the end as zero throughput,
+// which is exactly the checkpoint/restart semantics of a split machine.
+func Surface(t Topology, k workload.Kernel, nodeTFLOPs float64, mode Mode, maxDead int, seed int64) ([]float64, error) {
+	base, err := Evaluate(NewComm(t), k, nodeTFLOPs, mode)
+	if err != nil {
+		return nil, err
+	}
+	rel := []float64{1}
+	rng := rand.New(rand.NewSource(seed))
+	dead := make(map[int]bool)
+	var failed []int
+	p := t.Nodes()
+	for n := 1; n <= maxDead && n < p; n++ {
+		j := rng.Intn(p - len(dead))
+		for cand := 0; cand < p; cand++ {
+			if dead[cand] {
+				continue
+			}
+			if j == 0 {
+				dead[cand] = true
+				failed = append(failed, cand)
+				break
+			}
+			j--
+		}
+		comm, err := NewDegradedComm(t, failed)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := Evaluate(comm, k, nodeTFLOPs, mode)
+		if errors.Is(err, ErrPartitioned) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		rel = append(rel, pt.DeliveredTFLOPs/base.DeliveredTFLOPs)
+	}
+	return rel, nil
+}
+
+// NodeFailureAnalysis is the fabric-level degraded-throughput result.
+type NodeFailureAnalysis struct {
+	// RelPerf is the measured surface (see Surface).
+	RelPerf []float64 `json:"rel_perf"`
+	// Degraded is the steady-state expectation over the surface given the
+	// per-node failure rate and repair time.
+	Degraded ras.DegradedResult `json:"degraded"`
+}
+
+// AnalyzeNodeFailures measures the progressive-failure surface of kernel k
+// on topology t and weights it by the steady-state distribution of
+// concurrently-failed nodes (nodeFIT failures per 1e9 node-hours, repaired
+// in mttrHours): the machine-scope analogue of the per-component
+// ResilienceSurface -> DegradedThroughput pipeline.
+func AnalyzeNodeFailures(t Topology, k workload.Kernel, nodeTFLOPs float64, mode Mode, maxDead int, seed int64, nodeFIT, mttrHours float64) (NodeFailureAnalysis, error) {
+	rel, err := Surface(t, k, nodeTFLOPs, mode, maxDead, seed)
+	if err != nil {
+		return NodeFailureAnalysis{}, err
+	}
+	dr, err := ras.DegradedThroughput(t.Nodes(), nodeFIT, mttrHours, rel)
+	if err != nil {
+		return NodeFailureAnalysis{}, err
+	}
+	return NodeFailureAnalysis{RelPerf: rel, Degraded: dr}, nil
+}

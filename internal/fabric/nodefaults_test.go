@@ -1,0 +1,128 @@
+package fabric
+
+import (
+	"strings"
+	"testing"
+
+	"ena/internal/faults"
+	"ena/internal/workload"
+)
+
+func TestFailedNodesTargetedAndCounted(t *testing.T) {
+	m := faults.MustMask("node@3,node@10,node:2,gpu:1")
+	a, err := FailedNodes(64, m, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FailedNodes(64, m, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 4 {
+		t.Fatalf("got %v, want 2 targeted + 2 drawn", a)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("not deterministic: %v vs %v", a, b)
+		}
+	}
+	has := func(s []int, n int) bool {
+		for _, v := range s {
+			if v == n {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(a, 3) || !has(a, 10) {
+		t.Fatalf("targeted nodes missing from %v", a)
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i] <= a[i-1] {
+			t.Fatalf("result %v not sorted unique", a)
+		}
+	}
+	other, err := FailedNodes(64, m, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(other) == len(a)
+	for i := 0; same && i < len(a); i++ {
+		same = other[i] == a[i]
+	}
+	if same {
+		t.Errorf("seeds 7 and 8 drew identical sets %v", a)
+	}
+}
+
+func TestFailedNodesValidation(t *testing.T) {
+	if _, err := FailedNodes(8, faults.MustMask("node@8"), 0); err == nil {
+		t.Error("out-of-range target must fail")
+	}
+	if _, err := FailedNodes(8, faults.MustMask("node:8"), 0); err == nil {
+		t.Error("killing every node must fail")
+	}
+	got, err := FailedNodes(8, faults.MustMask("gpu:2,hbm@1"), 0)
+	if err != nil || len(got) != 0 {
+		t.Errorf("node-free mask: got %v, %v", got, err)
+	}
+}
+
+func TestSurfaceStartsHealthyAndDecays(t *testing.T) {
+	tor, err := NewTorus(4, 4, 2, DefaultLinkSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := 20.0
+	rel, err := Surface(tor, workload.CoMD(), rate, Weak, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel) != 7 {
+		t.Fatalf("surface has %d points, want 7", len(rel))
+	}
+	if rel[0] != 1 {
+		t.Fatalf("surface must start at the healthy point, got %v", rel[0])
+	}
+	for k := 1; k < len(rel); k++ {
+		if rel[k] <= 0 || rel[k] >= 1 {
+			t.Errorf("rel[%d] = %v outside (0,1)", k, rel[k])
+		}
+		if rel[k] > rel[k-1]+1e-9 {
+			t.Errorf("surface not decaying: rel[%d]=%v > rel[%d]=%v", k, rel[k], k-1, rel[k-1])
+		}
+	}
+}
+
+func TestAnalyzeNodeFailures(t *testing.T) {
+	tor, err := NewTorus(4, 4, 2, DefaultLinkSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := AnalyzeNodeFailures(tor, workload.CoMD(), 20, Weak, 4, 1, 5000, 72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded.ExpectedRelPerf <= 0 || res.Degraded.ExpectedRelPerf > 1 {
+		t.Errorf("expected rel perf %v outside (0,1]", res.Degraded.ExpectedRelPerf)
+	}
+	if res.Degraded.DegradedGain < 0 {
+		t.Errorf("graceful degradation cannot lose throughput vs the binary model: gain %v", res.Degraded.DegradedGain)
+	}
+	if len(res.RelPerf) != 5 {
+		t.Errorf("surface %v has wrong length", res.RelPerf)
+	}
+}
+
+// TestApplyRejectsNodeEntries: whole-node terms are machine scope; the
+// node-local injector must refuse them with a pointer at SplitNode.
+func TestApplyRejectsNodeEntries(t *testing.T) {
+	m := faults.MustMask("node:1,gpu:1")
+	if _, err := faults.Apply(nil, m, 1); err == nil || !strings.Contains(err.Error(), "SplitNode") {
+		t.Fatalf("Apply must reject machine-scope entries, got %v", err)
+	}
+	node, local := m.SplitNode()
+	if node.String() != "node:1" || local.String() != "gpu:1" {
+		t.Fatalf("SplitNode: %q / %q", node, local)
+	}
+}

@@ -1,0 +1,112 @@
+package fabric
+
+import (
+	"ena/internal/event"
+	"ena/internal/faults"
+)
+
+// ReplayResult summarizes a brute-force collective replay.
+type ReplayResult struct {
+	// Ns is the simulated completion time of the whole collective.
+	Ns float64
+	// Messages and Hops count the individual transfers executed.
+	Messages int
+	Hops     int
+	// Retransmits counts chaos link flaps; each one doubled a hop's
+	// serialization time (the transfer was sent twice).
+	Retransmits int
+}
+
+// flight is one in-flight message walking its route hop by hop on the
+// event kernel. Links are store-and-forward FIFO queues: a hop starts at
+// max(arrival, link free time), holds the link for the serialization time,
+// and delivers one hop latency after that.
+type flight struct {
+	c     *Comm
+	s     *event.Sim
+	free  []float64 // per-link time the link next goes idle
+	links []int
+	hop   int
+	bytes float64
+	chaos *faults.Chaos
+	res   *ReplayResult
+	fin   *float64 // running max completion time of the round
+}
+
+func (f *flight) step() {
+	sp := f.c.t.Spec()
+	l := f.links[f.hop]
+	start := f.s.Now()
+	if f.free[l] > start {
+		start = f.free[l]
+	}
+	ser := sp.serNs(f.bytes, f.c.t.LinkBW(l))
+	if f.chaos.LinkFlap() {
+		ser *= 2
+		f.res.Retransmits++
+	}
+	f.free[l] = start + ser
+	arrive := start + ser + sp.latNs()
+	f.res.Hops++
+	f.hop++
+	if f.hop == len(f.links) {
+		if arrive > *f.fin {
+			*f.fin = arrive
+		}
+		return
+	}
+	f.s.After(arrive-f.s.Now(), f.step)
+}
+
+// Replay executes op message by message on the discrete-event kernel and
+// returns the measured cost: the ground truth the analytic model is pinned
+// against. Rounds are barrier-synchronized — each starts when the previous
+// one's slowest message has arrived — and repeated ring rounds are replayed
+// individually (under chaos each repetition flaps differently). chaos may
+// be nil; when set, its LinkFlapProb draws inject per-hop retransmissions.
+// Cost is O(total hops) events, so keep node counts small (the property
+// tests stop at 64); the analytic model is the large-scale path.
+func (c *Comm) Replay(op Op, bytes float64, chaos *faults.Chaos) (ReplayResult, error) {
+	var res ReplayResult
+	if c.Size() < 2 {
+		return res, nil
+	}
+	s := event.AcquireSim()
+	defer event.ReleaseSim(s)
+	free := make([]float64, c.t.Links())
+	flights := make([]flight, 0, c.Size())
+	for _, r := range c.rounds(op, bytes) {
+		// Resolve routes once per round; repetitions reuse them.
+		flights = flights[:0]
+		for _, m := range r.msgs {
+			links, err := c.route(m.src, m.dst)
+			if err != nil {
+				return res, err
+			}
+			if len(links) == 0 {
+				continue
+			}
+			flights = append(flights, flight{
+				c: c, s: s, free: free, links: links,
+				bytes: r.bytes, chaos: chaos, res: &res,
+			})
+		}
+		for rep := 0; rep < r.repeat; rep++ {
+			s.Reset()
+			for i := range free {
+				free[i] = 0
+			}
+			var fin float64
+			for i := range flights {
+				f := &flights[i]
+				f.hop = 0
+				f.fin = &fin
+				s.After(0, f.step)
+			}
+			s.Run(0)
+			res.Messages += len(flights)
+			res.Ns += fin
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,179 @@
+package fabric
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"ena/internal/workload"
+)
+
+// Mode selects how the problem grows with the node count.
+type Mode int
+
+const (
+	// Strong scaling divides a fixed total problem across the nodes.
+	Strong Mode = iota
+	// Weak scaling keeps the per-node problem fixed as nodes are added.
+	Weak
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Strong {
+		return "strong"
+	}
+	return "weak"
+}
+
+// reduceBytes is the fixed global all-reduce payload per timestep: the
+// handful of scalars (residual norms, energy sums, dt control) every
+// iterative proxy app reduces each step.
+const reduceBytes = 512
+
+// CommProfile is the per-timestep communication a kernel generates at a
+// given scale, derived from its workload characterization.
+type CommProfile struct {
+	// LocalBytes is the per-node resident working set.
+	LocalBytes float64
+	// HaloBytes is the per-face ghost-exchange payload (zero for
+	// compute-intensive kernels with no domain coupling).
+	HaloBytes float64
+	// ReduceBytes is the global all-reduce payload.
+	ReduceBytes float64
+}
+
+// haloDepth is the ghost-layer depth by kernel category: compute-intensive
+// kernels (MaxFlops) exchange nothing; memory-intensive sweeps carry one
+// layer; balanced stencil/dynamics codes carry two.
+func haloDepth(c workload.Category) float64 {
+	switch c {
+	case workload.ComputeIntensive:
+		return 0
+	case workload.MemoryIntensive:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Profile derives kernel k's per-timestep communication at p nodes. The
+// per-node domain is the kernel's characterized footprint (divided across
+// nodes under strong scaling); treating it as a cube of 8-byte elements,
+// one face holds (elements)^(2/3) of them, and the halo payload is
+// depth * face * 8 bytes.
+func Profile(k workload.Kernel, p int, mode Mode) CommProfile {
+	local := k.FootprintGB * 1e9
+	if mode == Strong && p > 0 {
+		local /= float64(p)
+	}
+	face := math.Pow(local/8, 2.0/3.0)
+	return CommProfile{
+		LocalBytes:  local,
+		HaloBytes:   haloDepth(k.Category) * face * 8,
+		ReduceBytes: reduceBytes,
+	}
+}
+
+// Point is one node count's evaluation on a fabric: per-timestep compute
+// and communication costs, the resulting parallel efficiency, and the
+// machine's delivered throughput.
+type Point struct {
+	Nodes      int     `json:"nodes"`
+	ComputeNs  float64 `json:"compute_ns"`
+	HaloNs     float64 `json:"halo_ns"`
+	ReduceNs   float64 `json:"reduce_ns"`
+	Efficiency float64 `json:"efficiency"`
+	// DeliveredTFLOPs is nodeTFLOPs * nodes * Efficiency: under an ideal
+	// fabric it reduces to the paper's §V-F multiply-by-node-count
+	// projection exactly.
+	DeliveredTFLOPs float64 `json:"delivered_tflops"`
+}
+
+// Evaluate prices one timestep of kernel k on communicator c using the
+// analytic cost model: compute from the kernel's arithmetic intensity over
+// its local bytes at the node's sustained rate, halo exchange over the
+// derived ghost payload, and the cheaper of ring and tree all-reduce for
+// the step's global reduction.
+func Evaluate(c *Comm, k workload.Kernel, nodeTFLOPs float64, mode Mode) (Point, error) {
+	if nodeTFLOPs <= 0 {
+		return Point{}, fmt.Errorf("fabric: node rate %v TFLOP/s must be positive", nodeTFLOPs)
+	}
+	p := c.Size()
+	prof := Profile(k, p, mode)
+	// TFLOP/s is 1e3 FLOP/ns.
+	computeNs := prof.LocalBytes * k.Intensity / (nodeTFLOPs * 1e3)
+	var haloNs, reduceNs float64
+	if p > 1 {
+		var err error
+		if prof.HaloBytes > 0 {
+			if haloNs, err = c.AnalyticNs(Halo, prof.HaloBytes); err != nil {
+				return Point{}, err
+			}
+		}
+		ringNs, err := c.AnalyticNs(AllReduceRing, prof.ReduceBytes)
+		if err != nil {
+			return Point{}, err
+		}
+		treeNs, err := c.AnalyticNs(AllReduceTree, prof.ReduceBytes)
+		if err != nil {
+			return Point{}, err
+		}
+		reduceNs = math.Min(ringNs, treeNs)
+	}
+	eff := 1.0
+	if total := computeNs + haloNs + reduceNs; total > 0 {
+		eff = computeNs / total
+	}
+	return Point{
+		Nodes:           p,
+		ComputeNs:       computeNs,
+		HaloNs:          haloNs,
+		ReduceNs:        reduceNs,
+		Efficiency:      eff,
+		DeliveredTFLOPs: nodeTFLOPs * float64(p) * eff,
+	}, nil
+}
+
+// Curve evaluates the scaling curve of kernel k over the given node counts
+// on fresh topologies of the given kind, fanning the points out over a
+// worker pool. Results are positionally ordered by sizes and bit-identical
+// for any worker count (each point is a pure function of its inputs).
+func Curve(kind string, spec LinkSpec, k workload.Kernel, nodeTFLOPs float64, sizes []int, mode Mode, workers int) ([]Point, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(sizes) {
+		workers = len(sizes)
+	}
+	points := make([]Point, len(sizes))
+	errs := make([]error, len(sizes))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(sizes) {
+					return
+				}
+				t, err := New(kind, sizes[i], spec)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				points[i], errs[i] = Evaluate(NewComm(t), k, nodeTFLOPs, mode)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return points, nil
+}

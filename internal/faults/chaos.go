@@ -60,6 +60,10 @@ type ChaosConfig struct {
 	// corrupted: the entry is evicted and recomputed (exercises the
 	// read-repair path).
 	CacheCorruptProb float64
+	// LinkFlapProb is the per-hop probability a fabric link flaps during a
+	// message transfer: the hop's payload is retransmitted once, doubling
+	// its serialization time (exercises the inter-node replay path).
+	LinkFlapProb float64
 }
 
 // DefaultChaosConfig is a modest all-sites profile for chaos test runs:
@@ -75,6 +79,7 @@ func DefaultChaosConfig(seed int64) ChaosConfig {
 		StallProb:        0.05,
 		MaxStall:         5 * time.Millisecond,
 		CacheCorruptProb: 0.10,
+		LinkFlapProb:     0.02,
 	}
 }
 
@@ -93,6 +98,7 @@ type Chaos struct {
 	latencies   *obs.Counter
 	stalls      *obs.Counter
 	corruptions *obs.Counter
+	flaps       *obs.Counter
 }
 
 // NewChaos builds an injector. reg may be nil (counters become no-ops).
@@ -105,6 +111,7 @@ func NewChaos(cfg ChaosConfig, reg *obs.Registry) *Chaos {
 		latencies:   reg.Counter("faults.chaos.latencies"),
 		stalls:      reg.Counter("faults.chaos.stalls"),
 		corruptions: reg.Counter("faults.chaos.cache_corruptions"),
+		flaps:       reg.Counter("faults.chaos.link_flaps"),
 	}
 }
 
@@ -173,6 +180,19 @@ func (c *Chaos) Stall(ctx context.Context) {
 	case <-t.C:
 	case <-ctx.Done():
 	}
+}
+
+// LinkFlap reports whether a fabric link flaps during the current hop,
+// forcing one retransmission of the hop's payload (counted).
+func (c *Chaos) LinkFlap() bool {
+	if c == nil || c.cfg.LinkFlapProb <= 0 {
+		return false
+	}
+	if c.draw() >= c.cfg.LinkFlapProb {
+		return false
+	}
+	c.flaps.Inc()
+	return true
 }
 
 // CorruptCache reports whether a cache hit should be treated as corrupted

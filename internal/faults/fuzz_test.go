@@ -11,6 +11,8 @@ func FuzzParseMask(f *testing.F) {
 		"link@0-5", "link:2", "GPU:1, gpu:1", "gpu:2,hbm:1,cpu:1,ext:1,link:1",
 		"gpu", "gpu:", "gpu:0", "gpu:-1", "disk:1", "ext@1", "link@3-3",
 		"gpu@999999999999999999999", " , ,, ", "gpu@3,gpu@3,gpu:1",
+		"node:3", "node@17", "node:2,node@5,gpu:1", "node@0,node@0,node:1",
+		"node", "node:", "node:0", "node@-1", "node@1.2", "node@0-5",
 	} {
 		f.Add(seed)
 	}

@@ -66,6 +66,11 @@ type Injection struct {
 // The degraded configuration always passes arch.Validate; masks that kill
 // every GPU chiplet or every CPU chiplet return ErrNodeDead.
 func Apply(base *arch.NodeConfig, m Mask, seed int64) (*Injection, error) {
+	for _, e := range m.Entries {
+		if e.Comp == NodeUnit {
+			return nil, fmt.Errorf("faults: %s is machine scope; whole-node failures are resolved against an inter-node topology by internal/fabric (split them off with Mask.SplitNode)", e)
+		}
+	}
 	nGPU := len(base.GPU)
 	nCPU := len(base.CPU)
 

@@ -40,10 +40,15 @@ const (
 	// over surviving links (detailed NoC simulation only — the analytic
 	// model has no per-link resolution).
 	NoCLink
+	// NodeUnit kills a whole node of the machine. Node entries are
+	// machine-scope: Apply (which degrades a single node's configuration)
+	// rejects them; internal/fabric resolves them against an inter-node
+	// topology and reroutes the collectives around the victims.
+	NodeUnit
 )
 
 // components is the canonical ordering of component classes in masks.
-var components = []Component{GPUChiplet, HBMStack, CPUChiplet, ExtModule, NoCLink}
+var components = []Component{GPUChiplet, HBMStack, CPUChiplet, ExtModule, NoCLink, NodeUnit}
 
 // String returns the mask-grammar name of the component class.
 func (c Component) String() string {
@@ -58,6 +63,8 @@ func (c Component) String() string {
 		return "ext"
 	case NoCLink:
 		return "link"
+	case NodeUnit:
+		return "node"
 	default:
 		return fmt.Sprintf("Component(%d)", int(c))
 	}
@@ -76,8 +83,10 @@ func ParseComponent(s string) (Component, error) {
 		return ExtModule, nil
 	case "link":
 		return NoCLink, nil
+	case "node":
+		return NodeUnit, nil
 	}
-	return 0, fmt.Errorf("faults: unknown component %q (want gpu, hbm, cpu, ext or link)", s)
+	return 0, fmt.Errorf("faults: unknown component %q (want gpu, hbm, cpu, ext, link or node)", s)
 }
 
 // Entry is one mask element: either count-based (Count random units of the
@@ -125,6 +134,7 @@ func (e Entry) String() string {
 //	cpu:1  cpu@2   CPU chiplets
 //	ext:2  ext@1.2 external modules (chain.module)
 //	link:1 link@0-5  interposer links (position pair)
+//	node:3 node@17 whole machine nodes (machine scope; see SplitNode)
 //
 // The empty string is the healthy node.
 type Mask struct {
@@ -265,6 +275,21 @@ func (m *Mask) canonicalize() {
 		}
 	}
 	m.Entries = out
+}
+
+// SplitNode separates the machine-scope node entries from the node-local
+// remainder: node fetches whole-node failures (consumed by internal/fabric),
+// local everything Apply can degrade a single node's configuration with.
+// Both halves stay canonical.
+func (m Mask) SplitNode() (node, local Mask) {
+	for _, e := range m.Entries {
+		if e.Comp == NodeUnit {
+			node.Entries = append(node.Entries, e)
+		} else {
+			local.Entries = append(local.Entries, e)
+		}
+	}
+	return node, local
 }
 
 // String renders the canonical mask; it round-trips through ParseMask.

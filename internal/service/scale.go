@@ -1,0 +1,347 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"ena/internal/exp"
+	"ena/internal/fabric"
+	"ena/internal/faults"
+	"ena/internal/workload"
+)
+
+// POST /v1/scale: machine-scale projection on the explicit inter-node
+// fabric. The request names a kernel, a topology kind and a list of node
+// counts; the job chains the detailed node simulation (sustained TFLOP/s on
+// the best-mean EHP) into the analytic collective cost model and returns
+// strong- or weak-scaling efficiency per size. A fault mask with node terms
+// (faults grammar: "node@3" targeted, "node:2" seeded count) additionally
+// reroutes the collectives around the dead nodes and reports the degraded
+// efficiency alongside.
+//
+// Scale jobs ride the same scheduler (async 202 + job id), result cache
+// (canonical-JSON key) and per-route circuit breaker as /v1/explore.
+
+// scaleMaxSizes bounds how many node counts one request may sweep;
+// scaleMaxNodes bounds each count (the §V-F machine is 100k nodes).
+const (
+	scaleMaxSizes = 16
+	scaleMaxNodes = 1 << 20
+	// scaleMaxDegradedNodes bounds fault-mask analysis: degraded routing
+	// falls back to per-pair BFS around the victims, which is priced for
+	// rack scale, not the full machine.
+	scaleMaxDegradedNodes = 4096
+)
+
+// ScaleRequest is the body of POST /v1/scale. Kernel is required; Topology
+// defaults to "torus", Nodes to the node -> rack -> machine walk
+// {1, 50, 1000, 20000, 100000}, Mode to "weak". Zero link parameters take
+// the reference fabric (50 GB/s, 500 ns); Ideal replaces the fabric with a
+// zero-cost one (the §V-F arithmetic, for calibration). FaultMask accepts
+// node terms only and caps every requested size at 4096 nodes.
+type ScaleRequest struct {
+	Kernel     string  `json:"kernel"`
+	Topology   string  `json:"topology,omitempty"`
+	Nodes      []int   `json:"nodes,omitempty"`
+	Mode       string  `json:"mode,omitempty"`
+	LinkGBps   float64 `json:"link_gbps,omitempty"`
+	LatencyNs  float64 `json:"latency_ns,omitempty"`
+	Ideal      bool    `json:"ideal,omitempty"`
+	FaultMask  string  `json:"fault_mask,omitempty"`
+	Seed       int64   `json:"seed,omitempty"`
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+}
+
+// ScalePoint is one node count's evaluation. The degraded fields appear only
+// when the request carried a fault mask: FailedNodes counts the victims and
+// DegradedEfficiency is the efficiency with collectives rerouted around
+// them; Partitioned marks a mask that disconnects the topology (delivered
+// throughput zero).
+type ScalePoint struct {
+	Nodes              int     `json:"nodes"`
+	Efficiency         float64 `json:"efficiency"`
+	DeliveredEF        float64 `json:"delivered_ef"`
+	IdealEF            float64 `json:"ideal_ef"`
+	FailedNodes        int     `json:"failed_nodes,omitempty"`
+	DegradedEfficiency float64 `json:"degraded_efficiency,omitempty"`
+	Partitioned        bool    `json:"partitioned,omitempty"`
+}
+
+// ScaleResult is a completed scale job's result payload.
+type ScaleResult struct {
+	Key        string       `json:"key"`
+	Kernel     string       `json:"kernel"`
+	Topology   string       `json:"topology"`
+	Mode       string       `json:"mode"`
+	LinkGBps   float64      `json:"link_gbps"`
+	LatencyNs  float64      `json:"latency_ns"`
+	Ideal      bool         `json:"ideal,omitempty"`
+	NodeTFLOPs float64      `json:"node_tflops"`
+	FaultMask  string       `json:"fault_mask,omitempty"`
+	Seed       int64        `json:"seed,omitempty"`
+	Points     []ScalePoint `json:"points"`
+}
+
+// scaleJob is a resolved, validated scale request.
+type scaleJob struct {
+	kernel  workload.Kernel
+	kind    string
+	sizes   []int
+	mode    fabric.Mode
+	spec    fabric.LinkSpec
+	mask    faults.Mask
+	maskStr string
+	seed    int64
+	timeout time.Duration
+	key     string
+}
+
+// scaleCanon is the canonical-JSON form hashed into a scale cache key
+// (V bumps when any field's semantics change). The mask is the parsed
+// grammar's canonical rendering, so equivalent spellings share a slot; the
+// seed only matters when a count term leaves victims to chance, but keying
+// on it unconditionally is merely a little conservative.
+type scaleCanon struct {
+	V         int     `json:"v"`
+	Kernel    string  `json:"kernel"`
+	Topology  string  `json:"topology"`
+	Nodes     []int   `json:"nodes"`
+	Mode      string  `json:"mode"`
+	LinkGBps  float64 `json:"link_gbps"`
+	LatencyNs float64 `json:"latency_ns"`
+	Ideal     bool    `json:"ideal"`
+	Mask      string  `json:"mask"`
+	Seed      int64   `json:"seed"`
+}
+
+// resolve validates the request, applies defaults, and derives the canonical
+// cache key. Errors are client errors (HTTP 400).
+func (r ScaleRequest) resolve() (scaleJob, error) {
+	if r.Kernel == "" {
+		return scaleJob{}, fmt.Errorf("kernel is required (one of %s)", strings.Join(workload.Names(), ", "))
+	}
+	k, err := workload.ByName(r.Kernel)
+	if err != nil {
+		return scaleJob{}, err
+	}
+	kind := strings.ToLower(strings.TrimSpace(r.Topology))
+	if kind == "" {
+		kind = "torus"
+	}
+	valid := false
+	for _, known := range fabric.Kinds() {
+		if kind == known {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		return scaleJob{}, fmt.Errorf("unknown topology %q (want %s)", r.Topology, strings.Join(fabric.Kinds(), ", "))
+	}
+	sizes := []int{1, 50, 1000, 20000, 100000}
+	if len(r.Nodes) > 0 {
+		sizes = sortedUniqueInts(r.Nodes)
+	}
+	if len(sizes) > scaleMaxSizes {
+		return scaleJob{}, fmt.Errorf("%d node counts exceed the per-request limit of %d", len(sizes), scaleMaxSizes)
+	}
+	for _, p := range sizes {
+		if p < 1 {
+			return scaleJob{}, fmt.Errorf("non-positive node count %d", p)
+		}
+		if p > scaleMaxNodes {
+			return scaleJob{}, fmt.Errorf("node count %d exceeds the limit of %d", p, scaleMaxNodes)
+		}
+	}
+	var mode fabric.Mode
+	switch strings.ToLower(strings.TrimSpace(r.Mode)) {
+	case "", "weak":
+		mode = fabric.Weak
+	case "strong":
+		mode = fabric.Strong
+	default:
+		return scaleJob{}, fmt.Errorf("unknown mode %q (want strong or weak)", r.Mode)
+	}
+	if r.LinkGBps < 0 || r.LatencyNs < 0 {
+		return scaleJob{}, fmt.Errorf("negative link parameters (%v GB/s, %v ns)", r.LinkGBps, r.LatencyNs)
+	}
+	spec := fabric.DefaultLinkSpec()
+	if r.LinkGBps > 0 {
+		spec.BandwidthGBps = r.LinkGBps
+	}
+	if r.LatencyNs > 0 {
+		spec.LatencyNs = r.LatencyNs
+	}
+	if r.Ideal {
+		spec = fabric.IdealLinkSpec()
+	}
+	mask, err := faults.ParseMask(r.FaultMask)
+	if err != nil {
+		return scaleJob{}, err
+	}
+	var maskStr string
+	if !mask.Empty() {
+		node, local := mask.SplitNode()
+		if !local.Empty() {
+			return scaleJob{}, fmt.Errorf("fault mask %q has non-node terms %q: the fabric only kills whole nodes (use /v1/simulate for intra-node faults)", r.FaultMask, local.String())
+		}
+		mask = node
+		maskStr = mask.String()
+		for _, p := range sizes {
+			if p > scaleMaxDegradedNodes {
+				return scaleJob{}, fmt.Errorf("fault-mask analysis is limited to %d nodes per topology (requested %d)", scaleMaxDegradedNodes, p)
+			}
+		}
+	}
+	if r.TimeoutSec < 0 {
+		return scaleJob{}, fmt.Errorf("negative timeout_sec %v", r.TimeoutSec)
+	}
+	key := hashCanon(scaleCanon{
+		V:         1,
+		Kernel:    k.Name,
+		Topology:  kind,
+		Nodes:     sizes,
+		Mode:      mode.String(),
+		LinkGBps:  spec.BandwidthGBps,
+		LatencyNs: spec.LatencyNs,
+		Ideal:     spec.Ideal,
+		Mask:      maskStr,
+		Seed:      r.Seed,
+	})
+	return scaleJob{
+		kernel:  k,
+		kind:    kind,
+		sizes:   sizes,
+		mode:    mode,
+		spec:    spec,
+		mask:    mask,
+		maskStr: maskStr,
+		seed:    r.Seed,
+		timeout: time.Duration(r.TimeoutSec * float64(time.Second)),
+		key:     key,
+	}, nil
+}
+
+func (s *Server) handleScale(w http.ResponseWriter, r *http.Request) {
+	var req ScaleRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sj, err := req.resolve()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	timeout := sj.timeout
+	if timeout == 0 {
+		timeout = s.cfg.JobTimeout
+	}
+	view, err := s.sched.Submit("scale", timeout, func(ctx context.Context) (any, error) {
+		val, _, err := s.cache.Do(ctx, sj.key, func() (any, error) {
+			out, err := s.scale(ctx, sj)
+			if err != nil {
+				return nil, err
+			}
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return val, nil
+	})
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeBackpressure(w, s.sched.RetryAfterSecs(), err)
+		return
+	case errors.Is(err, ErrDraining):
+		writeBackpressure(w, 1, err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"job": view})
+}
+
+// scale runs one resolved scale job: the healthy curve via the parallel
+// evaluator, plus — when the mask kills nodes — a degraded evaluation per
+// size with the collectives rerouted around the victims.
+func (s *Server) scale(ctx context.Context, sj scaleJob) (ScaleResult, error) {
+	rate := exp.NodeRateFor(sj.kernel)
+	out := ScaleResult{
+		Key:        sj.key,
+		Kernel:     sj.kernel.Name,
+		Topology:   sj.kind,
+		Mode:       sj.mode.String(),
+		LinkGBps:   sj.spec.BandwidthGBps,
+		LatencyNs:  sj.spec.LatencyNs,
+		Ideal:      sj.spec.Ideal,
+		NodeTFLOPs: rate,
+		FaultMask:  sj.maskStr,
+	}
+	if sj.maskStr != "" {
+		out.Seed = sj.seed
+	}
+	pts, err := fabric.Curve(sj.kind, sj.spec, sj.kernel, rate, sj.sizes, sj.mode, runtime.GOMAXPROCS(0))
+	if err != nil {
+		return ScaleResult{}, err
+	}
+	for _, pt := range pts {
+		if err := ctx.Err(); err != nil {
+			return ScaleResult{}, err
+		}
+		sp := ScalePoint{
+			Nodes:       pt.Nodes,
+			Efficiency:  pt.Efficiency,
+			DeliveredEF: pt.DeliveredTFLOPs / 1e6,
+			IdealEF:     rate * float64(pt.Nodes) / 1e6,
+		}
+		if sj.maskStr != "" {
+			if err := s.scaleDegraded(&sp, sj, rate); err != nil {
+				return ScaleResult{}, err
+			}
+		}
+		out.Points = append(out.Points, sp)
+	}
+	return out, nil
+}
+
+// scaleDegraded fills one point's degraded fields: kill the mask's victims,
+// reroute, re-evaluate. A mask that disconnects the survivors (or leaves at
+// most one alive) is a partitioned point, not a request error — the client
+// asked what that failure does, and the answer is "no machine left".
+func (s *Server) scaleDegraded(sp *ScalePoint, sj scaleJob, rate float64) error {
+	t, err := fabric.New(sj.kind, sp.Nodes, sj.spec)
+	if err != nil {
+		return err
+	}
+	failed, err := fabric.FailedNodes(t.Nodes(), sj.mask, sj.seed)
+	if err != nil {
+		// Too many victims for this size (e.g. node:3 on a 2-node torus, or
+		// a targeted index past the end): report it as a dead machine.
+		sp.FailedNodes = sp.Nodes
+		sp.Partitioned = true
+		return nil
+	}
+	sp.FailedNodes = len(failed)
+	comm, err := fabric.NewDegradedComm(t, failed)
+	if err != nil {
+		return err
+	}
+	pt, err := fabric.Evaluate(comm, sj.kernel, rate, sj.mode)
+	if errors.Is(err, fabric.ErrPartitioned) {
+		sp.Partitioned = true
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	sp.DegradedEfficiency = pt.Efficiency
+	return nil
+}

@@ -11,6 +11,7 @@
 //
 //	POST /v1/simulate            one (config, kernel) node simulation, cached
 //	POST /v1/explore             async DSE sweep job (202 + job id)
+//	POST /v1/scale               async machine-scale fabric projection (202 + job id)
 //	GET  /v1/jobs/{id}           job status/result polling
 //	DELETE /v1/jobs/{id}         cancel a queued or running job
 //	GET  /v1/experiments         list paper artifacts
@@ -180,6 +181,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
 	s.mux.HandleFunc("POST /v1/explore", s.instrument("explore", s.handleExplore))
+	s.mux.HandleFunc("POST /v1/scale", s.instrument("scale", s.handleScale))
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("jobs.get", s.handleJobGet))
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("jobs.cancel", s.handleJobCancel))
 	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.instrument("jobs.cancel", s.handleJobCancel))
