@@ -1,6 +1,6 @@
 # Convenience targets for the ENA reproduction.
 
-.PHONY: all build test test-race test-service test-fabric chaos-short vet fuzz-short verify bench bench-json bench-compare serve experiments csv examples clean
+.PHONY: all build test test-race test-service test-fabric test-workload chaos-short vet fuzz-short verify bench bench-json bench-compare serve experiments csv examples clean
 
 all: build vet test
 
@@ -29,6 +29,12 @@ test-service:
 test-fabric:
 	go test -race ./internal/fabric/
 
+# The DL kernel generators and the batched-FIFO serving simulator under the
+# race detector: the inference experiment's worker pool must stay
+# bit-identical across worker counts.
+test-workload:
+	go test -race ./internal/workload/ ./internal/serving/
+
 # Chaos suite: the service layer under the race detector with fault
 # injection on — injected panics, transient failures, breaker trips, and
 # deadline fallbacks must all be survived, not just tolerated. The fabric
@@ -38,19 +44,21 @@ chaos-short:
 	go test -run='Apply|Surface|Chaos' ./internal/faults/
 	go test -run='Chaos' ./internal/fabric/
 
-# Short fuzz pass over the compression codec (round-trip + ratio bounds)
-# and the fault-mask parser (never panics; accepted masks are canonical
-# fixed points).
+# Short fuzz pass over the compression codec (round-trip + ratio bounds),
+# the fault-mask parser, and the DL spec / batch-list parsers (never panic;
+# accepted inputs are canonical fixed points).
 fuzz-short:
 	go test -run='^$$' -fuzz=FuzzLineRoundTrip -fuzztime=10s ./internal/compress
 	go test -run='^$$' -fuzz=FuzzDecodeNeverPanics -fuzztime=5s ./internal/compress
 	go test -run='^$$' -fuzz=FuzzParseMask -fuzztime=5s ./internal/faults
+	go test -run='^$$' -fuzz=FuzzParseDL -fuzztime=5s ./internal/workload
+	go test -run='^$$' -fuzz=FuzzParseBatchList -fuzztime=5s ./internal/workload
 
 # Tier-1 verification gate: everything must build, vet clean, and pass,
 # including the race pass over the service layer and the chaos suite. The
 # bench gate is a soft warning (leading '-'): it only compares snapshots
 # already committed, so it never blocks when fewer than two exist.
-verify: build vet test test-service test-fabric chaos-short
+verify: build vet test test-service test-fabric test-workload chaos-short
 	-@$(MAKE) --no-print-directory bench-compare
 
 # Regenerate every table/figure and record the outputs (the reproduction log).

@@ -289,3 +289,35 @@ func BenchmarkCPULeadingLoads(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkInferenceScenario measures the DL inference-serving experiment
+// end-to-end: the transformer-block batch sweep (roofline service times plus
+// the batched-FIFO latency replay at 70% load) and the analytic-vs-event
+// validation runs.
+func BenchmarkInferenceScenario(b *testing.B) { benchExperiment(b, "inference") }
+
+// BenchmarkGEMMSweep measures the tiled-GEMM kernel generator through the
+// roofline/core path across a batch sweep — the analytic half of the
+// serving scenario, isolated from the event-driven replay.
+func BenchmarkGEMMSweep(b *testing.B) {
+	cfg := arch.BestMeanEHP()
+	base := workload.NewGEMM(4096, 4096, 4096, workload.FP16)
+	batches := []int{1, 2, 4, 8, 16, 32}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, n := range batches {
+			sp, err := base.WithBatch(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			k, err := sp.Kernel()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if r := core.Simulate(cfg, k, core.Options{}); r.Perf.TFLOPs <= 0 {
+				b.Fatalf("GEMM batch %d produced no throughput", n)
+			}
+		}
+	}
+}

@@ -180,6 +180,22 @@ func tabulate(id string, r exp.Result) ([][]string, bool) {
 		}
 		return rows, true
 
+	case exp.InferenceResult:
+		rows := [][]string{{"section", "phase_or_kernel", "batch", "block_tflops", "service_us",
+			"capacity_rps", "offered_qps", "achieved_rps", "mean_batch", "utilization",
+			"p50_us", "p95_us", "p99_us"}}
+		for _, row := range res.Rows {
+			rows = append(rows, []string{"sweep", row.Phase, strconv.Itoa(row.Batch),
+				f64(row.BlockTFLOPs), f64(row.ServiceUs), f64(row.CapacityRPS), f64(row.OfferedQPS),
+				f64(row.Serving.AchievedRPS), f64(row.Serving.MeanBatch), f64(row.Serving.Utilization),
+				f64(row.Serving.P50Ns / 1e3), f64(row.Serving.P95Ns / 1e3), f64(row.Serving.P99Ns / 1e3)})
+		}
+		for _, v := range res.Validation {
+			rows = append(rows, []string{"validation", v.Kernel, strconv.Itoa(v.Batch),
+				"", "", f64(v.AnalyticRPS), "", f64(v.EventRPS), "", "", "", "", f64(v.RelErr)})
+		}
+		return rows, true
+
 	case exp.FabricResilienceResult:
 		rows := [][]string{{"topology", "kernel", "dead_nodes", "rel_perf"}}
 		for k, rel := range res.RelPerf {

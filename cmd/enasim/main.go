@@ -5,6 +5,7 @@
 //
 //	enasim -list             # show available experiments
 //	enasim -run fig7         # run one experiment
+//	enasim -run inference    # DL inference-serving extension (batch sweep)
 //	enasim -all              # run everything in paper order
 //	enasim -all -timeout 30s            # bound the whole run
 //	enasim -run fig7 -metrics           # plus a metrics report

@@ -108,6 +108,28 @@ func Workloads() []Kernel { return workload.Suite() }
 // WorkloadByName finds one kernel from the suite.
 func WorkloadByName(name string) (Kernel, error) { return workload.ByName(name) }
 
+// DL kernel generators (internal/workload): parametric tiled GEMM, im2col
+// convolution, and attention with closed-form tiling-aware intensity.
+type (
+	// DLSpec is a parametric deep-learning kernel shape.
+	DLSpec = workload.DLSpec
+	// Dtype is a DL element type (FP64..INT8).
+	Dtype = workload.Dtype
+)
+
+// ParseDLKernel parses a DL spec string ("gemm:MxNxK:dtype[:tTMxTNxTK]",
+// "conv:...", "attn:...") into a roofline-ready Kernel named by its
+// canonical spec.
+func ParseDLKernel(s string) (Kernel, error) { return workload.ParseDLKernel(s) }
+
+// ParseDL parses a DL spec string into its parametric form (for WithBatch,
+// Intensity, etc.).
+func ParseDL(s string) (DLSpec, error) { return workload.ParseDL(s) }
+
+// DLWorkloads returns the preset DL kernels (GEMM, conv, attention
+// prefill/decode, transformer-block members).
+func DLWorkloads() []Kernel { return workload.DLSuite() }
+
 // Simulation (internal/core, internal/perf, internal/power).
 type (
 	// Options tunes a node simulation.

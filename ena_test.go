@@ -180,3 +180,31 @@ func TestApplicationAPI(t *testing.T) {
 		t.Error("secondary phases should not speed the app up")
 	}
 }
+
+func TestDLKernelAPI(t *testing.T) {
+	k, err := ParseDLKernel("gemm:4096x4096x4096:fp16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Name != "gemm:4096x4096x4096:fp16:t128x128x64" {
+		t.Errorf("kernel name %q is not the canonical spec", k.Name)
+	}
+	r := Simulate(BestMeanEHP(), k, Options{})
+	if r.Perf.TFLOPs <= 0 {
+		t.Fatalf("degenerate DL result: %+v", r)
+	}
+	sp, err := ParseDL("attn:1x32x1x2048x128:fp16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := sp.WithBatch(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batched.FLOPs() <= sp.FLOPs() {
+		t.Error("batching should scale work")
+	}
+	if len(DLWorkloads()) == 0 {
+		t.Error("DL preset suite is empty")
+	}
+}

@@ -60,6 +60,7 @@ func Experiments() []Experiment {
 		{ID: "ras", Title: "Extension: RAS / MTTF / checkpointing", Run: func() Result { return RAS() }},
 		{ID: "resilience", Title: "Extension: performance under progressive component failure", Run: func() Result { return Resilience() }},
 		{ID: "scaling", Title: "Extension: strong/weak scaling on the explicit inter-node fabric", Run: func() Result { return Scaling() }},
+		{ID: "inference", Title: "Extension: DL inference serving (batch sweep, latency at target QPS)", Run: func() Result { return Inference() }},
 		{ID: "fabric-resilience", Title: "Extension: whole-node failures rerouted through the fabric", Run: func() Result { return FabricResilience() }},
 	}
 }

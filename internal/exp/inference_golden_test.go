@@ -1,0 +1,115 @@
+package exp
+
+// Golden regression snapshot of the inference-serving experiment: the
+// per-batch roofline throughput and capacity, the event-driven latency
+// percentiles and achieved rate at the default load, and the analytic-vs-
+// event validation rows. The values chain the DL kernel generators (tiled
+// intensity), the roofline/core path, and the batched-FIFO serving
+// simulator, so drift in any layer shows up here first. If a deliberate
+// model change moves a number, regenerate the snapshot in the same commit
+// and say why.
+
+import (
+	"math"
+	"testing"
+)
+
+type goldenInferenceKey struct {
+	phase string
+	batch int
+}
+
+// Columns: block TFLOP/s, capacity r/s, achieved r/s, p50 ns, p95 ns, p99 ns.
+var goldenInference = map[goldenInferenceKey][6]float64{
+	{"prefill", 1}:  {17.0107741832534, 19.0414879910458, 13.2211489255838, 89577310.0501709, 262360629.755267, 384943268.560323},
+	{"prefill", 2}:  {17.0107741832534, 19.0414879910458, 13.2660158583826, 100829455.081902, 283601059.001611, 388954455.459117},
+	{"prefill", 4}:  {17.0107741832534, 19.0414879910458, 13.4692703593732, 106359987.242676, 368761310.682849, 531992648.311334},
+	{"prefill", 8}:  {17.0107741832534, 19.0414879910458, 13.5498518758239, 109134916.944519, 380244862.427692, 614271085.253561},
+	{"prefill", 16}: {17.0107741832534, 19.0414879910458, 13.2306393078474, 102026505.564514, 363362756.632767, 554866038.284654},
+	{"prefill", 32}: {17.0107741832534, 19.0414879910458, 13.3384399385544, 105614024.895142, 361004486.568902, 567604101.163919},
+	{"decode", 1}:   {2.84683618474167, 6526.33305866367, 4565.87533241779, 262404.23289036, 823205.105878627, 1198926.83981337},
+	{"decode", 2}:   {5.25594249701373, 12049.1763651686, 8365.90043650409, 273968.464722157, 531413.517557251, 703815.913631148},
+	{"decode", 4}:   {9.04034154845952, 20724.8594863129, 14546.6599974221, 287364.476362079, 465536.487368542, 588067.910407403},
+	{"decode", 8}:   {12.2262345868483, 28028.4757496033, 19511.1862064701, 310674.500838961, 469514.839218152, 572756.341950001},
+	{"decode", 16}:  {12.5607062269263, 28795.2474147684, 20005.7888637853, 315201.619396448, 495620.223885153, 609567.361127747},
+	{"decode", 32}:  {12.5691755569573, 28814.6632381525, 20071.5578100964, 314342.144666255, 497567.474284446, 630529.362582812},
+}
+
+// goldenInferenceValidation pins the analytic and event-driven saturated
+// rates for the single-kernel presets (columns: analytic r/s, event r/s).
+var goldenInferenceValidation = map[string][2]float64{
+	"gemm:4096x4096x4096:fp16:t128x128x64": {125.022062767654, 125.020184807373},
+	"attn:1x32x2048x2048x128:fp16:tq64":    {220.976158668877, 220.974354634118},
+	"attn:1x32x1x2048x128:fp16:tq1":        {88727.5000991096, 88722.8913050224},
+}
+
+// relClose compares with relative tolerance (the pinned values span nine
+// orders of magnitude, so an absolute epsilon fits no single column).
+func relClose(got, want float64) bool {
+	return math.Abs(got-want) <= 1e-9*math.Max(math.Abs(want), 1)
+}
+
+func TestGoldenInference(t *testing.T) {
+	r := Inference()
+	if len(r.Rows) != len(goldenInference) {
+		t.Fatalf("inference experiment produced %d rows, golden has %d", len(r.Rows), len(goldenInference))
+	}
+	for _, row := range r.Rows {
+		key := goldenInferenceKey{row.Phase, row.Batch}
+		want, ok := goldenInference[key]
+		if !ok {
+			t.Errorf("unexpected row %+v", key)
+			continue
+		}
+		got := [6]float64{row.BlockTFLOPs, row.CapacityRPS, row.Serving.AchievedRPS,
+			row.Serving.P50Ns, row.Serving.P95Ns, row.Serving.P99Ns}
+		names := [6]string{"block TFLOP/s", "capacity", "achieved", "p50", "p95", "p99"}
+		for i := range got {
+			if !relClose(got[i], want[i]) {
+				t.Errorf("%+v: %s drifted: got %.15g, golden %.15g", key, names[i], got[i], want[i])
+			}
+		}
+	}
+	if len(r.Validation) != len(goldenInferenceValidation) {
+		t.Fatalf("validation has %d rows, golden %d", len(r.Validation), len(goldenInferenceValidation))
+	}
+	for _, v := range r.Validation {
+		want, ok := goldenInferenceValidation[v.Kernel]
+		if !ok {
+			t.Errorf("unexpected validation kernel %q", v.Kernel)
+			continue
+		}
+		if !relClose(v.AnalyticRPS, want[0]) || !relClose(v.EventRPS, want[1]) {
+			t.Errorf("%s: rates drifted: got (%.15g, %.15g), golden (%.15g, %.15g)",
+				v.Kernel, v.AnalyticRPS, v.EventRPS, want[0], want[1])
+		}
+		// The acceptance gate: the event-driven server reproduces the
+		// analytic roofline capacity under saturation.
+		if math.Abs(v.RelErr) > 0.02 {
+			t.Errorf("%s: event-driven rate off analytic capacity by %.3f%% (tolerance 2%%)",
+				v.Kernel, v.RelErr*100)
+		}
+	}
+}
+
+// TestInferenceDeterministicWorkers pins bit-identical results across worker
+// counts: the sweep writes to fixed slots and every serving replay is
+// deterministically seeded, so parallelism must not leak into the output.
+func TestInferenceDeterministicWorkers(t *testing.T) {
+	serial := InferenceWorkers(1)
+	parallel := InferenceWorkers(8)
+	if len(serial.Rows) != len(parallel.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(serial.Rows), len(parallel.Rows))
+	}
+	for i := range serial.Rows {
+		if serial.Rows[i] != parallel.Rows[i] {
+			t.Errorf("row %d differs between 1 and 8 workers:\n%+v\n%+v",
+				i, serial.Rows[i], parallel.Rows[i])
+		}
+	}
+	for i := range serial.Validation {
+		if serial.Validation[i] != parallel.Validation[i] {
+			t.Errorf("validation row %d differs between worker counts", i)
+		}
+	}
+}

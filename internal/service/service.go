@@ -346,6 +346,13 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			resp.FaultMask = job.inj.Resolved.String()
 			resp.Disabled = job.inj.Disabled
 		}
+		if job.serving {
+			views, err := runServing(ctx, job)
+			if err != nil {
+				return nil, err
+			}
+			resp.Serving = views
+		}
 		return resp, nil
 	})
 	if err != nil {

@@ -1,0 +1,72 @@
+package service
+
+import (
+	"context"
+
+	"ena/internal/core"
+	"ena/internal/serving"
+)
+
+// servingLoad is the offered fraction of each batch point's capacity when
+// the request does not pin a QPS — deep enough into the stable region that
+// the latency distribution converges at the default request count.
+const servingLoad = 0.7
+
+// runServing executes the serving scenario for a resolved job: one roofline
+// simulation per batch size builds the service-time table, then each
+// requested batch point replays the seeded arrival stream through the
+// event-driven batched-FIFO server. Runs inside the cache.Do closure, so a
+// given canonical request computes this once.
+func runServing(ctx context.Context, job simJob) ([]ServingView, error) {
+	maxB := job.batches[len(job.batches)-1]
+	svc := make([]float64, maxB)
+	for b := 1; b <= maxB; b++ {
+		sb, err := job.dl.WithBatch(b)
+		if err != nil {
+			return nil, err
+		}
+		k, err := sb.Kernel()
+		if err != nil {
+			return nil, err
+		}
+		r, err := core.SimulateContext(ctx, job.cfg, k, job.opt)
+		if err != nil {
+			return nil, err
+		}
+		svc[b-1] = sb.FLOPs() / (r.Perf.TFLOPs * 1e3) // ns per batch-b execution
+	}
+	out := make([]ServingView, len(job.batches))
+	for i, b := range job.batches {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		capacity := float64(b) / svc[b-1] * 1e9
+		offered := job.qps
+		if offered == 0 {
+			offered = servingLoad * capacity
+		}
+		res, err := serving.Simulate(serving.Options{
+			QPS:       offered,
+			MaxBatch:  b,
+			Requests:  job.requests,
+			Seed:      job.seed + int64(i),
+			ServiceNs: func(n int) float64 { return svc[n-1] },
+		})
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ServingView{
+			Batch:       b,
+			ServiceUs:   svc[b-1] / 1e3,
+			CapacityRPS: capacity,
+			OfferedQPS:  offered,
+			AchievedRPS: res.AchievedRPS,
+			MeanBatch:   res.MeanBatch,
+			Utilization: res.Utilization,
+			P50Us:       res.P50Ns / 1e3,
+			P95Us:       res.P95Ns / 1e3,
+			P99Us:       res.P99Ns / 1e3,
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,125 @@
+package service
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestSimulateDLKernelSpec(t *testing.T) {
+	_, ts := newTestServer(t)
+	c := ts.Client()
+
+	code, res, b := simulate(t, c, ts.URL, map[string]any{"kernel": "gemm:4096x4096x4096:fp16"})
+	if code != http.StatusOK {
+		t.Fatalf("DL spec simulate = %d: %s", code, b)
+	}
+	if res.TFLOPs <= 0 {
+		t.Errorf("DL kernel produced no throughput: %+v", res)
+	}
+	// The response names the canonical spec (defaults materialized).
+	if res.Kernel != "gemm:4096x4096x4096:fp16:t128x128x64" {
+		t.Errorf("kernel name %q is not the canonical spec", res.Kernel)
+	}
+
+	// An equivalent spelling (explicit default tiles, dtype alias) shares
+	// the cache slot.
+	code, alias, _ := simulate(t, c, ts.URL, map[string]any{"kernel": "gemm:4096x4096x4096:half:t128x128x64"})
+	if code != http.StatusOK || alias.Key != res.Key || !alias.Cached {
+		t.Errorf("equivalent DL spec missed the cache (code %d, cached %v, key match %v)",
+			code, alias.Cached, alias.Key == res.Key)
+	}
+
+	code, _, b = simulate(t, c, ts.URL, map[string]any{"kernel": "gemm:0x4x4:fp16"})
+	if code != http.StatusBadRequest {
+		t.Errorf("invalid DL shape accepted: %d %s", code, b)
+	}
+}
+
+func TestSimulateServingScenario(t *testing.T) {
+	_, ts := newTestServer(t)
+	c := ts.Client()
+
+	req := map[string]any{
+		"kernel":   "attn:1x32x1x2048x128:fp16",
+		"scenario": "serving",
+		"batches":  "1,4,8",
+		"requests": 2000,
+		"seed":     3,
+	}
+	code, res, b := simulate(t, c, ts.URL, req)
+	if code != http.StatusOK {
+		t.Fatalf("serving simulate = %d: %s", code, b)
+	}
+	if len(res.Serving) != 3 {
+		t.Fatalf("serving points = %d, want 3: %+v", len(res.Serving), res.Serving)
+	}
+	prev := 0.0
+	for _, v := range res.Serving {
+		if v.ServiceUs <= 0 || v.CapacityRPS <= 0 || v.AchievedRPS <= 0 || v.P99Us < v.P50Us {
+			t.Errorf("implausible serving point %+v", v)
+		}
+		// Decode attention batching amortizes nothing per request but still
+		// raises throughput via concurrency; capacity must not shrink.
+		if v.CapacityRPS < prev {
+			t.Errorf("capacity fell with batch: %+v", res.Serving)
+		}
+		prev = v.CapacityRPS
+		if v.OfferedQPS >= v.CapacityRPS {
+			t.Errorf("default load not below capacity: %+v", v)
+		}
+	}
+
+	// Bit-identical repeat from cache; permuted batch list aliases.
+	code, again, _ := simulate(t, c, ts.URL, map[string]any{
+		"kernel": "attn:1x32x1x2048x128:fp16", "scenario": "serving",
+		"batches": "8,4,1,4", "requests": 2000, "seed": 3,
+	})
+	if code != http.StatusOK || !again.Cached || again.Key != res.Key {
+		t.Errorf("canonical serving request missed the cache (cached %v, key match %v)",
+			again.Cached, again.Key == res.Key)
+	}
+	for i, v := range again.Serving {
+		if v != res.Serving[i] {
+			t.Errorf("cached serving point %d differs: %+v vs %+v", i, v, res.Serving[i])
+		}
+	}
+
+	// A different seed is a different arrival process — different slot.
+	code, other, _ := simulate(t, c, ts.URL, map[string]any{
+		"kernel": "attn:1x32x1x2048x128:fp16", "scenario": "serving",
+		"batches": "1,4,8", "requests": 2000, "seed": 4,
+	})
+	if code != http.StatusOK || other.Key == res.Key {
+		t.Error("serving cache key ignores the arrival seed")
+	}
+}
+
+func TestSimulateServingClientErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	c := ts.Client()
+	cases := []struct {
+		name string
+		req  map[string]any
+		want string
+	}{
+		{"suite kernel", map[string]any{"kernel": "CoMD", "scenario": "serving"}, "needs a DL kernel spec"},
+		{"unknown scenario", map[string]any{"kernel": "gemm:64x64x64:fp16", "scenario": "batch"}, "unknown scenario"},
+		{"bad batches", map[string]any{"kernel": "gemm:64x64x64:fp16", "scenario": "serving", "batches": "1,x"}, "bad entry"},
+		{"huge batch", map[string]any{"kernel": "gemm:64x64x64:fp16", "scenario": "serving", "batches": "512"}, "too large"},
+		{"negative qps", map[string]any{"kernel": "gemm:64x64x64:fp16", "scenario": "serving", "qps": -1}, "must be non-negative"},
+		{"huge requests", map[string]any{"kernel": "gemm:64x64x64:fp16", "scenario": "serving", "requests": 1 << 21}, "out of"},
+		{"orphan knob", map[string]any{"kernel": "gemm:64x64x64:fp16", "qps": 100}, "need scenario"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, b := simulate(t, c, ts.URL, tc.req)
+			if code != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400: %s", code, b)
+			}
+			if !strings.Contains(string(b), tc.want) {
+				t.Errorf("error %q does not mention %q", b, tc.want)
+			}
+		})
+	}
+}

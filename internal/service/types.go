@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"time"
@@ -35,6 +36,18 @@ type ConfigView struct {
 // simulation — the only model that sees link faults — with a deadline-aware
 // fallback to the analytic result (flagged degraded) when the simulation
 // budget runs out.
+// Kernel accepts either a Table I suite name (workload.ByName) or a DL
+// kernel spec string (workload.ParseDL, e.g. "gemm:4096x4096x4096:fp16" or
+// "attn:1x32x1x2048x128:fp16") — spec strings are canonicalized, so
+// equivalent spellings share one cache slot.
+//
+// Scenario selects an additional analysis layered on the analytic result.
+// The only scenario is "serving": the kernel (which must be a DL spec — it
+// needs a batch axis) is swept over Batches through the roofline and each
+// point replayed through the event-driven batched-FIFO server, reporting
+// latency percentiles. QPS fixes the offered load for every point (zero
+// offers 70% of each point's batched capacity); Requests sets the simulated
+// request count per point.
 type SimulateRequest struct {
 	CUs       int        `json:"cus,omitempty"`
 	FreqMHz   float64    `json:"freq_mhz,omitempty"`
@@ -43,6 +56,10 @@ type SimulateRequest struct {
 	FaultMask string     `json:"fault_mask,omitempty"`
 	Seed      int64      `json:"seed,omitempty"`
 	Detailed  bool       `json:"detailed,omitempty"`
+	Scenario  string     `json:"scenario,omitempty"`
+	QPS       float64    `json:"qps,omitempty"`
+	Batches   string     `json:"batches,omitempty"`
+	Requests  int        `json:"requests,omitempty"`
 	Options   SimOptions `json:"options,omitempty"`
 }
 
@@ -87,7 +104,37 @@ type SimulateResponse struct {
 	Partitioned    bool     `json:"partitioned,omitempty"`
 	MeanLatencyNs  float64  `json:"mean_latency_ns,omitempty"`
 	SustainedGBps  float64  `json:"sustained_gbps,omitempty"`
+	// Serving carries the inference-serving scenario's per-batch operating
+	// points (nil unless the request asked for scenario "serving").
+	Serving []ServingView `json:"serving,omitempty"`
 }
+
+// ServingView is one batch point of the serving scenario: the roofline-
+// derived service time and capacity, and the event-driven latency summary
+// at the offered load.
+type ServingView struct {
+	Batch       int     `json:"batch"`
+	ServiceUs   float64 `json:"service_us"`
+	CapacityRPS float64 `json:"capacity_rps"`
+	OfferedQPS  float64 `json:"offered_qps"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	MeanBatch   float64 `json:"mean_batch"`
+	Utilization float64 `json:"utilization"`
+	P50Us       float64 `json:"p50_us"`
+	P95Us       float64 `json:"p95_us"`
+	P99Us       float64 `json:"p99_us"`
+}
+
+// Serving-scenario bounds: each batch point replays Requests arrivals
+// through the event simulator and probes one roofline simulation per batch
+// size up to the point's cap, so both axes are bounded to keep the route's
+// worst case at interactive latency.
+const (
+	defaultServingRequests = 5000
+	maxServingRequests     = 200000
+	defaultServingBatches  = "1,2,4,8,16"
+	maxServingBatch        = 256
+)
 
 // simJob is a resolved, validated simulate request: everything the worker
 // needs plus the canonical cache keys. inj is nil for a healthy node. The
@@ -103,6 +150,13 @@ type simJob struct {
 	seed        int64
 	key         string
 	detailedKey string
+
+	// Serving-scenario fields (serving is false for plain simulations).
+	serving  bool
+	dl       workload.DLSpec
+	qps      float64
+	batches  []int
+	requests int
 }
 
 // simCanon is the canonical-JSON form hashed into a simulate cache key. The
@@ -110,7 +164,11 @@ type simJob struct {
 // change so stale keys never alias new results (V=2 added fault injection:
 // Mask is the resolved fully-targeted mask, so equivalent spellings — and
 // count masks that resolve to the same victims — share a slot; Detailed
-// splits the event-driven phase into its own slot).
+// splits the event-driven phase into its own slot. V=3 added the serving
+// scenario: Kernel carries the canonical DL spec string, and Scenario /
+// QPS / Batches / Requests shape the serving replay baked into the cached
+// response — Batches is the canonical sorted-unique render, so permuted
+// batch lists alias).
 type simCanon struct {
 	V               int     `json:"v"`
 	CUs             int     `json:"cus"`
@@ -126,6 +184,10 @@ type simCanon struct {
 	Mask            string  `json:"mask"`
 	Seed            int64   `json:"seed"`
 	Detailed        bool    `json:"detailed"`
+	Scenario        string  `json:"scenario"`
+	QPS             float64 `json:"qps"`
+	Batches         string  `json:"batches"`
+	Requests        int     `json:"requests"`
 }
 
 // hashCanon hashes a canonical struct's JSON encoding. encoding/json emits
@@ -207,11 +269,22 @@ func (r SimulateRequest) resolve() (simJob, error) {
 		r.BWTBps = 3
 	}
 	if r.Kernel == "" {
-		return simJob{}, fmt.Errorf("kernel is required (one of %s)", strings.Join(workload.Names(), ", "))
+		return simJob{}, fmt.Errorf("kernel is required (one of %s, or a DL spec like gemm:M x N x K:dtype)", strings.Join(workload.Names(), ", "))
 	}
+	// Suite names first; anything with a spec separator is a DL kernel.
 	k, err := workload.ByName(r.Kernel)
+	var dl workload.DLSpec
 	if err != nil {
-		return simJob{}, err
+		if !strings.Contains(r.Kernel, ":") {
+			return simJob{}, err
+		}
+		dl, err = workload.ParseDL(r.Kernel)
+		if err != nil {
+			return simJob{}, err
+		}
+		if k, err = dl.Kernel(); err != nil {
+			return simJob{}, err
+		}
 	}
 	pol, err := parsePolicy(r.Options.Policy)
 	if err != nil {
@@ -251,8 +324,39 @@ func (r SimulateRequest) resolve() (simJob, error) {
 		TempC:            r.Options.TempC,
 		ExcludeExternal:  r.Options.ExcludeExternal,
 	}
+	scenario := strings.ToLower(strings.TrimSpace(r.Scenario))
+	var batches []int
+	if scenario != "" {
+		if scenario != "serving" {
+			return simJob{}, fmt.Errorf("unknown scenario %q (want serving)", r.Scenario)
+		}
+		if dl == nil {
+			return simJob{}, fmt.Errorf("scenario serving needs a DL kernel spec (gemm:/conv:/attn:), got suite kernel %q", r.Kernel)
+		}
+		if r.QPS < 0 || math.IsNaN(r.QPS) || math.IsInf(r.QPS, 0) {
+			return simJob{}, fmt.Errorf("qps %v must be non-negative and finite", r.QPS)
+		}
+		if r.Requests == 0 {
+			r.Requests = defaultServingRequests
+		}
+		if r.Requests < 1 || r.Requests > maxServingRequests {
+			return simJob{}, fmt.Errorf("requests %d out of [1, %d]", r.Requests, maxServingRequests)
+		}
+		if r.Batches == "" {
+			r.Batches = defaultServingBatches
+		}
+		batches, err = workload.ParseBatchList(r.Batches)
+		if err != nil {
+			return simJob{}, err
+		}
+		if mx := batches[len(batches)-1]; mx > maxServingBatch {
+			return simJob{}, fmt.Errorf("batch %d too large for the serving scenario (max %d)", mx, maxServingBatch)
+		}
+	} else if r.QPS != 0 || r.Batches != "" || r.Requests != 0 {
+		return simJob{}, fmt.Errorf("qps/batches/requests need scenario \"serving\"")
+	}
 	canon := simCanon{
-		V:               2,
+		V:               3,
 		CUs:             r.CUs,
 		FreqMHz:         r.FreqMHz,
 		BWTBps:          r.BWTBps,
@@ -265,6 +369,15 @@ func (r SimulateRequest) resolve() (simJob, error) {
 		ExcludeExternal: opt.ExcludeExternal,
 		Mask:            maskStr,
 	}
+	if scenario != "" {
+		canon.Scenario = scenario
+		canon.QPS = r.QPS
+		canon.Batches = workload.FormatBatchList(batches)
+		canon.Requests = r.Requests
+		// The arrival process is seeded, so the seed is part of the cached
+		// serving result's identity (healthy plain requests stay seed-free).
+		canon.Seed = r.Seed
+	}
 	job := simJob{
 		cfg:      cfg,
 		view:     ConfigView{CUs: r.CUs, FreqMHz: r.FreqMHz, BWTBps: r.BWTBps},
@@ -274,6 +387,11 @@ func (r SimulateRequest) resolve() (simJob, error) {
 		detailed: r.Detailed,
 		seed:     r.Seed,
 		key:      hashCanon(canon),
+		serving:  scenario != "",
+		dl:       dl,
+		qps:      r.QPS,
+		batches:  batches,
+		requests: r.Requests,
 	}
 	if r.Detailed {
 		// The detailed phase depends on the traffic seed; the analytic

@@ -1,0 +1,700 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file opens the node model to the dominant 2026 workload class: deep
+// learning. The paper characterizes its proxy apps by arithmetic intensity
+// (DP flops per byte of post-cache DRAM traffic) and the roofline consumes
+// exactly that, so GEMM, convolution, and attention reduce to the same
+// contract — except that for DL kernels the intensity is not a measured
+// constant but a *closed-form function of the tiling*: each operand's DRAM
+// traffic is its size times the number of tile passes that reload it, and
+// shrinking a tile increases the reload count. The generators below compute
+// operand-exact bytes moved (matching a brute-force tile-walk counter bit
+// for bit; the property tests pin this) and derive a Kernel whose Intensity
+// reflects the chosen tiling.
+
+// Dtype is a deep-learning element type; its width sets bytes/MAC.
+type Dtype int
+
+const (
+	// FP64 is the double precision of the paper's HPC kernels.
+	FP64 Dtype = iota
+	// FP32 is single precision.
+	FP32
+	// FP16 is IEEE half precision.
+	FP16
+	// BF16 is bfloat16 (same width as FP16).
+	BF16
+	// INT8 is 8-bit integer inference.
+	INT8
+)
+
+// Bytes returns the element width.
+func (d Dtype) Bytes() int {
+	switch d {
+	case FP64:
+		return 8
+	case FP32:
+		return 4
+	case FP16, BF16:
+		return 2
+	case INT8:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// String implements fmt.Stringer (the canonical spec-string form).
+func (d Dtype) String() string {
+	switch d {
+	case FP64:
+		return "fp64"
+	case FP32:
+		return "fp32"
+	case FP16:
+		return "fp16"
+	case BF16:
+		return "bf16"
+	case INT8:
+		return "int8"
+	default:
+		return fmt.Sprintf("Dtype(%d)", int(d))
+	}
+}
+
+// compressibility of DL tensor traffic by dtype: wide floats carry more
+// exploitable exponent/mantissa redundancy than saturated int8 tensors.
+func (d Dtype) compressibility() float64 {
+	switch d {
+	case FP64:
+		return 1.25
+	case FP32:
+		return 1.2
+	case FP16, BF16:
+		return 1.1
+	default:
+		return 1.05
+	}
+}
+
+// DLSpec is a parametric deep-learning kernel: a shape plus a tiling, with
+// closed-form work and traffic models. WithBatch scales the spec to a batch
+// of n independent requests (the unit the inference-serving scenario
+// coalesces), and String returns the canonical spec-string form that
+// ParseDL accepts (and that names the derived Kernel).
+type DLSpec interface {
+	fmt.Stringer
+	// Validate rejects non-positive or non-finite shape/tile parameters
+	// with a descriptive error.
+	Validate() error
+	// FLOPs is the kernel's total multiply-add work (2 flops per MAC).
+	FLOPs() float64
+	// BytesMoved is the DRAM traffic of one execution under the spec's
+	// tiling, exact per the operand-reuse model.
+	BytesMoved() float64
+	// Intensity is FLOPs/BytesMoved — flops per byte after on-chip reuse.
+	Intensity() float64
+	// WithBatch returns the spec scaled to n coalesced requests.
+	WithBatch(n int) (DLSpec, error)
+	// Kernel derives the roofline characterization.
+	Kernel() (Kernel, error)
+}
+
+// ceilDiv is ceil(a/b) for positive ints.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// clampTile substitutes def for a zero tile and clamps to the dimension
+// (a tile larger than its extent behaves as one full-extent tile; storing
+// the clamped value keeps the canonical string honest about that).
+func clampTile(tile, def, dim int) int {
+	if tile == 0 {
+		tile = def
+	}
+	if tile > dim {
+		tile = dim
+	}
+	return tile
+}
+
+// Default tile edges (CU-scale LDS blocking).
+const (
+	defaultTileM = 128
+	defaultTileN = 128
+	defaultTileK = 64
+	defaultTileQ = 64
+)
+
+// GEMMSpec is C[M,N] += A[M,K] * B[K,N] under (TileM, TileN, TileK)
+// blocking with the accumulator tile resident on-chip across the K loop:
+//
+//   - every A element is read once per N-tile pass:  M*K*ceil(N/TileN)
+//   - every B element is read once per M-tile pass:  K*N*ceil(M/TileM)
+//   - every C element is read and written exactly once: 2*M*N
+//
+// TileK sets the reduction slab staged through the LDS; with the
+// accumulator resident it does not change DRAM traffic, only on-chip
+// footprint. Zero tiles default to 128x128x64, clamped to the shape.
+type GEMMSpec struct {
+	M, N, K             int
+	Dtype               Dtype
+	TileM, TileN, TileK int
+}
+
+// NewGEMM builds a GEMM spec with default tiling.
+func NewGEMM(m, n, k int, dt Dtype) GEMMSpec {
+	return GEMMSpec{M: m, N: n, K: k, Dtype: dt}
+}
+
+// normalized fills default tiles and clamps them to the shape.
+func (g GEMMSpec) normalized() GEMMSpec {
+	if g.M > 0 {
+		g.TileM = clampTile(g.TileM, defaultTileM, g.M)
+	}
+	if g.N > 0 {
+		g.TileN = clampTile(g.TileN, defaultTileN, g.N)
+	}
+	if g.K > 0 {
+		g.TileK = clampTile(g.TileK, defaultTileK, g.K)
+	}
+	return g
+}
+
+// Validate implements DLSpec.
+func (g GEMMSpec) Validate() error {
+	g = g.normalized()
+	switch {
+	case g.M <= 0:
+		return fmt.Errorf("workload: gemm M must be positive (got %d)", g.M)
+	case g.N <= 0:
+		return fmt.Errorf("workload: gemm N must be positive (got %d)", g.N)
+	case g.K <= 0:
+		return fmt.Errorf("workload: gemm K must be positive (got %d)", g.K)
+	case g.Dtype.Bytes() <= 0:
+		return fmt.Errorf("workload: gemm has invalid dtype %v", g.Dtype)
+	case g.TileM <= 0:
+		return fmt.Errorf("workload: gemm TileM must be positive (got %d)", g.TileM)
+	case g.TileN <= 0:
+		return fmt.Errorf("workload: gemm TileN must be positive (got %d)", g.TileN)
+	case g.TileK <= 0:
+		return fmt.Errorf("workload: gemm TileK must be positive (got %d)", g.TileK)
+	}
+	return nil
+}
+
+// String implements DLSpec (canonical, defaults materialized).
+func (g GEMMSpec) String() string {
+	g = g.normalized()
+	return fmt.Sprintf("gemm:%dx%dx%d:%s:t%dx%dx%d", g.M, g.N, g.K, g.Dtype, g.TileM, g.TileN, g.TileK)
+}
+
+// FLOPs implements DLSpec: 2*M*N*K multiply-adds.
+func (g GEMMSpec) FLOPs() float64 {
+	return 2 * float64(g.M) * float64(g.N) * float64(g.K)
+}
+
+// BytesMoved implements DLSpec (see the type comment for the model).
+func (g GEMMSpec) BytesMoved() float64 {
+	g = g.normalized()
+	dt := float64(g.Dtype.Bytes())
+	a := float64(g.M) * float64(g.K) * float64(ceilDiv(g.N, g.TileN))
+	b := float64(g.K) * float64(g.N) * float64(ceilDiv(g.M, g.TileM))
+	c := 2 * float64(g.M) * float64(g.N)
+	return dt * (a + b + c)
+}
+
+// Intensity implements DLSpec.
+func (g GEMMSpec) Intensity() float64 { return g.FLOPs() / g.BytesMoved() }
+
+// writeFrac is the store share of the traffic: the C writeback.
+func (g GEMMSpec) writeFrac() float64 {
+	g = g.normalized()
+	return float64(g.Dtype.Bytes()) * float64(g.M) * float64(g.N) / g.BytesMoved()
+}
+
+// footprintGB is the resident operand footprint.
+func (g GEMMSpec) footprintGB() float64 {
+	dt := float64(g.Dtype.Bytes())
+	return dt * (float64(g.M)*float64(g.K) + float64(g.K)*float64(g.N) + float64(g.M)*float64(g.N)) / 1e9
+}
+
+// WithBatch implements DLSpec: n coalesced requests stack their token rows,
+// so M scales (the shared B operand is what batching amortizes).
+func (g GEMMSpec) WithBatch(n int) (DLSpec, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: batch must be positive (got %d)", n)
+	}
+	g.M *= n
+	return g, nil
+}
+
+// Kernel implements DLSpec.
+func (g GEMMSpec) Kernel() (Kernel, error) {
+	if err := g.Validate(); err != nil {
+		return Kernel{}, err
+	}
+	g = g.normalized()
+	k := dlKernel(g.String(), g.Intensity(), g.writeFrac(), g.footprintGB(), g.Dtype)
+	k.Description = "Dense matrix multiply (tiled)"
+	k.MaxUtilization = 0.85
+	k.MLPPerCU = 64
+	k.Activity = 0.85
+	k.CacheLocality = 0.60
+	k.CUScalingGamma = 0.08
+	return k, nil
+}
+
+// ConvSpec is a 2D convolution reduced through im2col to a GEMM:
+// M = Batch*OutH*OutW output pixels, N = OutC filters, K = InC*KH*KW taps.
+// The traffic model is the reduced GEMM's (the im2col replication is the
+// A-operand reload the tile model already charges). Stride and symmetric
+// padding shape the output extent; zero tiles default as in GEMMSpec.
+type ConvSpec struct {
+	Batch, H, W, InC    int
+	OutC, KH, KW        int
+	Stride, Pad         int
+	Dtype               Dtype
+	TileM, TileN, TileK int
+}
+
+// NewConv builds a conv spec with stride 1, "same"-style padding kh/2, and
+// default tiling.
+func NewConv(batch, h, w, inC, outC, kh, kw int, dt Dtype) ConvSpec {
+	return ConvSpec{Batch: batch, H: h, W: w, InC: inC, OutC: outC, KH: kh, KW: kw,
+		Stride: 1, Pad: kh / 2, Dtype: dt}
+}
+
+// normalized fills stride/tile defaults.
+func (c ConvSpec) normalized() ConvSpec {
+	if c.Stride == 0 {
+		c.Stride = 1
+	}
+	return c
+}
+
+// outHW is the output extent (valid only after Validate).
+func (c ConvSpec) outHW() (int, int) {
+	c = c.normalized()
+	oh := (c.H+2*c.Pad-c.KH)/c.Stride + 1
+	ow := (c.W+2*c.Pad-c.KW)/c.Stride + 1
+	return oh, ow
+}
+
+// gemm is the im2col-reduced GEMM.
+func (c ConvSpec) gemm() GEMMSpec {
+	c = c.normalized()
+	oh, ow := c.outHW()
+	return GEMMSpec{
+		M: c.Batch * oh * ow, N: c.OutC, K: c.InC * c.KH * c.KW,
+		Dtype: c.Dtype, TileM: c.TileM, TileN: c.TileN, TileK: c.TileK,
+	}.normalized()
+}
+
+// Validate implements DLSpec.
+func (c ConvSpec) Validate() error {
+	c = c.normalized()
+	switch {
+	case c.Batch <= 0:
+		return fmt.Errorf("workload: conv batch must be positive (got %d)", c.Batch)
+	case c.H <= 0 || c.W <= 0:
+		return fmt.Errorf("workload: conv input extent must be positive (got %dx%d)", c.H, c.W)
+	case c.InC <= 0:
+		return fmt.Errorf("workload: conv input channels must be positive (got %d)", c.InC)
+	case c.OutC <= 0:
+		return fmt.Errorf("workload: conv output channels must be positive (got %d)", c.OutC)
+	case c.KH <= 0 || c.KW <= 0:
+		return fmt.Errorf("workload: conv filter extent must be positive (got %dx%d)", c.KH, c.KW)
+	case c.Stride <= 0:
+		return fmt.Errorf("workload: conv stride must be positive (got %d)", c.Stride)
+	case c.Pad < 0:
+		return fmt.Errorf("workload: conv padding must be non-negative (got %d)", c.Pad)
+	case c.Dtype.Bytes() <= 0:
+		return fmt.Errorf("workload: conv has invalid dtype %v", c.Dtype)
+	}
+	if oh, ow := c.outHW(); oh <= 0 || ow <= 0 {
+		return fmt.Errorf("workload: conv output extent %dx%d not positive (filter %dx%d exceeds padded input %dx%d)",
+			oh, ow, c.KH, c.KW, c.H+2*c.Pad, c.W+2*c.Pad)
+	}
+	return c.gemm().Validate()
+}
+
+// String implements DLSpec.
+func (c ConvSpec) String() string {
+	c = c.normalized()
+	g := c.gemm()
+	return fmt.Sprintf("conv:%dx%dx%dx%d:%dx%dx%d:s%dp%d:%s:t%dx%dx%d",
+		c.Batch, c.H, c.W, c.InC, c.OutC, c.KH, c.KW, c.Stride, c.Pad, c.Dtype,
+		g.TileM, g.TileN, g.TileK)
+}
+
+// FLOPs implements DLSpec.
+func (c ConvSpec) FLOPs() float64 { return c.gemm().FLOPs() }
+
+// BytesMoved implements DLSpec.
+func (c ConvSpec) BytesMoved() float64 { return c.gemm().BytesMoved() }
+
+// Intensity implements DLSpec.
+func (c ConvSpec) Intensity() float64 { return c.FLOPs() / c.BytesMoved() }
+
+// WithBatch implements DLSpec.
+func (c ConvSpec) WithBatch(n int) (DLSpec, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: batch must be positive (got %d)", n)
+	}
+	c.Batch *= n
+	return c, nil
+}
+
+// footprintGB is input + filters + output.
+func (c ConvSpec) footprintGB() float64 {
+	c = c.normalized()
+	oh, ow := c.outHW()
+	dt := float64(c.Dtype.Bytes())
+	in := float64(c.Batch) * float64(c.H) * float64(c.W) * float64(c.InC)
+	filt := float64(c.OutC) * float64(c.InC) * float64(c.KH) * float64(c.KW)
+	out := float64(c.Batch) * float64(oh) * float64(ow) * float64(c.OutC)
+	return dt * (in + filt + out) / 1e9
+}
+
+// Kernel implements DLSpec.
+func (c ConvSpec) Kernel() (Kernel, error) {
+	if err := c.Validate(); err != nil {
+		return Kernel{}, err
+	}
+	c = c.normalized()
+	k := dlKernel(c.String(), c.Intensity(), c.gemm().writeFrac(), c.footprintGB(), c.Dtype)
+	k.Description = "2D convolution (im2col-reduced, tiled)"
+	k.MaxUtilization = 0.80
+	k.MLPPerCU = 56
+	k.Activity = 0.80
+	k.CacheLocality = 0.65
+	k.CUScalingGamma = 0.10
+	return k, nil
+}
+
+// AttentionSpec is scaled-dot-product attention over Batch*Heads independent
+// (SeqQ x HeadDim) query blocks against (SeqKV x HeadDim) key/value blocks,
+// computed flash-style: scores and softmax stay on-chip, a query tile of
+// TileQ rows is held resident while K and V stream past it once. Per
+// batch-head:
+//
+//   - Q is read once and O written once:       2*SeqQ*HeadDim
+//   - K and V are each read once per Q tile:   2*SeqKV*HeadDim*ceil(SeqQ/TileQ)
+//
+// FLOPs are 4*SeqQ*SeqKV*HeadDim (QK^T plus PV, 2 flops per MAC each).
+// The prefill phase has SeqQ == SeqKV; the decode phase has SeqQ == 1
+// (one new token attending over the whole KV cache), which collapses the
+// reload factor to one and leaves the kernel memory-bound — the signature
+// serving asymmetry the inference scenario exercises.
+type AttentionSpec struct {
+	Batch, Heads int
+	SeqQ, SeqKV  int
+	HeadDim      int
+	Dtype        Dtype
+	TileQ        int
+}
+
+// AttentionPrefill builds the prompt-processing phase (SeqQ = SeqKV = seq).
+func AttentionPrefill(batch, heads, seq, headDim int, dt Dtype) AttentionSpec {
+	return AttentionSpec{Batch: batch, Heads: heads, SeqQ: seq, SeqKV: seq, HeadDim: headDim, Dtype: dt}
+}
+
+// AttentionDecode builds the token-generation phase (SeqQ = 1 over a KV
+// cache of context tokens).
+func AttentionDecode(batch, heads, context, headDim int, dt Dtype) AttentionSpec {
+	return AttentionSpec{Batch: batch, Heads: heads, SeqQ: 1, SeqKV: context, HeadDim: headDim, Dtype: dt}
+}
+
+// normalized fills the default query tile.
+func (a AttentionSpec) normalized() AttentionSpec {
+	if a.SeqQ > 0 {
+		a.TileQ = clampTile(a.TileQ, defaultTileQ, a.SeqQ)
+	}
+	return a
+}
+
+// Validate implements DLSpec.
+func (a AttentionSpec) Validate() error {
+	a = a.normalized()
+	switch {
+	case a.Batch <= 0:
+		return fmt.Errorf("workload: attention batch must be positive (got %d)", a.Batch)
+	case a.Heads <= 0:
+		return fmt.Errorf("workload: attention heads must be positive (got %d)", a.Heads)
+	case a.SeqQ <= 0:
+		return fmt.Errorf("workload: attention query length must be positive (got %d)", a.SeqQ)
+	case a.SeqKV <= 0:
+		return fmt.Errorf("workload: attention KV length must be positive (got %d)", a.SeqKV)
+	case a.HeadDim <= 0:
+		return fmt.Errorf("workload: attention head dim must be positive (got %d)", a.HeadDim)
+	case a.Dtype.Bytes() <= 0:
+		return fmt.Errorf("workload: attention has invalid dtype %v", a.Dtype)
+	case a.TileQ <= 0:
+		return fmt.Errorf("workload: attention TileQ must be positive (got %d)", a.TileQ)
+	}
+	return nil
+}
+
+// String implements DLSpec.
+func (a AttentionSpec) String() string {
+	a = a.normalized()
+	return fmt.Sprintf("attn:%dx%dx%dx%dx%d:%s:tq%d",
+		a.Batch, a.Heads, a.SeqQ, a.SeqKV, a.HeadDim, a.Dtype, a.TileQ)
+}
+
+// FLOPs implements DLSpec.
+func (a AttentionSpec) FLOPs() float64 {
+	return 4 * float64(a.Batch) * float64(a.Heads) * float64(a.SeqQ) * float64(a.SeqKV) * float64(a.HeadDim)
+}
+
+// BytesMoved implements DLSpec (see the type comment for the model).
+func (a AttentionSpec) BytesMoved() float64 {
+	a = a.normalized()
+	dt := float64(a.Dtype.Bytes())
+	perHead := 2*float64(a.SeqQ)*float64(a.HeadDim) +
+		2*float64(a.SeqKV)*float64(a.HeadDim)*float64(ceilDiv(a.SeqQ, a.TileQ))
+	return dt * float64(a.Batch) * float64(a.Heads) * perHead
+}
+
+// Intensity implements DLSpec.
+func (a AttentionSpec) Intensity() float64 { return a.FLOPs() / a.BytesMoved() }
+
+// writeFrac is the O writeback share.
+func (a AttentionSpec) writeFrac() float64 {
+	a = a.normalized()
+	o := float64(a.Dtype.Bytes()) * float64(a.Batch) * float64(a.Heads) * float64(a.SeqQ) * float64(a.HeadDim)
+	return o / a.BytesMoved()
+}
+
+// footprintGB is Q + K + V + O.
+func (a AttentionSpec) footprintGB() float64 {
+	dt := float64(a.Dtype.Bytes())
+	bh := float64(a.Batch) * float64(a.Heads)
+	return dt * bh * float64(a.HeadDim) * (2*float64(a.SeqQ) + 2*float64(a.SeqKV)) / 1e9
+}
+
+// WithBatch implements DLSpec: each coalesced request brings its own query
+// block and KV cache.
+func (a AttentionSpec) WithBatch(n int) (DLSpec, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: batch must be positive (got %d)", n)
+	}
+	a.Batch *= n
+	return a, nil
+}
+
+// Kernel implements DLSpec.
+func (a AttentionSpec) Kernel() (Kernel, error) {
+	if err := a.Validate(); err != nil {
+		return Kernel{}, err
+	}
+	a = a.normalized()
+	k := dlKernel(a.String(), a.Intensity(), a.writeFrac(), a.footprintGB(), a.Dtype)
+	if a.SeqQ == 1 {
+		k.Description = "Attention decode (one token over the KV cache)"
+		k.MaxUtilization = 0.60
+		k.MLPPerCU = 96
+		k.Activity = 0.45
+		k.CacheLocality = 0.30
+		k.CUScalingGamma = 0.25
+	} else {
+		k.Description = "Attention prefill (flash-tiled)"
+		k.MaxUtilization = 0.75
+		k.MLPPerCU = 48
+		k.Activity = 0.70
+		k.CacheLocality = 0.50
+		k.CUScalingGamma = 0.15
+	}
+	return k, nil
+}
+
+// Category thresholds on intensity (flops/byte): dense GEMMs with deep
+// reuse are compute-bound, streaming decode is memory-bound, the middle is
+// balanced — the same taxonomy §IV applies to the proxy apps.
+const (
+	computeIntensityFloor  = 16
+	balancedIntensityFloor = 2
+)
+
+// dlKernel fills the characterization fields every DL constructor shares;
+// the constructor then overlays its flavor-specific ones.
+func dlKernel(name string, intensity, writeFrac, footGB float64, dt Dtype) Kernel {
+	cat := MemoryIntensive
+	switch {
+	case intensity >= computeIntensityFloor:
+		cat = ComputeIntensive
+	case intensity >= balancedIntensityFloor:
+		cat = Balanced
+	}
+	if footGB <= 0 {
+		footGB = 1e-6
+	}
+	return Kernel{
+		Name:            name,
+		Category:        cat,
+		Intensity:       intensity,
+		WriteFrac:       writeFrac,
+		FootprintGB:     footGB,
+		ExtTrafficFrac:  0, // weights and KV caches resident in-package
+		SerialFrac:      0.0005,
+		Compressibility: dt.compressibility(),
+		Trace:           dlTraceGen(footGB, writeFrac),
+	}
+}
+
+// dlTraceGen synthesizes the tile-streaming access pattern dense DL kernels
+// share: long unit-stride runs within an operand tile, jumps between tiles,
+// and a write stream at the kernel's store fraction.
+func dlTraceGen(footGB, writeFrac float64) TraceGen {
+	fp := uint64(footGB * 1e9)
+	if fp < 1<<20 {
+		fp = 1 << 20
+	}
+	fp -= fp % lineBytes
+	return func(seed int64, n int) []Access {
+		rng := rand.New(rand.NewSource(seed))
+		const tileBytes = 1 << 16 // one staged operand tile
+		tiles := fp / tileBytes
+		if tiles == 0 {
+			tiles = 1
+		}
+		out := make([]Access, 0, n)
+		for len(out) < n {
+			base := (uint64(rng.Int63()) % tiles) * tileBytes
+			for i := 0; i < 128 && len(out) < n; i++ {
+				a := Access{Addr: base + uint64(i)*8, Value: smoothField(0.02, i)}
+				if rng.Float64() < writeFrac {
+					a.Write = true
+				}
+				out = append(out, a)
+			}
+		}
+		return out
+	}
+}
+
+// Transformer block dimensions of the serving presets (a LLaMA-7B-class
+// layer: hidden 4096, 32 heads of 128, 4x MLP).
+const (
+	tfHidden  = 4096
+	tfHeads   = 32
+	tfHeadDim = tfHidden / tfHeads
+	tfFFN     = 4 * tfHidden
+)
+
+// TransformerBlock is one decoder layer as a served workload: the QKV,
+// output, and MLP projections (GEMMs whose weight operands batching
+// amortizes) around the attention core. Decode selects the token-generation
+// phase (one query token per sequence over a Ctx-deep KV cache); otherwise
+// the block processes Seq prompt tokens per sequence (prefill).
+type TransformerBlock struct {
+	Batch  int
+	Seq    int // prompt tokens per sequence (prefill; ignored for decode)
+	Ctx    int // KV-cache depth (decode)
+	Dtype  Dtype
+	Decode bool
+}
+
+// TransformerPrefill is the prompt phase of the preset block.
+func TransformerPrefill(batch, seq int) TransformerBlock {
+	return TransformerBlock{Batch: batch, Seq: seq, Dtype: FP16}
+}
+
+// TransformerDecode is the generation phase of the preset block.
+func TransformerDecode(batch, ctx int) TransformerBlock {
+	return TransformerBlock{Batch: batch, Ctx: ctx, Dtype: FP16, Decode: true}
+}
+
+// Validate checks the block shape.
+func (b TransformerBlock) Validate() error {
+	switch {
+	case b.Batch <= 0:
+		return fmt.Errorf("workload: transformer batch must be positive (got %d)", b.Batch)
+	case b.Decode && b.Ctx <= 0:
+		return fmt.Errorf("workload: transformer decode context must be positive (got %d)", b.Ctx)
+	case !b.Decode && b.Seq <= 0:
+		return fmt.Errorf("workload: transformer prefill sequence must be positive (got %d)", b.Seq)
+	case b.Dtype.Bytes() <= 0:
+		return fmt.Errorf("workload: transformer has invalid dtype %v", b.Dtype)
+	}
+	return nil
+}
+
+// specs lists the block's kernels in execution order.
+func (b TransformerBlock) specs() []DLSpec {
+	tokens := b.Batch * b.Seq
+	attn := AttentionPrefill(b.Batch, tfHeads, b.Seq, tfHeadDim, b.Dtype)
+	if b.Decode {
+		tokens = b.Batch
+		attn = AttentionDecode(b.Batch, tfHeads, b.Ctx, tfHeadDim, b.Dtype)
+	}
+	return []DLSpec{
+		NewGEMM(tokens, 3*tfHidden, tfHidden, b.Dtype), // QKV projection
+		attn,
+		NewGEMM(tokens, tfHidden, tfHidden, b.Dtype), // output projection
+		NewGEMM(tokens, tfFFN, tfHidden, b.Dtype),    // MLP up
+		NewGEMM(tokens, tfHidden, tfFFN, b.Dtype),    // MLP down
+	}
+}
+
+// FLOPs is the block's total work (the serving scenario's unit of service).
+func (b TransformerBlock) FLOPs() float64 {
+	var s float64
+	for _, sp := range b.specs() {
+		s += sp.FLOPs()
+	}
+	return s
+}
+
+// Name is the block's canonical identity.
+func (b TransformerBlock) Name() string {
+	if b.Decode {
+		return fmt.Sprintf("tfblock-decode-b%d-c%d-%s", b.Batch, b.Ctx, b.Dtype)
+	}
+	return fmt.Sprintf("tfblock-prefill-b%d-s%d-%s", b.Batch, b.Seq, b.Dtype)
+}
+
+// App assembles the block as an Application whose phase weights are each
+// kernel's flops share, so SimulateApp's harmonic aggregate prices the whole
+// layer.
+func (b TransformerBlock) App() (Application, error) {
+	if err := b.Validate(); err != nil {
+		return Application{}, err
+	}
+	total := b.FLOPs()
+	app := Application{Name: b.Name()}
+	for _, sp := range b.specs() {
+		k, err := sp.Kernel()
+		if err != nil {
+			return Application{}, err
+		}
+		app.Phases = append(app.Phases, AppPhase{Kernel: k, Weight: sp.FLOPs() / total})
+	}
+	return app, nil
+}
+
+// DLSuite returns the representative deep-learning kernels (the DL analogue
+// of Suite's Table I): a large dense GEMM, a ResNet-style convolution, and
+// the two attention phases at serving shapes.
+func DLSuite() []Kernel {
+	specs := []DLSpec{
+		NewGEMM(4096, 4096, 4096, FP16),
+		NewConv(8, 56, 56, 64, 128, 3, 3, FP16),
+		AttentionPrefill(1, tfHeads, 2048, tfHeadDim, FP16),
+		AttentionDecode(8, tfHeads, 2048, tfHeadDim, FP16),
+	}
+	out := make([]Kernel, len(specs))
+	for i, sp := range specs {
+		k, err := sp.Kernel()
+		if err != nil {
+			// The suite's shapes are positive constants.
+			panic(err)
+		}
+		out[i] = k
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParseDL asserts the DL spec parser never panics, and that every spec
+// it accepts is already canonical: String() re-parses to an identical spec
+// (the fixed point /v1/simulate's cache keys and the kernel names rely on),
+// and the derived characterization is finite — a parse that slipped a
+// degenerate shape through would poison the roofline silently.
+func FuzzParseDL(f *testing.F) {
+	for _, seed := range []string{
+		"", "gemm", "gemm:4096x4096x4096:fp16", "gemm:64x64x64:half:t16x16x16",
+		"gemm:1x1x1:fp64", "gemm:0x4x4:fp16", "gemm:-1x4x4:fp16", "gemm:4x4:fp16",
+		"gemm:4x4x4:int9", "gemm:4x4x4:fp16:16x16x16", "gemm:99999999999999999999x4x4:fp16",
+		"conv:8x56x56x64:128x3x3:fp16", "conv:1x224x224x3:64x7x7:s2p3:fp32",
+		"conv:1x8x8x4:2x3x3:s0p1:fp16", "conv:1x4x4x4:4x9x9:s1p0:fp16",
+		"conv:1x8x8x4:2x3x3:double:t8x2x36", "conv:1x8x8x4:2x3x3:sXpY:fp16",
+		"attn:1x32x2048x2048x128:fp16", "attn:8x32x1x2048x128:fp16:tq1",
+		"attn:1x8x512x512x64:bfloat16:tq64", "attn:1x1x1x1x1:int8", "attn:1x32x2048x128:fp16",
+		"ATTN:1X32X1X2048X128:FP16", " gemm:4x4x4:fp16 ", "gemm:4x4x4:fp16:t0x0x0",
+		"lstm:4x4:fp16", ":::", "gemm::fp16", "attn:1x32x1x2048x128:fp16:tq999999",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		sp, err := ParseDL(s)
+		if err != nil {
+			return
+		}
+		canon := sp.String()
+		sp2, err := ParseDL(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q (from %q) does not re-parse: %v", canon, s, err)
+		}
+		if sp2.String() != canon {
+			t.Fatalf("canonical form not a fixed point: %q -> %q -> %q", s, canon, sp2.String())
+		}
+		if v := sp.Intensity(); math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			t.Fatalf("accepted spec %q has intensity %v", canon, v)
+		}
+		k, err := sp.Kernel()
+		if err != nil {
+			t.Fatalf("accepted spec %q cannot derive a kernel: %v", canon, err)
+		}
+		if err := k.Validate(); err != nil {
+			t.Fatalf("accepted spec %q derived an invalid kernel: %v", canon, err)
+		}
+	})
+}
+
+// FuzzParseBatchList asserts the batch-list parser never panics and that
+// accepted lists are canonical: sorted, deduplicated, and a fixed point of
+// Format/Parse (the property that makes permuted serving requests share one
+// cache slot).
+func FuzzParseBatchList(f *testing.F) {
+	for _, seed := range []string{
+		"", "1", "1,2,4,8", "8,4,2,1", "1,1,1", " 4 , 2 ", "0", "-1", "x",
+		"1,,2", ",", "1,2,1048577", "1048576", "99999999999999999999",
+		"1,2,3,4,5,6,7,8,9,10", "32,16,32,16",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		batches, err := ParseBatchList(s)
+		if err != nil {
+			return
+		}
+		if len(batches) == 0 || len(batches) > maxBatchListLen {
+			t.Fatalf("accepted list %q has %d entries", s, len(batches))
+		}
+		for i, b := range batches {
+			if b <= 0 {
+				t.Fatalf("accepted list %q contains non-positive batch %d", s, b)
+			}
+			if i > 0 && batches[i-1] >= b {
+				t.Fatalf("accepted list %q is not strictly increasing: %v", s, batches)
+			}
+		}
+		canon := FormatBatchList(batches)
+		again, err := ParseBatchList(canon)
+		if err != nil {
+			t.Fatalf("canonical list %q (from %q) does not re-parse: %v", canon, s, err)
+		}
+		if FormatBatchList(again) != canon {
+			t.Fatalf("canonical list not a fixed point: %q -> %q -> %q", s, canon, FormatBatchList(again))
+		}
+	})
+}

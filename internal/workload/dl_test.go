@@ -1,0 +1,375 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// bruteGEMMBytes walks every (M-tile, N-tile) pass of the blocked GEMM and
+// counts operand bytes the way the hardware would move them: the A block and
+// B block staged for the pass, and the C block read and written once. The
+// closed-form BytesMoved must match this walk exactly (integer-valued
+// float64 arithmetic, so equality is exact, not approximate).
+func bruteGEMMBytes(g GEMMSpec) float64 {
+	g = g.normalized()
+	dt := float64(g.Dtype.Bytes())
+	var bytes float64
+	for i0 := 0; i0 < g.M; i0 += g.TileM {
+		mi := min(g.TileM, g.M-i0)
+		for j0 := 0; j0 < g.N; j0 += g.TileN {
+			nj := min(g.TileN, g.N-j0)
+			bytes += dt * (float64(mi)*float64(g.K) + float64(g.K)*float64(nj) + 2*float64(mi)*float64(nj))
+		}
+	}
+	return bytes
+}
+
+// bruteAttentionBytes walks the flash-attention schedule per batch-head:
+// Q read and O written once, K and V streamed past every query tile.
+func bruteAttentionBytes(a AttentionSpec) float64 {
+	a = a.normalized()
+	dt := float64(a.Dtype.Bytes())
+	var bytes float64
+	for bh := 0; bh < a.Batch*a.Heads; bh++ {
+		bytes += dt * 2 * float64(a.SeqQ) * float64(a.HeadDim)
+		for q0 := 0; q0 < a.SeqQ; q0 += a.TileQ {
+			bytes += dt * 2 * float64(a.SeqKV) * float64(a.HeadDim)
+		}
+	}
+	return bytes
+}
+
+func TestGEMMBytesMatchTileWalk(t *testing.T) {
+	shapes := []GEMMSpec{
+		NewGEMM(512, 512, 512, FP16),
+		NewGEMM(1000, 300, 7, FP32),  // ragged: tiles don't divide the shape
+		NewGEMM(1, 4096, 4096, FP16), // single-row (decode-style) GEMM
+		NewGEMM(129, 127, 65, FP64),  // one past / one short of the tile edge
+		{M: 777, N: 333, K: 111, Dtype: INT8, TileM: 48, TileN: 80, TileK: 16},
+		{M: 64, N: 64, K: 64, Dtype: BF16, TileM: 256, TileN: 256, TileK: 256}, // tiles clamp to shape
+	}
+	for _, g := range shapes {
+		if got, want := g.BytesMoved(), bruteGEMMBytes(g); got != want {
+			t.Errorf("%s: analytic bytes %v != tile-walk bytes %v", g, got, want)
+		}
+	}
+}
+
+func TestConvBytesMatchTileWalk(t *testing.T) {
+	convs := []ConvSpec{
+		NewConv(4, 56, 56, 64, 128, 3, 3, FP16),
+		NewConv(1, 224, 224, 3, 64, 7, 7, FP32),
+		{Batch: 2, H: 13, W: 17, InC: 5, OutC: 9, KH: 3, KW: 5, Stride: 2, Pad: 1, Dtype: FP16},
+	}
+	for _, c := range convs {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%s: %v", c, err)
+		}
+		if got, want := c.BytesMoved(), bruteGEMMBytes(c.gemm()); got != want {
+			t.Errorf("%s: analytic bytes %v != reduced-GEMM tile walk %v", c, got, want)
+		}
+	}
+}
+
+func TestAttentionBytesMatchTileWalk(t *testing.T) {
+	attns := []AttentionSpec{
+		AttentionPrefill(2, 8, 512, 64, FP16),
+		AttentionDecode(4, 32, 2048, 128, FP16),
+		{Batch: 1, Heads: 3, SeqQ: 100, SeqKV: 333, HeadDim: 48, Dtype: FP32, TileQ: 33},
+	}
+	for _, a := range attns {
+		if err := a.Validate(); err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		if got, want := a.BytesMoved(), bruteAttentionBytes(a); got != want {
+			t.Errorf("%s: analytic bytes %v != tile-walk bytes %v", a, got, want)
+		}
+	}
+}
+
+// TestIntensityMonotoneInTiles pins the central tiling property: shrinking
+// any traffic-relevant tile can only add reload passes, so intensity is
+// monotone non-increasing as the tile shrinks (equal is allowed — TileK
+// never changes DRAM traffic, and tiles already covering the extent are
+// equivalent).
+func TestIntensityMonotoneInTiles(t *testing.T) {
+	tiles := []int{4096, 1024, 512, 128, 100, 64, 17, 8, 3, 1}
+	g0 := NewGEMM(1536, 1280, 768, FP16)
+	for _, axis := range []struct {
+		name string
+		set  func(*GEMMSpec, int)
+	}{
+		{"TileM", func(g *GEMMSpec, v int) { g.TileM = v }},
+		{"TileN", func(g *GEMMSpec, v int) { g.TileN = v }},
+		{"TileK", func(g *GEMMSpec, v int) { g.TileK = v }},
+	} {
+		prev := math.Inf(1)
+		for _, tile := range tiles {
+			g := g0
+			axis.set(&g, tile)
+			got := g.Intensity()
+			if math.IsNaN(got) || got <= 0 {
+				t.Fatalf("gemm %s=%d: intensity %v", axis.name, tile, got)
+			}
+			if got > prev {
+				t.Errorf("gemm intensity increased as %s shrank to %d: %v > %v", axis.name, tile, got, prev)
+			}
+			prev = got
+		}
+	}
+
+	prev := math.Inf(1)
+	for _, tile := range tiles {
+		a := AttentionPrefill(1, 8, 1024, 64, FP16)
+		a.TileQ = tile
+		got := a.Intensity()
+		if got > prev {
+			t.Errorf("attention intensity increased as TileQ shrank to %d: %v > %v", tile, got, prev)
+		}
+		prev = got
+	}
+}
+
+// TestDegenerateShapesStayFinite covers the shapes that used to be easy to
+// get wrong: unit dimensions, batch-1 decode, single-pixel conv. All must
+// produce finite positive work/traffic/intensity and a Kernel that passes
+// Validate.
+func TestDegenerateShapesStayFinite(t *testing.T) {
+	specs := []DLSpec{
+		NewGEMM(1, 1, 1, FP64),
+		NewGEMM(1, 4096, 4096, FP16),
+		NewGEMM(4096, 1, 1, INT8),
+		NewConv(1, 1, 1, 1, 1, 1, 1, FP32),
+		AttentionDecode(1, 1, 1, 1, FP16),
+		AttentionDecode(1, 32, 2048, 128, FP16),
+		AttentionSpec{Batch: 1, Heads: 1, SeqQ: 1, SeqKV: 1, HeadDim: 1, Dtype: BF16},
+	}
+	for _, sp := range specs {
+		for name, v := range map[string]float64{
+			"FLOPs": sp.FLOPs(), "bytes": sp.BytesMoved(), "intensity": sp.Intensity(),
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+				t.Errorf("%s: %s = %v, want finite positive", sp, name, v)
+			}
+		}
+		k, err := sp.Kernel()
+		if err != nil {
+			t.Errorf("%s: Kernel() failed: %v", sp, err)
+			continue
+		}
+		if err := k.Validate(); err != nil {
+			t.Errorf("%s: derived kernel invalid: %v", sp, err)
+		}
+	}
+}
+
+// TestSpecStringFixedPoint pins the canonical-form property the service
+// cache keys rely on: String() re-parses to a spec with the identical
+// string, and equivalent spellings converge on it.
+func TestSpecStringFixedPoint(t *testing.T) {
+	specs := []DLSpec{
+		NewGEMM(4096, 4096, 4096, FP16),
+		GEMMSpec{M: 100, N: 100, K: 100, Dtype: FP32, TileM: 999, TileN: 1, TileK: 50},
+		NewConv(8, 56, 56, 64, 128, 3, 3, FP16),
+		AttentionPrefill(1, 32, 2048, 128, FP16),
+		AttentionDecode(8, 32, 2048, 128, INT8),
+	}
+	for _, sp := range specs {
+		canon := sp.String()
+		re, err := ParseDL(canon)
+		if err != nil {
+			t.Errorf("canonical form %q does not re-parse: %v", canon, err)
+			continue
+		}
+		if re.String() != canon {
+			t.Errorf("canonical form not a fixed point: %q -> %q", canon, re.String())
+		}
+	}
+	// Dtype aliases and omitted tile sections land on the same canonical form.
+	aliases := map[string]string{
+		"gemm:64x64x64:half":           "gemm:64x64x64:fp16:t64x64x64",
+		"GEMM:64x64x64:FP16:t64x64x64": "gemm:64x64x64:fp16:t64x64x64",
+		"attn:1x8x512x512x64:bfloat16": "attn:1x8x512x512x64:bf16:tq64",
+		"conv:1x8x8x4:2x3x3:double":    "conv:1x8x8x4:2x3x3:s1p1:fp64:t64x2x36",
+	}
+	for in, want := range aliases {
+		sp, err := ParseDL(in)
+		if err != nil {
+			t.Errorf("ParseDL(%q): %v", in, err)
+			continue
+		}
+		if sp.String() != want {
+			t.Errorf("ParseDL(%q) canonicalized to %q, want %q", in, sp.String(), want)
+		}
+	}
+}
+
+func TestWithBatchScalesWork(t *testing.T) {
+	specs := []DLSpec{
+		NewGEMM(128, 4096, 4096, FP16),
+		NewConv(1, 56, 56, 64, 128, 3, 3, FP16),
+		AttentionDecode(1, 32, 2048, 128, FP16),
+	}
+	for _, sp := range specs {
+		b4, err := sp.WithBatch(4)
+		if err != nil {
+			t.Fatalf("%s: %v", sp, err)
+		}
+		if got, want := b4.FLOPs(), 4*sp.FLOPs(); got != want {
+			t.Errorf("%s: batch-4 FLOPs %v, want exactly 4x %v", sp, got, want)
+		}
+		// Batching never hurts reuse: bytes grow at most linearly, so
+		// intensity is monotone non-decreasing in batch.
+		if b4.Intensity() < sp.Intensity() {
+			t.Errorf("%s: batching reduced intensity: %v -> %v", sp, sp.Intensity(), b4.Intensity())
+		}
+		if _, err := sp.WithBatch(0); err == nil {
+			t.Errorf("%s: WithBatch(0) accepted", sp)
+		}
+	}
+	// The serving asymmetry: batch amortizes GEMM weight traffic
+	// substantially, decode-attention KV traffic not at all.
+	g := NewGEMM(1, 4096, 4096, FP16)
+	g8, _ := g.WithBatch(8)
+	if gain := g8.Intensity() / g.Intensity(); gain < 4 {
+		t.Errorf("batch-8 decode GEMM intensity gain %v, want near-linear (>4x)", gain)
+	}
+	a := AttentionDecode(1, 32, 2048, 128, FP16)
+	a8, _ := a.WithBatch(8)
+	if gain := a8.Intensity() / a.Intensity(); gain > 1.01 {
+		t.Errorf("batch-8 decode attention intensity gain %v, want ~1 (KV traffic scales with batch)", gain)
+	}
+}
+
+// TestSpecValidationErrors is the table-driven error-path coverage for the
+// spec constructors: every rejected parameter produces a descriptive error,
+// never a NaN/Inf kernel.
+func TestSpecValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		spec DLSpec
+		want string
+	}{
+		{"gemm zero M", GEMMSpec{M: 0, N: 4, K: 4, Dtype: FP16}, "M must be positive"},
+		{"gemm negative N", GEMMSpec{M: 4, N: -1, K: 4, Dtype: FP16}, "N must be positive"},
+		{"gemm zero K", GEMMSpec{M: 4, N: 4, K: 0, Dtype: FP16}, "K must be positive"},
+		{"gemm bad dtype", GEMMSpec{M: 4, N: 4, K: 4, Dtype: Dtype(99)}, "invalid dtype"},
+		{"gemm negative tile", GEMMSpec{M: 4, N: 4, K: 4, Dtype: FP16, TileM: -8}, "TileM must be positive"},
+		{"conv zero batch", ConvSpec{H: 8, W: 8, InC: 4, OutC: 4, KH: 3, KW: 3, Dtype: FP16}, "batch must be positive"},
+		{"conv negative stride", ConvSpec{Batch: 1, H: 8, W: 8, InC: 4, OutC: 4, KH: 3, KW: 3, Stride: -2, Dtype: FP16}, "stride must be positive"},
+		{"conv filter too big", ConvSpec{Batch: 1, H: 4, W: 4, InC: 4, OutC: 4, KH: 9, KW: 9, Stride: 1, Pad: 0, Dtype: FP16}, "output extent"},
+		{"conv negative pad", ConvSpec{Batch: 1, H: 8, W: 8, InC: 4, OutC: 4, KH: 3, KW: 3, Stride: 1, Pad: -1, Dtype: FP16}, "padding must be non-negative"},
+		{"attn zero heads", AttentionSpec{Batch: 1, SeqQ: 8, SeqKV: 8, HeadDim: 8, Dtype: FP16}, "heads must be positive"},
+		{"attn zero kv", AttentionSpec{Batch: 1, Heads: 2, SeqQ: 8, SeqKV: 0, HeadDim: 8, Dtype: FP16}, "KV length must be positive"},
+		{"attn negative tile", AttentionSpec{Batch: 1, Heads: 2, SeqQ: 8, SeqKV: 8, HeadDim: 8, Dtype: FP16, TileQ: -4}, "TileQ must be positive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.spec.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted %+v", tc.spec)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+			if _, kerr := tc.spec.Kernel(); kerr == nil {
+				t.Fatalf("Kernel() accepted invalid spec %+v", tc.spec)
+			}
+		})
+	}
+}
+
+// TestKernelValidateRejectsNonFinite is the Kernel-level hardening: NaN/Inf
+// and out-of-range characterization fields are named in the error instead of
+// flowing into the roofline.
+func TestKernelValidateRejectsNonFinite(t *testing.T) {
+	base := func() Kernel {
+		k, err := NewGEMM(64, 64, 64, FP16).Kernel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	cases := []struct {
+		name string
+		mod  func(*Kernel)
+		want string
+	}{
+		{"nan intensity", func(k *Kernel) { k.Intensity = math.NaN() }, "non-finite intensity"},
+		{"inf intensity", func(k *Kernel) { k.Intensity = math.Inf(1) }, "non-finite intensity"},
+		{"nan footprint", func(k *Kernel) { k.FootprintGB = math.NaN() }, "non-finite footprint"},
+		{"inf MLP", func(k *Kernel) { k.MLPPerCU = math.Inf(-1) }, "non-finite MLP"},
+		{"nan write frac", func(k *Kernel) { k.WriteFrac = math.NaN() }, "non-finite write fraction"},
+		{"nan gamma", func(k *Kernel) { k.CUScalingGamma = math.NaN() }, "non-finite CU scaling gamma"},
+		{"negative gamma", func(k *Kernel) { k.CUScalingGamma = -0.1 }, "negative CU scaling gamma"},
+		{"negative footprint", func(k *Kernel) { k.FootprintGB = -1 }, "negative footprint"},
+		{"negative thrash opb", func(k *Kernel) { k.ThrashOPB = -1 }, "negative thrash ops-per-byte"},
+		{"serial frac above one", func(k *Kernel) { k.SerialFrac = 1.5 }, "serial fraction out of [0,1]"},
+		{"zero intensity", func(k *Kernel) { k.Intensity = 0 }, "non-positive intensity"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			k := base()
+			tc.mod(&k)
+			err := k.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted a corrupted kernel")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	// Every suite and DL-suite kernel still validates after the hardening.
+	for _, k := range append(Suite(), DLSuite()...) {
+		if err := k.Validate(); err != nil {
+			t.Errorf("%s: %v", k.Name, err)
+		}
+	}
+}
+
+func TestTransformerBlockApp(t *testing.T) {
+	for _, b := range []TransformerBlock{
+		TransformerPrefill(1, 2048),
+		TransformerPrefill(8, 512),
+		TransformerDecode(1, 2048),
+		TransformerDecode(32, 4096),
+	} {
+		app, err := b.App()
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		if err := app.Validate(); err != nil {
+			t.Errorf("%s: app invalid: %v", b.Name(), err)
+		}
+		var wsum float64
+		for _, ph := range app.Phases {
+			wsum += ph.Weight
+		}
+		if math.Abs(wsum-1) > 1e-12 {
+			t.Errorf("%s: phase weights sum to %v, want 1", b.Name(), wsum)
+		}
+	}
+	if _, err := TransformerDecode(0, 2048).App(); err == nil {
+		t.Error("zero-batch transformer block accepted")
+	}
+	if _, err := TransformerPrefill(1, 0).App(); err == nil {
+		t.Error("zero-seq prefill block accepted")
+	}
+}
+
+func TestParseBatchList(t *testing.T) {
+	got, err := ParseBatchList(" 8, 1,4, 4 ,2 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FormatBatchList(got) != "1,2,4,8" {
+		t.Errorf("canonical batch list %q, want 1,2,4,8", FormatBatchList(got))
+	}
+	for _, bad := range []string{"", " , ", "1,x", "0", "-3", "1,2,1048577"} {
+		if _, err := ParseBatchList(bad); err == nil {
+			t.Errorf("ParseBatchList(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Spec-string grammar for the DL kernel generators (the wire form the
+// service's /v1/simulate and the CLI accept). Colon-separated sections;
+// dimension lists are 'x'-separated positive integers:
+//
+//	gemm:<M>x<N>x<K>:<dtype>[:t<TM>x<TN>x<TK>]
+//	conv:<B>x<H>x<W>x<C>:<F>x<KH>x<KW>[:s<S>p<P>]:<dtype>[:t<TM>x<TN>x<TK>]
+//	attn:<B>x<H>x<Lq>x<Lkv>x<D>:<dtype>[:tq<TQ>]
+//
+// Omitted tile/stride sections take the documented defaults. ParseDL
+// returns the typed spec; its String() is the canonical form (defaults
+// materialized, tiles clamped to the shape) and re-parses to itself — the
+// fixed-point property the fuzz target pins, and what makes spec strings
+// safe as cache keys and kernel names.
+
+// ParseDL parses a DL kernel spec string.
+func ParseDL(s string) (DLSpec, error) {
+	parts := strings.Split(strings.TrimSpace(s), ":")
+	if len(parts) < 2 {
+		return nil, fmt.Errorf("workload: DL spec %q: want kind:dims:dtype[:tiles]", s)
+	}
+	kind := strings.ToLower(strings.TrimSpace(parts[0]))
+	rest := parts[1:]
+	switch kind {
+	case "gemm":
+		return parseGEMM(rest)
+	case "conv":
+		return parseConv(rest)
+	case "attn":
+		return parseAttn(rest)
+	}
+	return nil, fmt.Errorf("workload: unknown DL kernel kind %q (want gemm, conv or attn)", parts[0])
+}
+
+// ParseDLKernel parses a spec string and derives its Kernel.
+func ParseDLKernel(s string) (Kernel, error) {
+	spec, err := ParseDL(s)
+	if err != nil {
+		return Kernel{}, err
+	}
+	return spec.Kernel()
+}
+
+// ParseDtype resolves a dtype name.
+func ParseDtype(s string) (Dtype, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "fp64", "f64", "double":
+		return FP64, nil
+	case "fp32", "f32", "float":
+		return FP32, nil
+	case "fp16", "f16", "half":
+		return FP16, nil
+	case "bf16", "bfloat16":
+		return BF16, nil
+	case "int8", "i8":
+		return INT8, nil
+	}
+	return 0, fmt.Errorf("workload: unknown dtype %q (want fp64, fp32, fp16, bf16 or int8)", s)
+}
+
+// dims parses an 'x'-separated list of exactly n positive integers.
+func dims(s string, n int, what string) ([]int, error) {
+	fields := strings.Split(s, "x")
+	if len(fields) != n {
+		return nil, fmt.Errorf("workload: %s %q: want %d 'x'-separated dimensions", what, s, n)
+	}
+	out := make([]int, n)
+	for i, f := range fields {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("workload: %s %q: bad dimension %q", what, s, f)
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("workload: %s %q: dimension %d must be positive", what, s, v)
+		}
+		// Dimensions are operand extents; bound them so derived products
+		// stay well inside float64-exact integer range.
+		if v > 1<<24 {
+			return nil, fmt.Errorf("workload: %s %q: dimension %d too large (max %d)", what, s, v, 1<<24)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// tileSection parses an optional trailing "t<TM>x<TN>x<TK>" section.
+func tileSection(s string) (tm, tn, tk int, err error) {
+	if !strings.HasPrefix(s, "t") {
+		return 0, 0, 0, fmt.Errorf("workload: tile section %q: want t<M>x<N>x<K>", s)
+	}
+	d, err := dims(s[1:], 3, "tile")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return d[0], d[1], d[2], nil
+}
+
+func parseGEMM(parts []string) (DLSpec, error) {
+	if len(parts) < 2 || len(parts) > 3 {
+		return nil, fmt.Errorf("workload: gemm spec: want gemm:MxNxK:dtype[:tTMxTNxTK]")
+	}
+	d, err := dims(parts[0], 3, "gemm shape")
+	if err != nil {
+		return nil, err
+	}
+	dt, err := ParseDtype(parts[1])
+	if err != nil {
+		return nil, err
+	}
+	g := NewGEMM(d[0], d[1], d[2], dt)
+	if len(parts) == 3 {
+		if g.TileM, g.TileN, g.TileK, err = tileSection(parts[2]); err != nil {
+			return nil, err
+		}
+	}
+	g = g.normalized()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func parseConv(parts []string) (DLSpec, error) {
+	if len(parts) < 3 || len(parts) > 5 {
+		return nil, fmt.Errorf("workload: conv spec: want conv:BxHxWxC:FxKHxKW[:sSpP]:dtype[:tTMxTNxTK]")
+	}
+	in, err := dims(parts[0], 4, "conv input")
+	if err != nil {
+		return nil, err
+	}
+	filt, err := dims(parts[1], 3, "conv filter")
+	if err != nil {
+		return nil, err
+	}
+	c := ConvSpec{
+		Batch: in[0], H: in[1], W: in[2], InC: in[3],
+		OutC: filt[0], KH: filt[1], KW: filt[2],
+		Stride: 1, Pad: filt[1] / 2,
+	}
+	rest := parts[2:]
+	// Optional stride/pad section.
+	if strings.HasPrefix(rest[0], "s") {
+		sp := rest[0][1:]
+		i := strings.IndexByte(sp, 'p')
+		if i < 0 {
+			return nil, fmt.Errorf("workload: conv stride section %q: want s<stride>p<pad>", rest[0])
+		}
+		if c.Stride, err = strconv.Atoi(sp[:i]); err != nil {
+			return nil, fmt.Errorf("workload: conv stride %q: %v", sp[:i], err)
+		}
+		if c.Stride <= 0 {
+			// Explicit zero would otherwise be indistinguishable from the
+			// omitted-section default.
+			return nil, fmt.Errorf("workload: conv stride must be positive (got %d)", c.Stride)
+		}
+		if c.Pad, err = strconv.Atoi(sp[i+1:]); err != nil {
+			return nil, fmt.Errorf("workload: conv padding %q: %v", sp[i+1:], err)
+		}
+		rest = rest[1:]
+	}
+	if len(rest) < 1 || len(rest) > 2 {
+		return nil, fmt.Errorf("workload: conv spec: want conv:BxHxWxC:FxKHxKW[:sSpP]:dtype[:tTMxTNxTK]")
+	}
+	if c.Dtype, err = ParseDtype(rest[0]); err != nil {
+		return nil, err
+	}
+	if len(rest) == 2 {
+		if c.TileM, c.TileN, c.TileK, err = tileSection(rest[1]); err != nil {
+			return nil, err
+		}
+	}
+	c = c.normalized()
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func parseAttn(parts []string) (DLSpec, error) {
+	if len(parts) < 2 || len(parts) > 3 {
+		return nil, fmt.Errorf("workload: attn spec: want attn:BxHxLqxLkvxD:dtype[:tqN]")
+	}
+	d, err := dims(parts[0], 5, "attention shape")
+	if err != nil {
+		return nil, err
+	}
+	a := AttentionSpec{Batch: d[0], Heads: d[1], SeqQ: d[2], SeqKV: d[3], HeadDim: d[4]}
+	if a.Dtype, err = ParseDtype(parts[1]); err != nil {
+		return nil, err
+	}
+	if len(parts) == 3 {
+		if !strings.HasPrefix(parts[2], "tq") {
+			return nil, fmt.Errorf("workload: attention tile section %q: want tq<N>", parts[2])
+		}
+		td, err := dims(parts[2][2:], 1, "attention tile")
+		if err != nil {
+			return nil, err
+		}
+		a.TileQ = td[0]
+	}
+	a = a.normalized()
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// maxBatchListLen bounds batch sweeps: a serving experiment per batch size
+// is real simulation work, so runaway lists are a client error.
+const maxBatchListLen = 64
+
+// ParseBatchList parses a comma-separated list of positive batch sizes into
+// a sorted, deduplicated slice — the canonical form FormatBatchList renders,
+// so permuted and duplicated spellings share one cache identity.
+func ParseBatchList(s string) ([]int, error) {
+	fields := strings.Split(s, ",")
+	var out []int
+	for _, f := range fields {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("workload: batch list %q: bad entry %q", s, f)
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("workload: batch list %q: batch %d must be positive", s, v)
+		}
+		if v > 1<<20 {
+			return nil, fmt.Errorf("workload: batch list %q: batch %d too large (max %d)", s, v, 1<<20)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("workload: batch list %q is empty", s)
+	}
+	sort.Ints(out)
+	w := 0
+	for i, v := range out {
+		if i == 0 || v != out[w-1] {
+			out[w] = v
+			w++
+		}
+	}
+	out = out[:w]
+	if len(out) > maxBatchListLen {
+		return nil, fmt.Errorf("workload: batch list %q: %d entries (max %d)", s, len(out), maxBatchListLen)
+	}
+	return out, nil
+}
+
+// FormatBatchList renders the canonical batch-list form.
+func FormatBatchList(batches []int) string {
+	parts := make([]string, len(batches))
+	for i, b := range batches {
+		parts[i] = strconv.Itoa(b)
+	}
+	return strings.Join(parts, ",")
+}

@@ -10,7 +10,10 @@
 // event-driven simulators.
 package workload
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Category classifies kernels as in §IV.
 type Category int
@@ -107,8 +110,35 @@ type Kernel struct {
 	Trace TraceGen
 }
 
-// Validate checks that the characterization is internally consistent.
+// Validate checks that the characterization is internally consistent. Every
+// numeric field is also required to be finite: a NaN or Inf intensity (the
+// failure mode of a zero-sized or negatively-tiled DL spec fed straight to
+// the constructors) would otherwise flow through the roofline silently and
+// poison every downstream figure. NaN compares false against everything, so
+// the range checks alone would pass it.
 func (k Kernel) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"intensity", k.Intensity},
+		{"utilization", k.MaxUtilization},
+		{"MLP", k.MLPPerCU},
+		{"activity", k.Activity},
+		{"locality", k.CacheLocality},
+		{"external traffic fraction", k.ExtTrafficFrac},
+		{"write fraction", k.WriteFrac},
+		{"footprint", k.FootprintGB},
+		{"thrash ops-per-byte", k.ThrashOPB},
+		{"thrash slope", k.ThrashSlope},
+		{"serial fraction", k.SerialFrac},
+		{"CU scaling gamma", k.CUScalingGamma},
+		{"compression ratio", k.Compressibility},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("workload %s: non-finite %s (%v)", k.Name, f.name, f.v)
+		}
+	}
 	switch {
 	case k.Name == "":
 		return fmt.Errorf("workload: kernel without a name")
@@ -128,6 +158,14 @@ func (k Kernel) Validate() error {
 		return fmt.Errorf("workload %s: write fraction out of [0,1]", k.Name)
 	case k.ThrashSlope < 0:
 		return fmt.Errorf("workload %s: negative thrash slope", k.Name)
+	case k.ThrashOPB < 0:
+		return fmt.Errorf("workload %s: negative thrash ops-per-byte", k.Name)
+	case k.FootprintGB < 0:
+		return fmt.Errorf("workload %s: negative footprint", k.Name)
+	case k.SerialFrac < 0 || k.SerialFrac > 1:
+		return fmt.Errorf("workload %s: serial fraction out of [0,1]", k.Name)
+	case k.CUScalingGamma < 0:
+		return fmt.Errorf("workload %s: negative CU scaling gamma", k.Name)
 	case k.Compressibility < 1:
 		return fmt.Errorf("workload %s: compression ratio below 1", k.Name)
 	case k.Trace == nil:
