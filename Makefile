@@ -1,6 +1,6 @@
 # Convenience targets for the ENA reproduction.
 
-.PHONY: all build test test-race test-service test-fabric test-workload chaos-short vet fuzz-short verify bench bench-json bench-compare serve experiments csv examples clean
+.PHONY: all build test test-race test-service test-store test-cluster test-fabric test-workload chaos-short vet fuzz-short verify bench bench-json bench-compare serve load-smoke experiments csv examples clean
 
 all: build vet test
 
@@ -22,6 +22,17 @@ test-race:
 # detector — its tests are concurrency-heavy by design.
 test-service:
 	go test -race ./internal/service/...
+
+# The persistent result store under the race detector: concurrent Put/Get,
+# LRU garbage collection, corruption recovery, and cross-restart reads.
+test-store:
+	go test -race ./internal/store/
+
+# The sweep-sharding tier under the race detector: the coordinator's
+# fan-out/failover paths and the bit-identity of sharded merges against the
+# single-process sweeps.
+test-cluster:
+	go test -race ./internal/cluster/ ./internal/load/
 
 # The inter-node fabric under the race detector: the property tests pin the
 # analytic collective costs against the event-driven replay, and the curve
@@ -58,7 +69,7 @@ fuzz-short:
 # including the race pass over the service layer and the chaos suite. The
 # bench gate is a soft warning (leading '-'): it only compares snapshots
 # already committed, so it never blocks when fewer than two exist.
-verify: build vet test test-service test-fabric test-workload chaos-short
+verify: build vet test test-service test-store test-cluster test-fabric test-workload chaos-short
 	-@$(MAKE) --no-print-directory bench-compare
 
 # Regenerate every table/figure and record the outputs (the reproduction log).
@@ -82,6 +93,16 @@ bench-compare:
 # Run the simulation service (POST /v1/simulate, /v1/explore, GET /metrics).
 serve:
 	go run ./cmd/enaserve
+
+# Quick saturation probe: boot a throwaway enaserve on a local port, ramp a
+# short closed-loop run through enaload, and record the curve artifact.
+load-smoke:
+	@go build -o /tmp/enaserve-smoke ./cmd/enaserve && go build -o /tmp/enaload-smoke ./cmd/enaload; \
+	/tmp/enaserve-smoke -addr 127.0.0.1:18080 & pid=$$!; \
+	sleep 1; \
+	/tmp/enaload-smoke -url http://127.0.0.1:18080 -ramp 1,4,16 -stage 2s -out LOAD_smoke.json; rc=$$?; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	exit $$rc
 
 experiments:
 	go run ./cmd/enasim -all

@@ -8,9 +8,15 @@ package ena
 // simulators follow.
 
 import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"ena/internal/arch"
+	"ena/internal/cluster"
 	"ena/internal/compress"
 	"ena/internal/core"
 	"ena/internal/cpu"
@@ -23,6 +29,8 @@ import (
 	"ena/internal/perf"
 	"ena/internal/power"
 	"ena/internal/ras"
+	"ena/internal/service"
+	"ena/internal/store"
 	"ena/internal/thermal"
 	"ena/internal/trace"
 	"ena/internal/workload"
@@ -295,6 +303,92 @@ func BenchmarkCPULeadingLoads(b *testing.B) {
 // the batched-FIFO latency replay at 70% load) and the analytic-vs-event
 // validation runs.
 func BenchmarkInferenceScenario(b *testing.B) { benchExperiment(b, "inference") }
+
+// BenchmarkStoreRoundTrip measures the persistent result store's write+read
+// cycle — canonical header, gzip, atomic rename, sha256-verified read — on a
+// payload the size of a typical simulate result.
+func BenchmarkStoreRoundTrip(b *testing.B) {
+	st, err := store.Open(b.TempDir(), 64<<20, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 2048)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := fmt.Sprintf("bench-key-%d", i%256)
+		if err := st.Put(key, payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := st.Get(key); !ok {
+			b.Fatal("miss immediately after put")
+		}
+	}
+}
+
+// BenchmarkShardedExplore measures a DSE sweep through the cluster
+// coordinator against two in-process worker peers: shard dispatch, NDJSON
+// streaming, positional merge, and the sequential Finalize tail. Compare
+// against BenchmarkDSEExploration for the fan-out overhead.
+func BenchmarkShardedExplore(b *testing.B) {
+	w1 := httptest.NewServer(cluster.WorkerHandler(nil))
+	defer w1.Close()
+	w2 := httptest.NewServer(cluster.WorkerHandler(nil))
+	defer w2.Close()
+	coord := cluster.NewCoordinator([]string{w1.URL, w2.URL}, nil)
+	space := Space{
+		CUs:      []int{192, 256, 320},
+		FreqsMHz: []float64{800, 1000, 1200},
+		BWsTBps:  []float64{1, 3},
+	}
+	names := []string{"CoMD", "HPGMG", "SNAP"}
+	kernels := make([]Kernel, len(names))
+	for i, n := range names {
+		k, err := workload.ByName(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		kernels[i] = k
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := coord.Explore(ctx, space, kernels, names, NodePowerBudgetW, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServiceSimulateHot measures the service's cached simulate path
+// end-to-end over HTTP: admission-control bypass for cached keys, the
+// content-addressed cache hit, and the JSON response encode.
+func BenchmarkServiceSimulateHot(b *testing.B) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s := service.New(ctx, service.Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	body := []byte(`{"kernel":"CoMD"}`)
+	post := func() {
+		resp, err := ts.Client().Post(ts.URL+"/v1/simulate", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("simulate status %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	post() // warm the cache; every timed iteration is a hit
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		post()
+	}
+}
 
 // BenchmarkGEMMSweep measures the tiled-GEMM kernel generator through the
 // roofline/core path across a batch sweep — the analytic half of the

@@ -106,9 +106,11 @@ func parse(r io.Reader) ([]Result, error) {
 // defaultGate lists the benchmarks held to the ±10% regression gate: the
 // thermal-dominated figures, the DSE/TableII sweeps, the per-simulation unit
 // of work, the two event-driven micro-simulators, the inter-node fabric
-// (collective replay plus the machine-scale curve sweep), and the DL
-// inference path (serving scenario plus the analytic GEMM sweep).
-const defaultGate = "BenchmarkFigure10,BenchmarkFigure11,BenchmarkTable2,BenchmarkSimulateNode,BenchmarkNoCSimulation,BenchmarkMemoryQueueSim,BenchmarkFabricReplay,BenchmarkFabricScaling,BenchmarkInferenceScenario,BenchmarkGEMMSweep"
+// (collective replay plus the machine-scale curve sweep), the DL
+// inference path (serving scenario plus the analytic GEMM sweep), and the
+// service tier (persistent-store round trip, sharded sweep fan-out, and
+// the cached-simulate HTTP hot path).
+const defaultGate = "BenchmarkFigure10,BenchmarkFigure11,BenchmarkTable2,BenchmarkSimulateNode,BenchmarkNoCSimulation,BenchmarkMemoryQueueSim,BenchmarkFabricReplay,BenchmarkFabricScaling,BenchmarkInferenceScenario,BenchmarkGEMMSweep,BenchmarkStoreRoundTrip,BenchmarkShardedExplore,BenchmarkServiceSimulateHot"
 
 // gateTolerance is the allowed fractional wall-time regression on gated
 // benchmarks before compare flags them.

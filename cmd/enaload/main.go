@@ -1,0 +1,141 @@
+// Command enaload drives a running enaserve with generated simulate traffic
+// and records the latency/throughput curve — the tool that shows where the
+// service saturates and whether admission control sheds load instead of
+// collapsing.
+//
+// Usage:
+//
+//	enaload -url http://127.0.0.1:8080                 # closed-loop ramp 1,2,4,...,32 clients
+//	enaload -ramp 4,16,64 -stage 10s                   # custom ramp, 10s per stage
+//	enaload -mode open -qps 50,200,800 -inflight 256   # open-loop QPS ramp
+//	enaload -keys 128 -zipf 1.3 -seed 7                # key-popularity shape
+//	enaload -out LOAD_run.json                         # write the JSON artifact
+//
+// The text table goes to stdout; -out adds the machine-readable artifact in
+// the same family as the BENCH_*.json files.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"ena/internal/load"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("enaload", flag.ExitOnError)
+	url := fs.String("url", "http://127.0.0.1:8080", "enaserve base URL")
+	mode := fs.String("mode", "closed", "loop discipline: closed (fixed clients) or open (fixed arrival rate)")
+	ramp := fs.String("ramp", "1,2,4,8,16,32", "closed-loop concurrency ramp (comma-separated client counts)")
+	qps := fs.String("qps", "", "open-loop QPS ramp (comma-separated rates; required for -mode open)")
+	inflight := fs.Int("inflight", 256, "open-loop in-flight cap (0 = unlimited)")
+	stageDur := fs.Duration("stage", 5*time.Second, "duration of each ramp stage")
+	keys := fs.Int("keys", 64, "distinct simulate configurations in the key pool")
+	zipf := fs.Float64("zipf", 1.2, "Zipf popularity exponent (> 1; larger = hotter head)")
+	seed := fs.Int64("seed", 1, "key-popularity seed")
+	detailed := fs.Bool("detailed", false, "request detailed simulations (event-driven NoC phase) — heavyweight traffic for saturation runs")
+	out := fs.String("out", "", "write the JSON curve artifact to this path")
+	fs.Parse(args)
+
+	cfg := load.Config{
+		BaseURL:  *url,
+		Mode:     load.Mode(*mode),
+		Keys:     *keys,
+		ZipfS:    *zipf,
+		Seed:     *seed,
+		Detailed: *detailed,
+	}
+	switch cfg.Mode {
+	case load.Closed:
+		counts, err := parseInts(*ramp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "enaload: -ramp:", err)
+			return 2
+		}
+		for _, c := range counts {
+			cfg.Stages = append(cfg.Stages, load.Stage{Concurrency: c, Duration: *stageDur})
+		}
+	case load.Open:
+		rates, err := parseFloats(*qps)
+		if err != nil || len(rates) == 0 {
+			fmt.Fprintln(os.Stderr, "enaload: -mode open needs -qps rates (e.g. -qps 50,200,800)")
+			return 2
+		}
+		for _, r := range rates {
+			cfg.Stages = append(cfg.Stages, load.Stage{QPS: r, Concurrency: *inflight, Duration: *stageDur})
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "enaload: unknown mode %q (want closed or open)\n", *mode)
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(os.Stderr, "enaload: %s-loop ramp of %d stage(s) x %v against %s\n",
+		cfg.Mode, len(cfg.Stages), *stageDur, *url)
+	rep, err := load.Run(ctx, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "enaload:", err)
+		return 1
+	}
+	fmt.Print(rep.Render())
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "enaload:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := rep.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "enaload:", err)
+			return 1
+		}
+		fmt.Fprintln(os.Stderr, "enaload: curve written to", *out)
+	}
+	return 0
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f == "" {
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad client count %q", f)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty ramp")
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad rate %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

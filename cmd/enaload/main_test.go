@@ -1,0 +1,64 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ena/internal/load"
+	"ena/internal/service"
+)
+
+// Smoke test: boot a real service, run a tiny two-stage closed-loop ramp
+// through the CLI entry point, and check the JSON artifact lands.
+func TestRunSmoke(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s := service.New(ctx, service.Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	out := filepath.Join(t.TempDir(), "LOAD_smoke.json")
+	code := run([]string{
+		"-url", ts.URL,
+		"-ramp", "1,2",
+		"-stage", "100ms",
+		"-keys", "4",
+		"-out", out,
+	})
+	if code != 0 {
+		t.Fatalf("run exited %d", code)
+	}
+
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep load.Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("artifact not valid JSON: %v", err)
+	}
+	if len(rep.Stages) != 2 {
+		t.Fatalf("artifact has %d stages, want 2", len(rep.Stages))
+	}
+	for _, st := range rep.Stages {
+		if st.Requests == 0 {
+			t.Errorf("stage %s issued no requests", st.Name)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if code := run([]string{"-mode", "sideways"}); code != 2 {
+		t.Errorf("unknown mode exited %d, want 2", code)
+	}
+	if code := run([]string{"-mode", "open"}); code != 2 {
+		t.Errorf("open mode without -qps exited %d, want 2", code)
+	}
+	if code := run([]string{"-ramp", "0"}); code != 2 {
+		t.Errorf("zero client count exited %d, want 2", code)
+	}
+}

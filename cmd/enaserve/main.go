@@ -10,6 +10,9 @@
 //	enaserve -workers 8 -queue 128  # bigger job pool
 //	enaserve -job-timeout 5m        # default per-job deadline
 //	enaserve -chaos -chaos-seed 7   # runtime fault injection (testing)
+//	enaserve -store-dir /var/ena    # persistent result store (survives restarts)
+//	enaserve -worker -addr :8081    # shard-evaluation worker peer
+//	enaserve -peers http://h1:8081,http://h2:8081   # shard sweeps across peers
 //
 // Endpoints (see internal/service for the full API):
 //
@@ -17,7 +20,9 @@
 //	POST /v1/explore            async DSE sweep job (poll GET /v1/jobs/{id})
 //	GET  /v1/experiments/{id}   paper table/figure harnesses
 //	GET  /metrics               metrics snapshot (JSON)
+//	GET  /v1/metrics            metrics snapshot (plaintext)
 //	GET  /healthz               liveness
+//	GET  /v1/healthz            readiness (503 while draining)
 //
 // On SIGINT/SIGTERM the server stops listening, lets in-flight requests and
 // jobs finish within the grace period, then force-cancels whatever remains.
@@ -31,12 +36,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"ena/internal/faults"
 	"ena/internal/obs"
 	"ena/internal/service"
+	"ena/internal/store"
 )
 
 func main() {
@@ -53,6 +60,13 @@ func run(args []string) int {
 	grace := fs.Duration("grace", 30*time.Second, "shutdown grace period before force-cancelling jobs")
 	chaos := fs.Bool("chaos", false, "inject runtime faults (worker panics, transient failures, latency, stalls, cache corruption)")
 	chaosSeed := fs.Int64("chaos-seed", 1, "seed for the chaos injector's draws")
+	storeDir := fs.String("store-dir", "", "persistent result-store directory (empty = memory cache only)")
+	storeMB := fs.Int64("store-max-mb", 256, "result-store size cap in MiB before LRU garbage collection")
+	peers := fs.String("peers", "", "comma-separated worker base URLs to shard explore/scale sweeps across")
+	workerMode := fs.Bool("worker", false, "worker mode: serve only the internal shard-evaluation routes (plus health and metrics)")
+	admitSim := fs.Int("admit-sim", 0, "simulate-route concurrency budget (0 = 2x GOMAXPROCS, <0 = ungoverned)")
+	admitSweep := fs.Int("admit-sweep", 0, "sweep-route (explore/scale/experiments) concurrency budget (0 = GOMAXPROCS, <0 = ungoverned)")
+	admitQueue := fs.Int("admit-queue", 0, "bounded admission-queue depth per route before 503 + Retry-After (0 = 4x budget)")
 	fs.Parse(args)
 
 	// The signal context only triggers the drain sequence. Jobs run under
@@ -67,14 +81,42 @@ func run(args []string) int {
 		inj = faults.NewChaos(faults.DefaultChaosConfig(*chaosSeed), reg)
 		fmt.Fprintf(os.Stderr, "enaserve: chaos injection ON (seed %d) — do not use in production\n", *chaosSeed)
 	}
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir, *storeMB<<20, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "enaserve: store:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "enaserve: result store at %s (%d entries resident)\n", *storeDir, st.Len())
+	}
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
 	srv := service.New(context.Background(), service.Config{
-		Workers:    *workers,
-		QueueCap:   *queue,
-		CacheSize:  *cacheSize,
-		JobTimeout: *jobTimeout,
-		Reg:        reg,
-		Chaos:      inj,
+		Workers:       *workers,
+		QueueCap:      *queue,
+		CacheSize:     *cacheSize,
+		JobTimeout:    *jobTimeout,
+		Reg:           reg,
+		Chaos:         inj,
+		Store:         st,
+		Peers:         peerList,
+		WorkerOnly:    *workerMode,
+		AdmitSimulate: *admitSim,
+		AdmitSweep:    *admitSweep,
+		AdmitQueue:    *admitQueue,
 	})
+	if *workerMode {
+		fmt.Fprintln(os.Stderr, "enaserve: worker mode — serving shard-evaluation routes only")
+	}
+	if len(peerList) > 0 {
+		fmt.Fprintf(os.Stderr, "enaserve: sharding sweeps across %d worker peer(s)\n", len(peerList))
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -99,7 +141,14 @@ func run(args []string) int {
 			fmt.Fprintln(os.Stderr, "enaserve: drain:", err)
 			return 1
 		}
-		fmt.Fprintln(os.Stderr, "enaserve: drained cleanly")
+		stats := srv.Stats()
+		line := fmt.Sprintf("enaserve: drained cleanly (cache: %d entries, %d hits / %d misses, ratio %.2f, %d coalesced",
+			stats.CacheEntries, stats.CacheHits, stats.CacheMisses, stats.CacheHitRatio, stats.CacheCoalesced)
+		if stats.Store != nil {
+			line += fmt.Sprintf("; store: %d entries, %d bytes, %d hits / %d misses, %d writes",
+				stats.Store.Entries, stats.Store.Bytes, stats.Store.Hits, stats.Store.Misses, stats.Store.Writes)
+		}
+		fmt.Fprintln(os.Stderr, line+")")
 		return 0
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -1,0 +1,316 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ena/internal/dse"
+	"ena/internal/fabric"
+	"ena/internal/faults"
+	"ena/internal/obs"
+	"ena/internal/powopt"
+	"ena/internal/workload"
+)
+
+// DefaultShardsPerPeer is how many shards each peer gets per job: more than
+// one so a failed peer forfeits only a slice of the work and the survivors
+// rebalance at shard granularity.
+const DefaultShardsPerPeer = 3
+
+// Coordinator fans sweep jobs out to enaserve worker peers. A nil
+// Coordinator (or one with no peers) is disabled: callers fall back to local
+// evaluation. Safe for concurrent use by multiple jobs.
+type Coordinator struct {
+	peers     []string
+	client    *http.Client
+	shardsPer int
+
+	dispatched  *obs.Counter
+	retries     *obs.Counter
+	peerFails   *obs.Counter
+	itemsCtr    *obs.Counter
+	localShards *obs.Counter
+	peersGauge  *obs.Gauge
+}
+
+// NewCoordinator builds a coordinator over the given peer base URLs
+// (e.g. "http://10.0.0.2:8080"). Metrics land in reg under cluster.*.
+func NewCoordinator(peers []string, reg *obs.Registry) *Coordinator {
+	c := &Coordinator{
+		peers: append([]string(nil), peers...),
+		// No overall client timeout: shard streams legitimately run long.
+		// Dial/TLS inherit http.DefaultTransport's limits, and every request
+		// carries the job context.
+		client:      &http.Client{},
+		shardsPer:   DefaultShardsPerPeer,
+		dispatched:  reg.Counter("cluster.shards_dispatched"),
+		retries:     reg.Counter("cluster.shard_retries"),
+		peerFails:   reg.Counter("cluster.peer_failures"),
+		itemsCtr:    reg.Counter("cluster.items_streamed"),
+		localShards: reg.Counter("cluster.local_fallback_shards"),
+		peersGauge:  reg.Gauge("cluster.peers"),
+	}
+	c.peersGauge.Set(float64(len(c.peers)))
+	return c
+}
+
+// Enabled reports whether the coordinator has peers to shard onto.
+func (c *Coordinator) Enabled() bool { return c != nil && len(c.peers) > 0 }
+
+// Peers returns the configured peer URLs.
+func (c *Coordinator) Peers() []string {
+	if c == nil {
+		return nil
+	}
+	return append([]string(nil), c.peers...)
+}
+
+// Explore shards the design space across the peers and merges the evaluated
+// points into the same Outcome a local dse sweep produces — bit-identical,
+// including under per-shard failover (see runShards).
+func (c *Coordinator) Explore(ctx context.Context, space dse.Space, kernels []workload.Kernel, names []string, budgetW float64, opts powopt.Technique) (dse.Outcome, error) {
+	pts := space.Points()
+	evals := make([]dse.Eval, len(pts))
+	filled := make([]atomic.Bool, len(pts))
+	makeReq := func(sh shard) (string, any) {
+		return "/v1/internal/shard/explore", ExploreShardRequest{
+			V: protoVersion, CUs: space.CUs, FreqsMHz: space.FreqsMHz, BWsTBps: space.BWsTBps,
+			Kernels: names, BudgetW: budgetW, Opts: uint(opts), Start: sh.start, End: sh.end,
+		}
+	}
+	apply := func(l shardLine) error {
+		if l.Type != "eval" || l.Eval == nil {
+			return fmt.Errorf("cluster: unexpected %q line in explore stream", l.Type)
+		}
+		if l.Index < 0 || l.Index >= len(pts) {
+			return fmt.Errorf("cluster: eval index %d out of the %d-point space", l.Index, len(pts))
+		}
+		evals[l.Index] = *l.Eval
+		filled[l.Index].Store(true)
+		return nil
+	}
+	local := func(ctx context.Context, sh shard) error {
+		for i := sh.start; i < sh.end; i++ {
+			ev, err := dse.EvaluatePointContext(ctx, pts[i], kernels, budgetW, opts)
+			if err != nil {
+				return err
+			}
+			evals[i] = ev
+			filled[i].Store(true)
+		}
+		return nil
+	}
+	if err := c.runShards(ctx, len(pts), makeReq, apply, local); err != nil {
+		return dse.Outcome{}, err
+	}
+	for i := range filled {
+		if !filled[i].Load() {
+			return dse.Outcome{}, fmt.Errorf("cluster: point %d never evaluated (coordinator bug)", i)
+		}
+	}
+	return dse.Finalize(evals, kernels, budgetW, opts), nil
+}
+
+// Scale shards a machine-scale projection's node counts across the peers
+// and returns the per-size evaluations in size order.
+func (c *Coordinator) Scale(ctx context.Context, kind string, spec fabric.LinkSpec, k workload.Kernel, rate float64, sizes []int, mode fabric.Mode, mask faults.Mask, maskStr string, seed int64) ([]ScaleEval, error) {
+	out := make([]ScaleEval, len(sizes))
+	filled := make([]atomic.Bool, len(sizes))
+	makeReq := func(sh shard) (string, any) {
+		return "/v1/internal/shard/scale", ScaleShardRequest{
+			V: protoVersion, Kernel: k.Name, Topology: kind, Sizes: sizes, Mode: mode.String(),
+			LinkGBps: spec.BandwidthGBps, LatencyNs: spec.LatencyNs, Ideal: spec.Ideal,
+			Mask: maskStr, Seed: seed, Start: sh.start, End: sh.end,
+		}
+	}
+	apply := func(l shardLine) error {
+		if l.Type != "scale" || l.Scale == nil {
+			return fmt.Errorf("cluster: unexpected %q line in scale stream", l.Type)
+		}
+		if l.Index < 0 || l.Index >= len(sizes) {
+			return fmt.Errorf("cluster: scale index %d out of %d sizes", l.Index, len(sizes))
+		}
+		out[l.Index] = *l.Scale
+		filled[l.Index].Store(true)
+		return nil
+	}
+	local := func(ctx context.Context, sh shard) error {
+		for i := sh.start; i < sh.end; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			se, err := EvalScale(kind, spec, k, rate, sizes[i], mode, mask, seed)
+			if err != nil {
+				return err
+			}
+			out[i] = se
+			filled[i].Store(true)
+		}
+		return nil
+	}
+	if err := c.runShards(ctx, len(sizes), makeReq, apply, local); err != nil {
+		return nil, err
+	}
+	for i := range filled {
+		if !filled[i].Load() {
+			return nil, fmt.Errorf("cluster: size %d never evaluated (coordinator bug)", sizes[i])
+		}
+	}
+	return out, nil
+}
+
+// runShards partitions n items into shards and drives them to completion:
+// one goroutine per peer pulls shards from a shared queue and streams their
+// results; a shard whose stream fails is requeued for the surviving peers
+// (the failed peer is retired for the rest of the job); shards left over
+// when every peer has been retired are evaluated locally via the fallback —
+// the coordinator is itself a capable replica, so total peer loss degrades
+// to a single-process sweep instead of an error.
+func (c *Coordinator) runShards(ctx context.Context, n int, makeReq func(shard) (string, any), apply func(shardLine) error, local func(context.Context, shard) error) error {
+	shards := partition(n, len(c.peers)*c.shardsPer)
+	if len(shards) == 0 {
+		return nil
+	}
+	pending := make(chan shard, len(shards))
+	for _, sh := range shards {
+		pending <- sh
+	}
+	var remaining atomic.Int64
+	remaining.Store(int64(len(shards)))
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, peer := range c.peers {
+		wg.Add(1)
+		go func(peer string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				case <-ctx.Done():
+					return
+				case sh := <-pending:
+					c.dispatched.Inc()
+					if err := c.runShard(ctx, peer, sh, makeReq, apply); err != nil {
+						// Put the shard back for the survivors and retire
+						// this peer: a worker that failed once (crashed,
+						// drained, unreachable) is not retried this job.
+						pending <- sh
+						if ctx.Err() == nil {
+							c.peerFails.Inc()
+							c.retries.Inc()
+						}
+						return
+					}
+					if remaining.Add(-1) == 0 {
+						close(done)
+						return
+					}
+				}
+			}
+		}(peer)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	// Whatever is left had no surviving peer to run on.
+	for remaining.Load() > 0 {
+		select {
+		case sh := <-pending:
+			c.localShards.Inc()
+			if err := local(ctx, sh); err != nil {
+				return err
+			}
+			remaining.Add(-1)
+		default:
+			return errors.New("cluster: shard accounting mismatch (coordinator bug)")
+		}
+	}
+	return nil
+}
+
+// runShard posts one shard to a peer and applies its streamed lines. Any
+// transport error, non-200 status, malformed line, or a stream that ends
+// without the "done" trailer fails the shard.
+func (c *Coordinator) runShard(ctx context.Context, peer string, sh shard, makeReq func(shard) (string, any), apply func(shardLine) error) error {
+	path, reqBody := makeReq(sh)
+	body, err := json.Marshal(reqBody)
+	if err != nil {
+		return fmt.Errorf("cluster: shard request marshal: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("cluster: peer %s: %s: %s", peer, resp.Status, bytes.TrimSpace(msg))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 4<<20)
+	items := 0
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var l shardLine
+		if err := json.Unmarshal(line, &l); err != nil {
+			return fmt.Errorf("cluster: bad stream line from %s: %w", peer, err)
+		}
+		switch l.Type {
+		case "done":
+			if l.Count != sh.end-sh.start {
+				return fmt.Errorf("cluster: peer %s finished %d items, want %d", peer, l.Count, sh.end-sh.start)
+			}
+			return nil
+		case "error":
+			return fmt.Errorf("cluster: peer %s shard error: %s", peer, l.Error)
+		default:
+			if err := apply(l); err != nil {
+				return err
+			}
+			c.itemsCtr.Inc()
+			items++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("cluster: stream from %s cut after %d items: %w", peer, items, err)
+	}
+	return fmt.Errorf("cluster: stream from %s ended after %d items without done", peer, items)
+}
+
+// Ping probes one peer's internal liveness route.
+func (c *Coordinator) Ping(ctx context.Context, peer string) error {
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/internal/ping", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: peer %s: %s", peer, resp.Status)
+	}
+	return nil
+}

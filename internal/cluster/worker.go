@@ -1,0 +1,243 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+
+	"ena/internal/dse"
+	"ena/internal/exp"
+	"ena/internal/fabric"
+	"ena/internal/faults"
+	"ena/internal/obs"
+	"ena/internal/powopt"
+	"ena/internal/workload"
+)
+
+// WorkerHandler serves the internal shard-evaluation routes an enaserve
+// worker peer (enaserve -worker) mounts:
+//
+//	POST /v1/internal/shard/explore   evaluate a design-point range, NDJSON stream
+//	POST /v1/internal/shard/scale     evaluate a node-count range, NDJSON stream
+//	GET  /v1/internal/ping            worker liveness
+//
+// Responses stream one line per completed item and flush eagerly, so the
+// coordinator sees partial progress the moment it exists; a worker killed
+// mid-shard leaves a truncated stream the coordinator detects by the missing
+// "done" trailer. Evaluation parallelism inside the worker is GOMAXPROCS;
+// lines may arrive out of index order (each carries its index).
+func WorkerHandler(reg *obs.Registry) http.Handler {
+	w := &worker{
+		reg:       reg,
+		shardsCtr: reg.Counter("cluster.worker.shards"),
+		itemsCtr:  reg.Counter("cluster.worker.items"),
+		errsCtr:   reg.Counter("cluster.worker.errors"),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/internal/shard/explore", w.handleExplore)
+	mux.HandleFunc("POST /v1/internal/shard/scale", w.handleScale)
+	mux.HandleFunc("GET /v1/internal/ping", func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		rw.Write([]byte(`{"status":"ok"}` + "\n"))
+	})
+	return mux
+}
+
+type worker struct {
+	reg       *obs.Registry
+	shardsCtr *obs.Counter
+	itemsCtr  *obs.Counter
+	errsCtr   *obs.Counter
+}
+
+// maxShardBody bounds shard request bodies (they are small JSON documents).
+const maxShardBody = 1 << 20
+
+// streamer serializes NDJSON lines onto a response writer, flushing each so
+// the coordinator observes per-item progress.
+type streamer struct {
+	mu    sync.Mutex
+	w     http.ResponseWriter
+	fl    http.Flusher
+	wrErr error
+}
+
+func newStreamer(w http.ResponseWriter) *streamer {
+	fl, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	return &streamer{w: w, fl: fl}
+}
+
+func (s *streamer) send(l shardLine) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wrErr != nil {
+		return s.wrErr
+	}
+	if _, err := s.w.Write(l.encode()); err != nil {
+		s.wrErr = err
+		return err
+	}
+	if s.fl != nil {
+		s.fl.Flush()
+	}
+	return nil
+}
+
+// decodeShard decodes the shard request body into v and then checks the
+// version field via the getV callback — the version can only be read after
+// the decode has populated it.
+func decodeShard(w http.ResponseWriter, r *http.Request, v any, getV func() int) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxShardBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid shard request: %w", err)
+	}
+	if got := getV(); got != protoVersion {
+		return fmt.Errorf("shard protocol v%d, want v%d", got, protoVersion)
+	}
+	return nil
+}
+
+func (wk *worker) handleExplore(rw http.ResponseWriter, r *http.Request) {
+	var req ExploreShardRequest
+	if err := decodeShard(rw, r, &req, func() int { return req.V }); err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	kernels, err := resolveKernels(req.Kernels)
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	pts := req.space().Points()
+	if req.Start < 0 || req.End > len(pts) || req.Start >= req.End {
+		http.Error(rw, fmt.Sprintf("shard range [%d, %d) out of the %d-point space", req.Start, req.End, len(pts)), http.StatusBadRequest)
+		return
+	}
+	wk.shardsCtr.Inc()
+	st := newStreamer(rw)
+	n := req.End - req.Start
+	err = parallelRange(r.Context(), n, func(ctx context.Context, i int) error {
+		idx := req.Start + i
+		ev, err := dse.EvaluatePointContext(ctx, pts[idx], kernels, req.BudgetW, powopt.Technique(req.Opts))
+		if err != nil {
+			return err
+		}
+		wk.itemsCtr.Inc()
+		return st.send(shardLine{Type: "eval", Index: idx, Eval: &ev})
+	})
+	if err != nil {
+		// The status line is already out; the truncated stream (no "done")
+		// is the failure signal. Send a best-effort error line for logs.
+		wk.errsCtr.Inc()
+		st.send(shardLine{Type: "error", Error: err.Error()})
+		return
+	}
+	st.send(shardLine{Type: "done", Count: n})
+}
+
+func (wk *worker) handleScale(rw http.ResponseWriter, r *http.Request) {
+	var req ScaleShardRequest
+	if err := decodeShard(rw, r, &req, func() int { return req.V }); err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	k, err := workload.ByName(req.Kernel)
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	mode, err := parseMode(req.Mode)
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	mask, err := faults.ParseMask(req.Mask)
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Start < 0 || req.End > len(req.Sizes) || req.Start >= req.End {
+		http.Error(rw, fmt.Sprintf("shard range [%d, %d) out of %d sizes", req.Start, req.End, len(req.Sizes)), http.StatusBadRequest)
+		return
+	}
+	spec := fabric.LinkSpec{BandwidthGBps: req.LinkGBps, LatencyNs: req.LatencyNs, Ideal: req.Ideal}
+	// The node rate is derived locally: it is a deterministic function of the
+	// kernel (sustained TFLOP/s on the best-mean EHP), identical on every
+	// replica of the same build.
+	rate := exp.NodeRateFor(k)
+	wk.shardsCtr.Inc()
+	st := newStreamer(rw)
+	n := req.End - req.Start
+	err = parallelRange(r.Context(), n, func(ctx context.Context, i int) error {
+		idx := req.Start + i
+		se, err := EvalScale(req.Topology, spec, k, rate, req.Sizes[idx], mode, mask, req.Seed)
+		if err != nil {
+			return err
+		}
+		wk.itemsCtr.Inc()
+		return st.send(shardLine{Type: "scale", Index: idx, Scale: &se})
+	})
+	if err != nil {
+		wk.errsCtr.Inc()
+		st.send(shardLine{Type: "error", Error: err.Error()})
+		return
+	}
+	st.send(shardLine{Type: "done", Count: n})
+}
+
+// parallelRange runs fn(ctx, i) for i in [0, n) on a bounded pool, stopping
+// at the first error or context cancellation.
+func parallelRange(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	work := make(chan int)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				if cctx.Err() != nil {
+					continue // drain
+				}
+				if err := fn(cctx, i); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					cancel()
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case work <- i:
+		case <-cctx.Done():
+			break feed
+		}
+	}
+	close(work)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return nil
+}

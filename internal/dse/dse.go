@@ -338,6 +338,17 @@ feed:
 		return Outcome{Kernels: kernels, BudgetW: budgetW, Opts: opts}, err
 	}
 
+	return Finalize(evals, kernels, budgetW, opts), nil
+}
+
+// Finalize scores a complete set of point evaluations and selects the
+// best-mean and per-kernel winners, producing the Outcome Explore returns.
+// It is the sequential tail of every sweep, split out so a sharded
+// exploration — point evaluations fanned out across worker processes (see
+// internal/cluster) — merges to the bit-identical single-process answer:
+// concatenate the shards' Evals in point order and Finalize exactly as the
+// local sweep would have. Evals' MeanScore fields are (re)computed in place.
+func Finalize(evals []Eval, kernels []workload.Kernel, budgetW float64, opts powopt.Technique) Outcome {
 	// Score: normalize each kernel by its best performance anywhere in
 	// the space, then average.
 	maxPerf := make([]float64, len(kernels))
@@ -388,7 +399,20 @@ feed:
 			out.BestPerKernel[ki] = evals[idx]
 		}
 	}
-	return out, nil
+	return out
+}
+
+// EvaluatePointContext evaluates one grid point exactly as a sweep worker
+// does (same perf/power phases, same feasibility accounting), without any
+// sweep-level caching. It is the unit of work a cluster shard executes:
+// MeanScore stays zero — it is only defined relative to a whole exploration
+// and is assigned by Finalize at merge time.
+func EvaluatePointContext(ctx context.Context, p Point, kernels []workload.Kernel, budgetW float64, opts powopt.Technique) (Eval, error) {
+	ev, _, _ := evaluateCtx(ctx, p, kernels, budgetW, opts, nil, false)
+	if err := ctx.Err(); err != nil {
+		return Eval{}, err
+	}
+	return ev, nil
 }
 
 // EvaluateConfigContext evaluates one explicit node configuration against the

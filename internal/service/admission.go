@@ -1,0 +1,112 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"ena/internal/obs"
+)
+
+// Admission control sits in front of the breaker/scheduler stack: each
+// governed route has a concurrency budget (slots) and a bounded wait queue.
+// A request that finds all slots busy waits in the queue; one that finds the
+// queue past its high-water mark is shed immediately with 503 + Retry-After.
+// Shedding at the door keeps latency bounded under overload — the server
+// degrades to a flat ceiling of in-flight work instead of collapsing under
+// an unbounded backlog (the saturation curves cmd/enaload records).
+//
+// Simulate requests whose canonical key is already resident or in flight
+// bypass admission entirely and coalesce onto the cache/singleflight — a
+// popular key costs one slot no matter how many clients ask for it.
+
+// admission is one route's concurrency budget and wait queue. A nil
+// *admission admits everything (the route is ungoverned).
+type admission struct {
+	route string
+	slots chan struct{}
+	queue chan struct{}
+
+	admitted *obs.Counter
+	queued   *obs.Counter
+	rejected *obs.Counter
+	depth    *obs.Gauge
+}
+
+// newAdmission builds a route governor with the given concurrency budget and
+// wait-queue bound. slots <= 0 disables governance (returns nil).
+func newAdmission(route string, slots, queueCap int, reg *obs.Registry) *admission {
+	if slots <= 0 {
+		return nil
+	}
+	if queueCap <= 0 {
+		queueCap = 4 * slots
+	}
+	return &admission{
+		route:    route,
+		slots:    make(chan struct{}, slots),
+		queue:    make(chan struct{}, queueCap),
+		admitted: reg.Counter("service.admit." + route + ".admitted"),
+		queued:   reg.Counter("service.admit." + route + ".queued"),
+		rejected: reg.Counter("service.admit." + route + ".rejected"),
+		depth:    reg.Gauge("service.admit." + route + ".queue_depth"),
+	}
+}
+
+// acquire obtains an execution slot, waiting in the bounded queue when the
+// budget is exhausted. It returns a release func the caller must invoke when
+// the request finishes, or an error when the queue is full (shed the load)
+// or ctx ends first.
+func (a *admission) acquire(ctx context.Context) (func(), error) {
+	if a == nil {
+		return func() {}, nil
+	}
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Inc()
+		return a.release, nil
+	default:
+	}
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		a.rejected.Inc()
+		return nil, fmt.Errorf("service: %s admission queue full", a.route)
+	}
+	a.queued.Inc()
+	a.depth.Set(float64(len(a.queue)))
+	defer func() {
+		<-a.queue
+		a.depth.Set(float64(len(a.queue)))
+	}()
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Inc()
+		return a.release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+// defaultAdmit resolves an admission budget config value: 0 means the
+// default, negative disables.
+func defaultAdmit(v, def int) int {
+	switch {
+	case v == 0:
+		return def
+	case v < 0:
+		return 0
+	}
+	return v
+}
+
+// defaultSimulateSlots is the default simulate concurrency budget: the
+// analytic model is CPU-bound, so past the core count extra concurrency only
+// buys queueing inside the runtime.
+func defaultSimulateSlots() int { return 2 * runtime.GOMAXPROCS(0) }
+
+// defaultSweepSlots is the default budget for the sweep-shaped routes
+// (explore/scale submissions and synchronous experiment runs).
+func defaultSweepSlots() int { return runtime.GOMAXPROCS(0) }

@@ -3,10 +3,12 @@ package service
 import (
 	"container/list"
 	"context"
+	"encoding/json"
 	"sync"
 
 	"ena/internal/faults"
 	"ena/internal/obs"
+	"ena/internal/store"
 )
 
 // Cache is a content-addressed result cache with LRU eviction and
@@ -25,6 +27,12 @@ type Cache struct {
 	// evicted and recomputed (read repair), exercising the miss path under
 	// load. Set before serving traffic; nil disables.
 	chaos *faults.Chaos
+
+	// store, when set, layers a persistent blob store under the memory
+	// cache: DoPersist reads through to it on memory misses and writes
+	// computed results back, so results survive restarts and are shared by
+	// replicas on the same directory. Nil disables (Do-equivalent behavior).
+	store *store.Store
 
 	mu       sync.Mutex
 	capacity int
@@ -71,6 +79,33 @@ func NewCache(capacity int, reg *obs.Registry) *Cache {
 		evictions: reg.Counter("service.cache.evictions"),
 		size:      reg.Gauge("service.cache.size"),
 	}
+}
+
+// SetStore layers a persistent result store under the memory cache (see the
+// store field). Set before serving traffic; nil is allowed.
+func (c *Cache) SetStore(st *store.Store) { c.store = st }
+
+// Contains reports whether key is resident in memory or being computed right
+// now, without touching LRU order or the persistent store. Admission control
+// uses it to let known-cheap requests coalesce past the queue.
+func (c *Cache) Contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return true
+	}
+	_, ok := c.inflight[key]
+	return ok
+}
+
+// HitRatio returns memory hits / (hits + misses) over the cache's lifetime,
+// 0 before any traffic.
+func (c *Cache) HitRatio() float64 {
+	h, m := float64(c.hits.Value()), float64(c.misses.Value())
+	if h+m == 0 {
+		return 0
+	}
+	return h / (h + m)
 }
 
 // Len returns the number of cached results.
@@ -144,6 +179,81 @@ func (c *Cache) Do(ctx context.Context, key string, fn func() (any, error)) (any
 	c.mu.Unlock()
 	close(f.done)
 	return f.val, false, f.err
+}
+
+// DoPersist is Do with the persistent store layered underneath: a memory
+// miss first consults the store (decode maps the stored JSON back to the
+// value type the call site caches), and a fresh execution writes its result
+// through. Store serves count as shared — the caller got a result computed
+// elsewhere (an earlier process, or another replica on the same directory).
+// A blob that no longer decodes (an older build's shape) is recomputed and
+// overwritten, never an error. Singleflight spans the whole read path, so
+// concurrent callers share one store read just as they share one execution.
+func (c *Cache) DoPersist(ctx context.Context, key string, decode func([]byte) (any, error), fn func() (any, error)) (any, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		if c.chaos.CorruptCache() {
+			c.lru.Remove(el)
+			delete(c.entries, key)
+			c.size.Set(float64(c.lru.Len()))
+		} else {
+			c.lru.MoveToFront(el)
+			v := el.Value.(*entry).val
+			c.hits.Inc()
+			c.mu.Unlock()
+			return v, true, nil
+		}
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.coalesced.Inc()
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.val, true, f.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	fromStore := false
+	if b, ok := c.store.Get(key); ok {
+		if v, err := decode(b); err == nil {
+			f.val, fromStore = v, true
+		}
+	}
+	if !fromStore {
+		c.misses.Inc()
+		f.val, f.err = fn()
+		if f.err == nil {
+			if b, err := json.Marshal(f.val); err == nil {
+				_ = c.store.Put(key, b) // best-effort; the store counts write errors
+			}
+		}
+	}
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil {
+		c.storeLocked(key, f.val)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.val, fromStore, f.err
+}
+
+// decodeAs maps a persisted store blob back to the concrete type its call
+// site caches: DoPersist stores plain JSON of the cached value, and handlers
+// type-assert what the cache hands back, so the decode must restore the
+// exact dynamic type.
+func decodeAs[T any](b []byte) (any, error) {
+	var v T
+	if err := json.Unmarshal(b, &v); err != nil {
+		return nil, err
+	}
+	return v, nil
 }
 
 // storeLocked inserts (or refreshes) a cache entry and evicts from the LRU

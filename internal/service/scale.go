@@ -7,8 +7,11 @@ import (
 	"net/http"
 	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"ena/internal/cluster"
 	"ena/internal/exp"
 	"ena/internal/fabric"
 	"ena/internal/faults"
@@ -243,7 +246,7 @@ func (s *Server) handleScale(w http.ResponseWriter, r *http.Request) {
 		timeout = s.cfg.JobTimeout
 	}
 	view, err := s.sched.Submit("scale", timeout, func(ctx context.Context) (any, error) {
-		val, _, err := s.cache.Do(ctx, sj.key, func() (any, error) {
+		val, _, err := s.cache.DoPersist(ctx, sj.key, decodeAs[ScaleResult], func() (any, error) {
 			out, err := s.scale(ctx, sj)
 			if err != nil {
 				return nil, err
@@ -269,9 +272,14 @@ func (s *Server) handleScale(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, map[string]any{"job": view})
 }
 
-// scale runs one resolved scale job: the healthy curve via the parallel
-// evaluator, plus — when the mask kills nodes — a degraded evaluation per
-// size with the collectives rerouted around the victims.
+// scale runs one resolved scale job: every node count through
+// cluster.EvalScale — the healthy analytic point plus, when the mask kills
+// nodes, the degraded re-evaluation with collectives rerouted around the
+// victims. With worker peers configured, the size list is sharded across
+// them; EvalScale is a pure function of the job, so the sharded evaluations
+// are bit-identical to the local loop below (a degraded mask that
+// disconnects the survivors is a partitioned point, not a job error — the
+// client asked what that failure does, and the answer is "no machine left").
 func (s *Server) scale(ctx context.Context, sj scaleJob) (ScaleResult, error) {
 	rate := exp.NodeRateFor(sj.kernel)
 	out := ScaleResult{
@@ -288,60 +296,79 @@ func (s *Server) scale(ctx context.Context, sj scaleJob) (ScaleResult, error) {
 	if sj.maskStr != "" {
 		out.Seed = sj.seed
 	}
-	pts, err := fabric.Curve(sj.kind, sj.spec, sj.kernel, rate, sj.sizes, sj.mode, runtime.GOMAXPROCS(0))
+	evals, err := s.scaleEvals(ctx, sj, rate)
 	if err != nil {
 		return ScaleResult{}, err
 	}
-	for _, pt := range pts {
-		if err := ctx.Err(); err != nil {
-			return ScaleResult{}, err
-		}
+	for i, se := range evals {
 		sp := ScalePoint{
-			Nodes:       pt.Nodes,
-			Efficiency:  pt.Efficiency,
-			DeliveredEF: pt.DeliveredTFLOPs / 1e6,
-			IdealEF:     rate * float64(pt.Nodes) / 1e6,
+			Nodes:       sj.sizes[i],
+			Efficiency:  se.Point.Efficiency,
+			DeliveredEF: se.Point.DeliveredTFLOPs / 1e6,
+			IdealEF:     rate * float64(sj.sizes[i]) / 1e6,
+			FailedNodes: se.FailedNodes,
+			Partitioned: se.Partitioned,
 		}
-		if sj.maskStr != "" {
-			if err := s.scaleDegraded(&sp, sj, rate); err != nil {
-				return ScaleResult{}, err
-			}
+		if !se.Partitioned {
+			sp.DegradedEfficiency = se.DegradedEfficiency
 		}
 		out.Points = append(out.Points, sp)
 	}
 	return out, nil
 }
 
-// scaleDegraded fills one point's degraded fields: kill the mask's victims,
-// reroute, re-evaluate. A mask that disconnects the survivors (or leaves at
-// most one alive) is a partitioned point, not a request error — the client
-// asked what that failure does, and the answer is "no machine left".
-func (s *Server) scaleDegraded(sp *ScalePoint, sj scaleJob, rate float64) error {
-	t, err := fabric.New(sj.kind, sp.Nodes, sj.spec)
-	if err != nil {
-		return err
+// scaleEvals evaluates the job's node counts — sharded across the worker
+// peers when the coordinator is enabled, locally otherwise.
+func (s *Server) scaleEvals(ctx context.Context, sj scaleJob, rate float64) ([]cluster.ScaleEval, error) {
+	if s.coord.Enabled() {
+		return s.coord.Scale(ctx, sj.kind, sj.spec, sj.kernel, rate, sj.sizes, sj.mode, sj.mask, sj.maskStr, sj.seed)
 	}
-	failed, err := fabric.FailedNodes(t.Nodes(), sj.mask, sj.seed)
-	if err != nil {
-		// Too many victims for this size (e.g. node:3 on a 2-node torus, or
-		// a targeted index past the end): report it as a dead machine.
-		sp.FailedNodes = sp.Nodes
-		sp.Partitioned = true
+	evals := make([]cluster.ScaleEval, len(sj.sizes))
+	err := parallelSizes(ctx, len(sj.sizes), func(i int) error {
+		se, err := cluster.EvalScale(sj.kind, sj.spec, sj.kernel, rate, sj.sizes[i], sj.mode, sj.mask, sj.seed)
+		if err != nil {
+			return err
+		}
+		evals[i] = se
 		return nil
-	}
-	sp.FailedNodes = len(failed)
-	comm, err := fabric.NewDegradedComm(t, failed)
+	})
 	if err != nil {
+		return nil, err
+	}
+	return evals, nil
+}
+
+// parallelSizes runs fn(i) for i in [0, n) on up to GOMAXPROCS goroutines,
+// stopping at the first error or context end.
+func parallelSizes(ctx context.Context, n int, fn func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var (
+		next  atomic.Int64
+		first atomic.Value
+		wg    sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || first.Load() != nil || ctx.Err() != nil {
+					return
+				}
+				if err := fn(i); err != nil {
+					first.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err, _ := first.Load().(error); err != nil {
 		return err
 	}
-	pt, err := fabric.Evaluate(comm, sj.kernel, rate, sj.mode)
-	if errors.Is(err, fabric.ErrPartitioned) {
-		sp.Partitioned = true
-		return nil
-	}
-	if err != nil {
-		return err
-	}
-	sp.DegradedEfficiency = pt.Efficiency
-	return nil
+	return ctx.Err()
 }

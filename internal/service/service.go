@@ -31,8 +31,10 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync/atomic"
 	"time"
 
+	"ena/internal/cluster"
 	"ena/internal/core"
 	"ena/internal/dse"
 	"ena/internal/exp"
@@ -40,6 +42,7 @@ import (
 	"ena/internal/noc"
 	"ena/internal/obs"
 	"ena/internal/perf"
+	"ena/internal/store"
 	"ena/internal/workload"
 )
 
@@ -90,6 +93,34 @@ type Config struct {
 	// DetailedRequests bounds the event-driven simulation's request count
 	// (0 = the NoC simulator's default).
 	DetailedRequests int
+
+	// Store, when set, layers a persistent result store under the memory
+	// cache: simulate/explore/scale/experiment results survive restarts and
+	// are shared across replicas pointed at the same directory. The caller
+	// owns opening it (store.Open) so configuration errors surface at
+	// startup, not on first request.
+	Store *store.Store
+	// Peers lists worker base URLs ("http://host:port"). When non-empty,
+	// explore and scale sweeps are sharded across them (with per-shard
+	// failover and local fallback) instead of evaluated in-process.
+	Peers []string
+	// WorkerOnly restricts the route table to the internal shard-evaluation
+	// routes plus health and metrics — the enaserve -worker mode. The
+	// public API, scheduler-backed jobs included, is not mounted.
+	WorkerOnly bool
+
+	// AdmitSimulate is the simulate route's concurrency budget (default
+	// 2*GOMAXPROCS; negative disables admission control on the route).
+	// Requests whose key is already cached or in flight bypass admission.
+	AdmitSimulate int
+	// AdmitSweep is the shared budget default for the sweep-shaped routes —
+	// explore and scale submissions, synchronous experiment runs (default
+	// GOMAXPROCS; negative disables).
+	AdmitSweep int
+	// AdmitQueue bounds how many requests may wait per governed route for
+	// an admission slot before load is shed with 503 + Retry-After
+	// (default 4x the route's budget).
+	AdmitQueue int
 }
 
 // Server executes simulation traffic. Create with New, mount Handler on an
@@ -104,6 +135,15 @@ type Server struct {
 	start    time.Time
 	chaos    *faults.Chaos
 	breakers map[string]*Breaker // route -> breaker (fixed at route setup)
+	coord    *cluster.Coordinator
+	draining atomic.Bool
+
+	// admissions holds the per-route concurrency governors consulted by
+	// instrument; admitSim is the simulate route's, consulted in-handler so
+	// cached keys can bypass the queue (see handleSimulate).
+	admissions map[string]*admission
+	admitSim   *admission
+	admitSkips *obs.Counter
 
 	// perfCache memoizes the optimization-independent perf phase across
 	// explore jobs: sweeps over the same (space, kernels) under different
@@ -147,19 +187,32 @@ func New(ctx context.Context, cfg Config) *Server {
 		cache:  NewCache(cfg.CacheSize, reg),
 		sched: NewScheduler(ctx, cfg.Workers, cfg.QueueCap, cfg.JobRetain, reg,
 			WithChaos(cfg.Chaos), WithRetry(cfg.RetryMax, cfg.RetryBase)),
-		mux:       http.NewServeMux(),
-		start:     time.Now(),
-		chaos:     cfg.Chaos,
-		breakers:  make(map[string]*Breaker),
-		simExecs:  reg.Counter("service.sim.executions"),
-		fallbacks: reg.Counter("service.sim.fallbacks"),
-		reqCtr:    reg.Counter("service.http.requests"),
-		errCtr:    reg.Counter("service.http.errors"),
-		inflight:  reg.Gauge("service.http.inflight"),
-		latHist:   reg.Histogram("service.http.latency_ns", durationBounds),
-		perfCache: dse.NewPerfCache(),
+		mux:        http.NewServeMux(),
+		start:      time.Now(),
+		chaos:      cfg.Chaos,
+		breakers:   make(map[string]*Breaker),
+		simExecs:   reg.Counter("service.sim.executions"),
+		fallbacks:  reg.Counter("service.sim.fallbacks"),
+		reqCtr:     reg.Counter("service.http.requests"),
+		errCtr:     reg.Counter("service.http.errors"),
+		inflight:   reg.Gauge("service.http.inflight"),
+		latHist:    reg.Histogram("service.http.latency_ns", durationBounds),
+		perfCache:  dse.NewPerfCache(),
+		admissions: make(map[string]*admission),
+		admitSkips: reg.Counter("service.admit.simulate.bypassed"),
 	}
 	s.cache.chaos = cfg.Chaos
+	s.cache.SetStore(cfg.Store)
+	if len(cfg.Peers) > 0 {
+		s.coord = cluster.NewCoordinator(cfg.Peers, reg)
+	}
+	s.admitSim = newAdmission("simulate",
+		defaultAdmit(cfg.AdmitSimulate, defaultSimulateSlots()), cfg.AdmitQueue, reg)
+	for _, route := range []string{"explore", "scale", "experiments.run"} {
+		if a := newAdmission(route, defaultAdmit(cfg.AdmitSweep, defaultSweepSlots()), cfg.AdmitQueue, reg); a != nil {
+			s.admissions[route] = a
+		}
+	}
 	s.routes()
 	return s
 }
@@ -171,14 +224,57 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Drain stops accepting jobs and waits for in-flight work as Scheduler.Drain
-// does. The HTTP listener itself is the caller's to close (http.Server
-// Shutdown), so the order in cmd/enaserve is: stop the listener, then drain
-// the job pool.
-func (s *Server) Drain(ctx context.Context) error { return s.sched.Drain(ctx) }
+// does. It first marks the server draining, so /v1/healthz flips to 503 and
+// load balancers stop routing here while in-flight jobs finish. The HTTP
+// listener itself is the caller's to close (http.Server Shutdown), so the
+// order in cmd/enaserve is: stop the listener, then drain the job pool.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	return s.sched.Drain(ctx)
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Stats is the point-in-time service summary logged on drain: how well the
+// result tiers worked over the process's lifetime.
+type Stats struct {
+	CacheEntries   int          `json:"cache_entries"`
+	CacheHits      int64        `json:"cache_hits"`
+	CacheMisses    int64        `json:"cache_misses"`
+	CacheHitRatio  float64      `json:"cache_hit_ratio"`
+	CacheCoalesced int64        `json:"cache_coalesced"`
+	Store          *store.Stats `json:"store,omitempty"`
+}
+
+// Stats summarizes the cache and store tiers (store nil when not configured).
+func (s *Server) Stats() Stats {
+	st := Stats{
+		CacheEntries:   s.cache.Len(),
+		CacheHits:      s.reg.Counter("service.cache.hits").Value(),
+		CacheMisses:    s.reg.Counter("service.cache.misses").Value(),
+		CacheHitRatio:  s.cache.HitRatio(),
+		CacheCoalesced: s.reg.Counter("service.cache.coalesced").Value(),
+	}
+	if s.cfg.Store != nil {
+		ss := s.cfg.Store.Stats()
+		st.Store = &ss
+	}
+	return st
+}
 
 func (s *Server) routes() {
+	// Health and metrics are always mounted — operators need them in every
+	// mode — as are the internal shard routes: every replica can evaluate
+	// shards for a coordinating peer, worker-only or not.
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /v1/healthz", s.instrument("healthz", s.handleReadyz))
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /v1/metrics", s.instrument("metrics", s.handleMetricsText))
+	s.mux.Handle("/v1/internal/", cluster.WorkerHandler(s.reg))
+	if s.cfg.WorkerOnly {
+		return
+	}
 	s.mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
 	s.mux.HandleFunc("POST /v1/explore", s.instrument("explore", s.handleExplore))
 	s.mux.HandleFunc("POST /v1/scale", s.instrument("scale", s.handleScale))
@@ -210,7 +306,9 @@ func (w *statusWriter) WriteHeader(code int) {
 var breakerExempt = map[string]bool{"healthz": true, "metrics": true}
 
 // instrument wraps a handler with per-route and aggregate metrics, the
-// chaos latency site, and the route's circuit breaker.
+// chaos latency site, the route's admission governor, and its circuit
+// breaker. Order on the way in: breaker (cheapest rejection) -> admission
+// (bounded queueing) -> handler.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	routeCtr := s.reg.Counter("service.http." + route + ".requests")
 	var br *Breaker
@@ -220,6 +318,16 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 			br = NewBreaker(route, s.cfg.BreakerThreshold, s.cfg.BreakerCooldown, s.reg)
 			s.breakers[route] = br
 		}
+	}
+	adm := s.admissions[route]
+	admitted := func(sw *statusWriter, r *http.Request) {
+		release, err := adm.acquire(r.Context())
+		if err != nil {
+			writeBackpressure(sw, 1, err)
+			return
+		}
+		defer release()
+		h(sw, r)
 	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
@@ -233,11 +341,11 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 				writeBackpressure(sw, retryAfter,
 					fmt.Errorf("service: %s circuit breaker open", route))
 			} else {
-				h(sw, r)
+				admitted(sw, r)
 				br.Report(sw.status >= 500 && !sw.backpressure)
 			}
 		} else {
-			h(sw, r)
+			admitted(sw, r)
 		}
 		s.inflight.Set(s.inflight.Value() - 1)
 		s.reqCtr.Inc()
@@ -301,16 +409,48 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	// Live queue pressure, refreshed at scrape time (the event-driven
-	// gauges only move on submit/dequeue).
+// handleReadyz is GET /v1/healthz: readiness, not liveness. A draining
+// replica answers 503 so load balancers route around it while /healthz stays
+// 200 (the process is alive and finishing its jobs).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	body := map[string]any{
+		"status":         "ok",
+		"draining":       s.draining.Load(),
+		"worker_only":    s.cfg.WorkerOnly,
+		"peers":          len(s.cfg.Peers),
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	}
+	if s.draining.Load() {
+		body["status"] = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// refreshGauges recomputes the scrape-time derived gauges (the event-driven
+// ones only move on their own traffic).
+func (s *Server) refreshGauges() {
 	s.reg.Gauge("service.jobs.queue_depth").Set(float64(s.sched.QueueDepth()))
 	s.reg.Gauge("service.jobs.queue_cap").Set(float64(s.sched.QueueCap()))
+	s.reg.Gauge("service.cache.hit_ratio").Set(s.cache.HitRatio())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.refreshGauges()
 	w.Header().Set("Content-Type", "application/json")
 	if err := s.reg.Snapshot().WriteJSON(w); err != nil {
 		// Headers are gone; nothing useful to send.
 		return
 	}
+}
+
+// handleMetricsText is GET /v1/metrics: the same registry as plaintext, one
+// metric per line — greppable from curl during an incident, no jq needed.
+func (s *Server) handleMetricsText(w http.ResponseWriter, r *http.Request) {
+	s.refreshGauges()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = s.reg.Snapshot().WriteText(w)
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
@@ -325,7 +465,20 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ctx := r.Context()
-	val, shared, err := s.cache.Do(ctx, job.key, func() (any, error) {
+	// Admission: a key already resident or in flight coalesces onto the
+	// cache/singleflight without occupying a slot — N clients asking for
+	// the same popular result cost one execution and zero queueing.
+	if s.cache.Contains(job.key) {
+		s.admitSkips.Inc()
+	} else {
+		release, err := s.admitSim.acquire(ctx)
+		if err != nil {
+			writeBackpressure(w, 1, err)
+			return
+		}
+		defer release()
+	}
+	val, shared, err := s.cache.DoPersist(ctx, job.key, decodeAs[SimulateResponse], func() (any, error) {
 		s.simExecs.Inc()
 		res, err := core.SimulateContext(ctx, job.cfg, job.kernel, job.opt)
 		if err != nil {
@@ -400,7 +553,7 @@ func (s *Server) runDetailed(ctx context.Context, resp *SimulateResponse, job si
 	}
 	dctx, cancel := context.WithTimeout(ctx, budget)
 	defer cancel()
-	val, _, err := s.cache.Do(dctx, job.detailedKey, func() (any, error) {
+	val, _, err := s.cache.DoPersist(dctx, job.detailedKey, decodeAs[detailedResult], func() (any, error) {
 		var down []noc.LinkFault
 		if job.inj != nil {
 			down = job.inj.DownLinks
@@ -478,7 +631,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		timeout = s.cfg.JobTimeout
 	}
 	view, err := s.sched.Submit("explore", timeout, func(ctx context.Context) (any, error) {
-		val, _, err := s.cache.Do(ctx, ej.key, func() (any, error) {
+		val, _, err := s.cache.DoPersist(ctx, ej.key, decodeAs[ExploreResult], func() (any, error) {
 			out, err := s.explore(ctx, ej)
 			if err != nil {
 				return nil, err
@@ -557,7 +710,7 @@ func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
 	// Experiments are deterministic, so their rendered text is content-
 	// addressed by ID alone; the heavy ones (full DSE sweeps, thermal
 	// solves) run once and every later scrape is a cache hit.
-	val, shared, err := s.cache.Do(r.Context(), "exp:v1:"+id, func() (any, error) {
+	val, shared, err := s.cache.DoPersist(r.Context(), "exp:v1:"+id, decodeAs[string], func() (any, error) {
 		return e.Run().Render(), nil
 	})
 	if err != nil {
@@ -586,7 +739,18 @@ func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
 }
 
 // explore runs one cancellable sweep with the server's observability sinks.
+// With worker peers configured, the design space is sharded across them (the
+// coordinator merges to the bit-identical single-process Outcome, with
+// per-shard failover and local fallback); otherwise the sweep runs in
+// process through the perf-phase memo.
 func (s *Server) explore(ctx context.Context, ej exploreJob) (ExploreResult, error) {
+	if s.coord.Enabled() {
+		out, err := s.coord.Explore(ctx, ej.space, ej.kernels, ej.names, ej.budgetW, ej.tech)
+		if err != nil {
+			return ExploreResult{}, err
+		}
+		return ej.summarize(out), nil
+	}
 	out, err := dse.ExploreCachedContext(ctx, ej.space, ej.kernels, ej.budgetW, ej.tech,
 		dse.Instr{Reg: s.reg, Tracer: s.tracer}, s.perfCache)
 	if err != nil {

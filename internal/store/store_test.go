@@ -1,0 +1,262 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"ena/internal/obs"
+)
+
+func mustOpen(t *testing.T, dir string, maxBytes int64, reg *obs.Registry) *Store {
+	t.Helper()
+	s, err := Open(dir, maxBytes, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 0, nil)
+	payload := []byte(`{"tflops":12.5,"bound":"memory"}`)
+	if err := s.Put("sim:abc", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("sim:abc")
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want payload back", got, ok)
+	}
+	if _, ok := s.Get("sim:other"); ok {
+		t.Fatal("Get of unknown key hit")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestOverwriteReplaces(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 0, nil)
+	if err := s.Put("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte("v2-longer-payload")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("k")
+	if !ok || string(got) != "v2-longer-payload" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after overwrite, want 1", s.Len())
+	}
+}
+
+func TestRestartRebuildsIndex(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 0, nil)
+	for i := 0; i < 5; i++ {
+		if err := s.Put(fmt.Sprintf("key-%d", i), []byte(fmt.Sprintf("payload-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A fresh process over the same directory sees every entry.
+	s2 := mustOpen(t, dir, 0, nil)
+	if s2.Len() != 5 {
+		t.Fatalf("rebuilt Len = %d, want 5", s2.Len())
+	}
+	for i := 0; i < 5; i++ {
+		got, ok := s2.Get(fmt.Sprintf("key-%d", i))
+		if !ok || string(got) != fmt.Sprintf("payload-%d", i) {
+			t.Fatalf("key-%d: Get = %q, %v", i, got, ok)
+		}
+	}
+}
+
+func TestCrossReplicaSharing(t *testing.T) {
+	// Two stores over one directory: a write through one is readable through
+	// the other even though the reader indexed the directory before the write.
+	dir := t.TempDir()
+	a := mustOpen(t, dir, 0, nil)
+	b := mustOpen(t, dir, 0, nil)
+	if err := a.Put("shared", []byte("computed-by-a")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := b.Get("shared")
+	if !ok || string(got) != "computed-by-a" {
+		t.Fatalf("replica b Get = %q, %v", got, ok)
+	}
+}
+
+func TestCorruptionReadsAsMissAndHeals(t *testing.T) {
+	reg := obs.NewRegistry()
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 0, reg)
+	if err := s.Put("victim", []byte("precious result")); err != nil {
+		t.Fatal(err)
+	}
+	// Flip bytes in the middle of the blob.
+	path := s.path("victim")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	raw[len(raw)/2+1] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("victim"); ok {
+		t.Fatal("corrupt blob served as a hit")
+	}
+	if reg.Counter("store.corrupt").Value() == 0 {
+		t.Error("corruption not counted")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("corrupt blob not deleted")
+	}
+	// The slot heals: a fresh Put/Get works.
+	if err := s.Put("victim", []byte("recomputed")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get("victim"); !ok || string(got) != "recomputed" {
+		t.Fatalf("healed Get = %q, %v", got, ok)
+	}
+}
+
+func TestTruncatedBlobIsMiss(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 0, nil)
+	if err := s.Put("k", bytes.Repeat([]byte("x"), 4096)); err != nil {
+		t.Fatal(err)
+	}
+	path := s.path("k")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("truncated blob served as a hit")
+	}
+}
+
+func TestForeignFileIgnoredOnRebuild(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 0, nil)
+	if err := s.Put("real", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "zz"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "zz", "junk"), []byte("not a blob"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir, 0, nil)
+	if s2.Len() != 1 {
+		t.Fatalf("rebuilt Len = %d, want 1 (junk must be ignored)", s2.Len())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "zz", "junk")); !os.IsNotExist(err) {
+		t.Error("junk file not removed during rebuild")
+	}
+}
+
+func TestGCRespectsSizeCapAndLRUOrder(t *testing.T) {
+	reg := obs.NewRegistry()
+	dir := t.TempDir()
+	// Payloads of random-ish bytes don't compress; pick a cap that holds
+	// roughly 4 of the 8 entries.
+	payload := func(i int) []byte {
+		b := make([]byte, 2048)
+		for j := range b {
+			b[j] = byte(i*31 + j*17)
+		}
+		return b
+	}
+	s := mustOpen(t, dir, 0, reg)
+	if err := s.Put("probe", payload(0)); err != nil {
+		t.Fatal(err)
+	}
+	per := s.Bytes()
+	s2 := mustOpen(t, dir, per*4+per/2, reg)
+	for i := 0; i < 8; i++ {
+		if err := s2.Put(fmt.Sprintf("k%d", i), payload(i)); err != nil {
+			t.Fatal(err)
+		}
+		// Keep k0 hot so eviction takes the cold middle keys.
+		if _, ok := s2.Get("k0"); !ok && i > 0 {
+			t.Fatalf("k0 evicted at i=%d despite being hottest", i)
+		}
+	}
+	if s2.Bytes() > per*4+per/2 {
+		t.Fatalf("resident %d bytes exceed cap %d", s2.Bytes(), per*4+per/2)
+	}
+	if reg.Counter("store.gc_evictions").Value() == 0 {
+		t.Error("no GC evictions counted")
+	}
+	if _, ok := s2.Get("k0"); !ok {
+		t.Error("hottest key evicted")
+	}
+	if _, ok := s2.Get("k7"); !ok {
+		t.Error("most recent key evicted")
+	}
+	if _, ok := s2.Get("k1"); ok {
+		t.Error("coldest key survived past the cap")
+	}
+}
+
+func TestNilStoreIsInert(t *testing.T) {
+	var s *Store
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("nil store hit")
+	}
+	if s.Len() != 0 || s.Bytes() != 0 {
+		t.Fatal("nil store non-empty")
+	}
+	if st := s.Stats(); st != (Stats{}) {
+		t.Fatalf("nil Stats = %+v", st)
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 1<<20, obs.NewRegistry())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("k%d", (w*50+i)%25)
+				want := []byte(fmt.Sprintf("payload-%s", key))
+				if err := s.Put(key, want); err != nil {
+					t.Error(err)
+					return
+				}
+				if got, ok := s.Get(key); ok && !bytes.Equal(got, want) {
+					t.Errorf("Get(%s) = %q, want %q", key, got, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestStatsCounts(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 0, obs.NewRegistry())
+	s.Put("a", []byte("1"))
+	s.Get("a")
+	s.Get("missing")
+	st := s.Stats()
+	if st.Writes != 1 || st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("Stats = %+v", st)
+	}
+}
