@@ -1,6 +1,6 @@
 # Convenience targets for the ENA reproduction.
 
-.PHONY: all build test test-race test-service test-store test-cluster test-fabric test-workload chaos-short vet fuzz-short verify bench bench-json bench-compare serve load-smoke experiments csv examples clean
+.PHONY: all build test test-race test-service test-store test-cluster test-fabric test-workload chaos-short chaos-cluster vet fuzz-short verify bench bench-json bench-compare serve load-smoke experiments csv examples clean
 
 all: build vet test
 
@@ -64,12 +64,23 @@ fuzz-short:
 	go test -run='^$$' -fuzz=FuzzParseMask -fuzztime=5s ./internal/faults
 	go test -run='^$$' -fuzz=FuzzParseDL -fuzztime=5s ./internal/workload
 	go test -run='^$$' -fuzz=FuzzParseBatchList -fuzztime=5s ./internal/workload
+	go test -run='^$$' -fuzz=FuzzJournalFold -fuzztime=5s ./internal/store
+
+# Process-kill chaos: a 3-replica shared-store cluster runs a default-space
+# explore while a seeded loop SIGKILLs a random replica mid-sweep; survivors
+# must adopt the job, resume its checkpointed shards, and serve the
+# bit-identical single-process result. Iteration 0 always kills the
+# coordinator. Tune with CHAOS_CLUSTER_ITERS / CHAOS_CLUSTER_SEED.
+chaos-cluster:
+	CHAOS_CLUSTER_ITERS=$${CHAOS_CLUSTER_ITERS:-5} CHAOS_CLUSTER_SEED=$${CHAOS_CLUSTER_SEED:-1} \
+		go test -count=1 -run='TestChaosClusterSIGKILL' -v ./cmd/enaserve/
 
 # Tier-1 verification gate: everything must build, vet clean, and pass,
 # including the race pass over the service layer and the chaos suite. The
 # bench gate is a soft warning (leading '-'): it only compares snapshots
 # already committed, so it never blocks when fewer than two exist.
 verify: build vet test test-service test-store test-cluster test-fabric test-workload chaos-short
+	CHAOS_CLUSTER_ITERS=1 go test -count=1 -run='TestChaosClusterSIGKILL' ./cmd/enaserve/
 	-@$(MAKE) --no-print-directory bench-compare
 
 # Regenerate every table/figure and record the outputs (the reproduction log).

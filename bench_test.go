@@ -356,7 +356,7 @@ func BenchmarkShardedExplore(b *testing.B) {
 	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := coord.Explore(ctx, space, kernels, names, NodePowerBudgetW, 0); err != nil {
+		if _, err := coord.Explore(ctx, space, kernels, names, NodePowerBudgetW, 0, ""); err != nil {
 			b.Fatal(err)
 		}
 	}

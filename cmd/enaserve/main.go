@@ -13,6 +13,8 @@
 //	enaserve -store-dir /var/ena    # persistent result store (survives restarts)
 //	enaserve -worker -addr :8081    # shard-evaluation worker peer
 //	enaserve -peers http://h1:8081,http://h2:8081   # shard sweeps across peers
+//	enaserve -store-dir /var/ena -lease-ttl 10s     # durable jobs: journal, leases, adoption
+//	enaserve -drain-timeout 5s      # journal in-flight jobs interrupted at the deadline
 //
 // Endpoints (see internal/service for the full API):
 //
@@ -67,6 +69,12 @@ func run(args []string) int {
 	admitSim := fs.Int("admit-sim", 0, "simulate-route concurrency budget (0 = 2x GOMAXPROCS, <0 = ungoverned)")
 	admitSweep := fs.Int("admit-sweep", 0, "sweep-route (explore/scale/experiments) concurrency budget (0 = GOMAXPROCS, <0 = ungoverned)")
 	admitQueue := fs.Int("admit-queue", 0, "bounded admission-queue depth per route before 503 + Retry-After (0 = 4x budget)")
+	ownerID := fs.String("owner-id", "", "replica id stamped into job leases (empty = hostname-pid)")
+	leaseTTL := fs.Duration("lease-ttl", service.DefaultLeaseTTL, "job lease lifetime; a replica dead this long loses its jobs to adoption")
+	adoptEvery := fs.Duration("adopt-interval", 0, "journal scan interval for adoptable jobs (0 = lease-ttl)")
+	probeEvery := fs.Duration("probe-interval", 0, "peer health-probe cadence (0 = 2s default)")
+	drainTimeout := fs.Duration("drain-timeout", 0, "job-drain deadline on shutdown; past it in-flight jobs are journalled interrupted (0 = grace period)")
+	evalDelay := fs.Duration("chaos-eval-delay", 0, "chaos knob: sleep per evaluated sweep item, stretching jobs for kill tests")
 	fs.Parse(args)
 
 	// The signal context only triggers the drain sequence. Jobs run under
@@ -82,6 +90,7 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "enaserve: chaos injection ON (seed %d) — do not use in production\n", *chaosSeed)
 	}
 	var st *store.Store
+	var jr *store.Journal
 	if *storeDir != "" {
 		var err error
 		st, err = store.Open(*storeDir, *storeMB<<20, reg)
@@ -90,6 +99,21 @@ func run(args []string) int {
 			return 1
 		}
 		fmt.Fprintf(os.Stderr, "enaserve: result store at %s (%d entries resident)\n", *storeDir, st.Len())
+		if !*workerMode {
+			jr, err = store.OpenJournal(*storeDir, reg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "enaserve: journal:", err)
+				return 1
+			}
+			fmt.Fprintf(os.Stderr, "enaserve: job journal at %s/jobs (%d journalled)\n", *storeDir, jr.Len())
+		}
+	}
+	if *ownerID == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "enaserve"
+		}
+		*ownerID = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
 	var peerList []string
 	for _, p := range strings.Split(*peers, ",") {
@@ -97,7 +121,11 @@ func run(args []string) int {
 			peerList = append(peerList, p)
 		}
 	}
-	srv := service.New(context.Background(), service.Config{
+	// The server's base context: jobs keep running across the drain window
+	// and are force-cancelled (journalled interrupted) when it ends.
+	srvCtx, srvCancel := context.WithCancel(context.Background())
+	defer srvCancel()
+	srv := service.New(srvCtx, service.Config{
 		Workers:       *workers,
 		QueueCap:      *queue,
 		CacheSize:     *cacheSize,
@@ -105,12 +133,26 @@ func run(args []string) int {
 		Reg:           reg,
 		Chaos:         inj,
 		Store:         st,
+		Journal:       jr,
+		OwnerID:       *ownerID,
+		LeaseTTL:      *leaseTTL,
+		AdoptEvery:    *adoptEvery,
+		ProbeInterval: *probeEvery,
+		EvalDelay:     *evalDelay,
 		Peers:         peerList,
 		WorkerOnly:    *workerMode,
 		AdmitSimulate: *admitSim,
 		AdmitSweep:    *admitSweep,
 		AdmitQueue:    *admitQueue,
 	})
+	if jr != nil {
+		if n := reg.Counter("jobs.recovered").Value(); n > 0 {
+			fmt.Fprintf(os.Stderr, "enaserve: recovered %d journalled job(s)\n", n)
+		}
+	}
+	if *evalDelay > 0 {
+		fmt.Fprintf(os.Stderr, "enaserve: chaos eval delay %v per sweep item — do not use in production\n", *evalDelay)
+	}
 	if *workerMode {
 		fmt.Fprintln(os.Stderr, "enaserve: worker mode — serving shard-evaluation routes only")
 	}
@@ -137,8 +179,18 @@ func run(args []string) int {
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
 			fmt.Fprintln(os.Stderr, "enaserve: http shutdown:", err)
 		}
-		if err := srv.Drain(shutCtx); err != nil {
-			fmt.Fprintln(os.Stderr, "enaserve: drain:", err)
+		// The drain deadline: past it, running jobs are force-cancelled and —
+		// with a journal — recorded as interrupted, so a restart (or a peer
+		// sharing the store) resumes them from their checkpoints.
+		dt := *drainTimeout
+		if dt <= 0 {
+			dt = *grace
+		}
+		drainCtx, dcancel := context.WithTimeout(context.Background(), dt)
+		defer dcancel()
+		if err := srv.Drain(drainCtx); err != nil {
+			n := reg.Counter("jobs.interrupted").Value()
+			fmt.Fprintf(os.Stderr, "enaserve: drain deadline (%v) expired: %v — %d job(s) journalled interrupted (recoverable on restart)\n", dt, err, n)
 			return 1
 		}
 		stats := srv.Stats()

@@ -122,6 +122,29 @@ func partition(n, k int) []shard {
 	return out
 }
 
+// chunked splits n items into fixed-size contiguous shards of size chunk
+// covering [0, n) exactly once. Unlike partition, the boundaries depend only
+// on (n, chunk) — not on the peer count — so checkpoints written against
+// these shards by one replica land on the same boundaries in any other
+// replica, whatever its peer set looks like.
+func chunked(n, chunk int) []shard {
+	if n <= 0 {
+		return nil
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	out := make([]shard, 0, (n+chunk-1)/chunk)
+	for s := 0; s < n; s += chunk {
+		e := s + chunk
+		if e > n {
+			e = n
+		}
+		out = append(out, shard{start: s, end: e})
+	}
+	return out
+}
+
 // parseMode resolves a wire scaling mode.
 func parseMode(s string) (fabric.Mode, error) {
 	switch strings.ToLower(strings.TrimSpace(s)) {

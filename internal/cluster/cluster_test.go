@@ -85,7 +85,7 @@ func TestExploreShardedBitIdentical(t *testing.T) {
 	w1, w2 := newWorkerServer(t), newWorkerServer(t)
 	reg := obs.NewRegistry()
 	c := NewCoordinator([]string{w1.URL, w2.URL}, reg)
-	got, err := c.Explore(context.Background(), space, kernels, names, budget, 0)
+	got, err := c.Explore(context.Background(), space, kernels, names, budget, 0, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +169,7 @@ func TestExploreFailoverBitIdentical(t *testing.T) {
 
 	reg := obs.NewRegistry()
 	c := NewCoordinator([]string{flaky.URL, healthy.URL}, reg)
-	got, err := c.Explore(context.Background(), space, kernels, names, budget, 0)
+	got, err := c.Explore(context.Background(), space, kernels, names, budget, 0, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +204,7 @@ func TestExploreAllPeersDeadFallsBackLocally(t *testing.T) {
 
 	reg := obs.NewRegistry()
 	c := NewCoordinator([]string{dead.URL}, reg)
-	got, err := c.Explore(context.Background(), space, kernels, names, budget, 0)
+	got, err := c.Explore(context.Background(), space, kernels, names, budget, 0, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +223,7 @@ func TestExploreCancellation(t *testing.T) {
 	cancel()
 	w := newWorkerServer(t)
 	c := NewCoordinator([]string{w.URL}, obs.NewRegistry())
-	if _, err := c.Explore(ctx, space, kernels, names, 160, 0); err == nil {
+	if _, err := c.Explore(ctx, space, kernels, names, 160, 0, ""); err == nil {
 		t.Fatal("cancelled explore returned nil error")
 	}
 }
@@ -249,7 +249,7 @@ func TestScaleShardedMatchesLocal(t *testing.T) {
 	w1, w2 := newWorkerServer(t), newWorkerServer(t)
 	reg := obs.NewRegistry()
 	c := NewCoordinator([]string{w1.URL, w2.URL}, reg)
-	got, err := c.Scale(context.Background(), "torus", spec, k, rate, sizes, fabric.Weak, faults.Mask{}, "", 0)
+	got, err := c.Scale(context.Background(), "torus", spec, k, rate, sizes, fabric.Weak, faults.Mask{}, "", 0, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +289,7 @@ func TestScaleShardedDegradedMatchesLocal(t *testing.T) {
 
 	w := newWorkerServer(t)
 	c := NewCoordinator([]string{w.URL}, obs.NewRegistry())
-	got, err := c.Scale(context.Background(), "torus", spec, k, rate, sizes, fabric.Weak, mask, mask.String(), 7)
+	got, err := c.Scale(context.Background(), "torus", spec, k, rate, sizes, fabric.Weak, mask, mask.String(), 7, "")
 	if err != nil {
 		t.Fatal(err)
 	}

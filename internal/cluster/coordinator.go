@@ -26,24 +26,52 @@ import (
 // rebalance at shard granularity.
 const DefaultShardsPerPeer = 3
 
+// Checkpoint chunk defaults: explore points are cheap (fixed-size chunks keep
+// shard boundaries independent of the peer set, so a checkpoint written by
+// one replica resumes on any other); scale sizes are whole-fabric evaluations
+// and chunk small.
+const (
+	DefaultCheckpointItems = 64
+	defaultScaleChunk      = 2
+)
+
+// CkptStore is the slice of the result store the coordinator needs for shard
+// checkpoints. *store.Store satisfies it; both methods must be safe for
+// concurrent use.
+type CkptStore interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, payload []byte) error
+}
+
 // Coordinator fans sweep jobs out to enaserve worker peers. A nil
-// Coordinator (or one with no peers) is disabled: callers fall back to local
-// evaluation. Safe for concurrent use by multiple jobs.
+// Coordinator (or one with neither peers nor a checkpoint store) is
+// disabled: callers fall back to local evaluation. Safe for concurrent use
+// by multiple jobs.
 type Coordinator struct {
 	peers     []string
 	client    *http.Client
 	shardsPer int
+
+	prober     *Prober
+	ckpt       CkptStore
+	ckptChunk  int
+	scaleChunk int
+	evalDelay  time.Duration
 
 	dispatched  *obs.Counter
 	retries     *obs.Counter
 	peerFails   *obs.Counter
 	itemsCtr    *obs.Counter
 	localShards *obs.Counter
+	resumedCtr  *obs.Counter
+	ckptCtr     *obs.Counter
 	peersGauge  *obs.Gauge
 }
 
 // NewCoordinator builds a coordinator over the given peer base URLs
-// (e.g. "http://10.0.0.2:8080"). Metrics land in reg under cluster.*.
+// (e.g. "http://10.0.0.2:8080"). Metrics land in reg under cluster.* plus
+// the checkpoint counters under jobs.* (jobs.resumed_shards,
+// jobs.checkpoints — they describe job durability, not fan-out).
 func NewCoordinator(peers []string, reg *obs.Registry) *Coordinator {
 	c := &Coordinator{
 		peers: append([]string(nil), peers...),
@@ -52,19 +80,66 @@ func NewCoordinator(peers []string, reg *obs.Registry) *Coordinator {
 		// carries the job context.
 		client:      &http.Client{},
 		shardsPer:   DefaultShardsPerPeer,
+		ckptChunk:   DefaultCheckpointItems,
+		scaleChunk:  defaultScaleChunk,
 		dispatched:  reg.Counter("cluster.shards_dispatched"),
 		retries:     reg.Counter("cluster.shard_retries"),
 		peerFails:   reg.Counter("cluster.peer_failures"),
 		itemsCtr:    reg.Counter("cluster.items_streamed"),
 		localShards: reg.Counter("cluster.local_fallback_shards"),
+		resumedCtr:  reg.Counter("jobs.resumed_shards"),
+		ckptCtr:     reg.Counter("jobs.checkpoints"),
 		peersGauge:  reg.Gauge("cluster.peers"),
 	}
 	c.peersGauge.Set(float64(len(c.peers)))
 	return c
 }
 
+// SetProber installs health-aware peer membership: shard assignment draws
+// from the prober's healthy set instead of the static peer list, shard
+// failures feed back into it, and fast peers (by probe EWMA) pull with
+// double concurrency.
+func (c *Coordinator) SetProber(p *Prober) {
+	if c != nil {
+		c.prober = p
+	}
+}
+
+// EnableCheckpoints persists completed shard partials to cs so an adopted or
+// restarted job resumes from its checkpoint instead of recomputing. chunk
+// fixes the explore shard size (<= 0 uses DefaultCheckpointItems); fixed
+// chunks keep shard boundaries identical across replicas with different
+// peer sets, which is what makes another replica's checkpoints resumable.
+func (c *Coordinator) EnableCheckpoints(cs CkptStore, chunk int) {
+	if c == nil {
+		return
+	}
+	c.ckpt = cs
+	if chunk > 0 {
+		c.ckptChunk = chunk
+		c.scaleChunk = chunk
+		if c.scaleChunk > defaultScaleChunk {
+			c.scaleChunk = defaultScaleChunk
+		}
+	}
+}
+
+// SetEvalDelay installs a chaos knob: every item evaluated locally by this
+// coordinator sleeps d first. It exists to stretch sweeps so kill-mid-sweep
+// tests (and demos) have a window to hit; production leaves it zero.
+func (c *Coordinator) SetEvalDelay(d time.Duration) {
+	if c != nil {
+		c.evalDelay = d
+	}
+}
+
 // Enabled reports whether the coordinator has peers to shard onto.
 func (c *Coordinator) Enabled() bool { return c != nil && len(c.peers) > 0 }
+
+// Active reports whether sweeps should run through the coordinator at all:
+// it has peers to fan out to, or a checkpoint store that makes even a
+// single-process sweep resumable.
+func (c *Coordinator) Active() bool { return c != nil && (len(c.peers) > 0 || c.ckpt != nil) }
 
 // Peers returns the configured peer URLs.
 func (c *Coordinator) Peers() []string {
@@ -74,42 +149,121 @@ func (c *Coordinator) Peers() []string {
 	return append([]string(nil), c.peers...)
 }
 
+// activePeers is the shard-assignment set: the prober's healthy peers when
+// health tracking is on, the static list otherwise.
+func (c *Coordinator) activePeers() []string {
+	if c.prober == nil {
+		return c.peers
+	}
+	return c.prober.Healthy()
+}
+
+// pullerCount weights a peer's shard-pull concurrency by probe latency:
+// peers within 1.5x of the fastest EWMA (or not yet measured) pull two
+// shards at a time, laggards one.
+func (c *Coordinator) pullerCount(peer string, peers []string) int {
+	if c.prober == nil {
+		return 1
+	}
+	min := 0.0
+	for _, u := range peers {
+		if e := c.prober.EwmaNs(u); e > 0 && (min == 0 || e < min) {
+			min = e
+		}
+	}
+	if min == 0 {
+		return 2 // nothing measured yet: every peer starts fast
+	}
+	if e := c.prober.EwmaNs(peer); e == 0 || e <= 1.5*min {
+		return 2
+	}
+	return 1
+}
+
+// chaosSleep implements the eval-delay knob, respecting cancellation.
+func chaosSleep(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
 // Explore shards the design space across the peers and merges the evaluated
 // points into the same Outcome a local dse sweep produces — bit-identical,
-// including under per-shard failover (see runShards).
-func (c *Coordinator) Explore(ctx context.Context, space dse.Space, kernels []workload.Kernel, names []string, budgetW float64, opts powopt.Technique) (dse.Outcome, error) {
+// including under per-shard failover (see runShards). A non-empty ckptKey
+// (the job's canonical result key) checkpoints completed shards when a
+// checkpoint store is installed, and resumes any shard a previous attempt —
+// this replica's or a dead peer coordinator's — already persisted.
+func (c *Coordinator) Explore(ctx context.Context, space dse.Space, kernels []workload.Kernel, names []string, budgetW float64, opts powopt.Technique, ckptKey string) (dse.Outcome, error) {
 	pts := space.Points()
 	evals := make([]dse.Eval, len(pts))
 	filled := make([]atomic.Bool, len(pts))
-	makeReq := func(sh shard) (string, any) {
-		return "/v1/internal/shard/explore", ExploreShardRequest{
-			V: protoVersion, CUs: space.CUs, FreqsMHz: space.FreqsMHz, BWsTBps: space.BWsTBps,
-			Kernels: names, BudgetW: budgetW, Opts: uint(opts), Start: sh.start, End: sh.end,
-		}
-	}
-	apply := func(l shardLine) error {
-		if l.Type != "eval" || l.Eval == nil {
-			return fmt.Errorf("cluster: unexpected %q line in explore stream", l.Type)
-		}
-		if l.Index < 0 || l.Index >= len(pts) {
-			return fmt.Errorf("cluster: eval index %d out of the %d-point space", l.Index, len(pts))
-		}
-		evals[l.Index] = *l.Eval
-		filled[l.Index].Store(true)
-		return nil
-	}
-	local := func(ctx context.Context, sh shard) error {
-		for i := sh.start; i < sh.end; i++ {
-			ev, err := dse.EvaluatePointContext(ctx, pts[i], kernels, budgetW, opts)
-			if err != nil {
-				return err
+	job := shardRun{
+		n:     len(pts),
+		chunk: c.ckptChunk,
+		makeReq: func(sh shard) (string, any) {
+			return "/v1/internal/shard/explore", ExploreShardRequest{
+				V: protoVersion, CUs: space.CUs, FreqsMHz: space.FreqsMHz, BWsTBps: space.BWsTBps,
+				Kernels: names, BudgetW: budgetW, Opts: uint(opts), Start: sh.start, End: sh.end,
 			}
-			evals[i] = ev
-			filled[i].Store(true)
-		}
-		return nil
+		},
+		apply: func(l shardLine) error {
+			if l.Type != "eval" || l.Eval == nil {
+				return fmt.Errorf("cluster: unexpected %q line in explore stream", l.Type)
+			}
+			if l.Index < 0 || l.Index >= len(pts) {
+				return fmt.Errorf("cluster: eval index %d out of the %d-point space", l.Index, len(pts))
+			}
+			evals[l.Index] = *l.Eval
+			filled[l.Index].Store(true)
+			return nil
+		},
+		local: func(ctx context.Context, sh shard) error {
+			return parallelRange(ctx, sh.end-sh.start, func(ctx context.Context, i int) error {
+				chaosSleep(ctx, c.evalDelay)
+				ev, err := dse.EvaluatePointContext(ctx, pts[sh.start+i], kernels, budgetW, opts)
+				if err != nil {
+					return err
+				}
+				evals[sh.start+i] = ev
+				filled[sh.start+i].Store(true)
+				return nil
+			})
+		},
 	}
-	if err := c.runShards(ctx, len(pts), makeReq, apply, local); err != nil {
+	if c.ckpt != nil && ckptKey != "" {
+		prefix := fmt.Sprintf("ck:explore:%d:%s:", protoVersion, ckptKey)
+		job.loadCkpt = func(sh shard) bool {
+			data, ok := c.ckpt.Get(fmt.Sprintf("%s%d-%d", prefix, sh.start, sh.end))
+			if !ok {
+				return false
+			}
+			var part []dse.Eval
+			if err := json.Unmarshal(data, &part); err != nil || len(part) != sh.end-sh.start {
+				return false
+			}
+			for i := range part {
+				evals[sh.start+i] = part[i]
+				filled[sh.start+i].Store(true)
+			}
+			return true
+		}
+		job.saveCkpt = func(sh shard) {
+			b, err := json.Marshal(evals[sh.start:sh.end])
+			if err != nil {
+				return
+			}
+			if c.ckpt.Put(fmt.Sprintf("%s%d-%d", prefix, sh.start, sh.end), b) == nil {
+				c.ckptCtr.Inc()
+			}
+		}
+	}
+	if err := c.runShards(ctx, job); err != nil {
 		return dse.Outcome{}, err
 	}
 	for i := range filled {
@@ -121,43 +275,76 @@ func (c *Coordinator) Explore(ctx context.Context, space dse.Space, kernels []wo
 }
 
 // Scale shards a machine-scale projection's node counts across the peers
-// and returns the per-size evaluations in size order.
-func (c *Coordinator) Scale(ctx context.Context, kind string, spec fabric.LinkSpec, k workload.Kernel, rate float64, sizes []int, mode fabric.Mode, mask faults.Mask, maskStr string, seed int64) ([]ScaleEval, error) {
+// and returns the per-size evaluations in size order. ckptKey works as in
+// Explore.
+func (c *Coordinator) Scale(ctx context.Context, kind string, spec fabric.LinkSpec, k workload.Kernel, rate float64, sizes []int, mode fabric.Mode, mask faults.Mask, maskStr string, seed int64, ckptKey string) ([]ScaleEval, error) {
 	out := make([]ScaleEval, len(sizes))
 	filled := make([]atomic.Bool, len(sizes))
-	makeReq := func(sh shard) (string, any) {
-		return "/v1/internal/shard/scale", ScaleShardRequest{
-			V: protoVersion, Kernel: k.Name, Topology: kind, Sizes: sizes, Mode: mode.String(),
-			LinkGBps: spec.BandwidthGBps, LatencyNs: spec.LatencyNs, Ideal: spec.Ideal,
-			Mask: maskStr, Seed: seed, Start: sh.start, End: sh.end,
-		}
-	}
-	apply := func(l shardLine) error {
-		if l.Type != "scale" || l.Scale == nil {
-			return fmt.Errorf("cluster: unexpected %q line in scale stream", l.Type)
-		}
-		if l.Index < 0 || l.Index >= len(sizes) {
-			return fmt.Errorf("cluster: scale index %d out of %d sizes", l.Index, len(sizes))
-		}
-		out[l.Index] = *l.Scale
-		filled[l.Index].Store(true)
-		return nil
-	}
-	local := func(ctx context.Context, sh shard) error {
-		for i := sh.start; i < sh.end; i++ {
-			if err := ctx.Err(); err != nil {
-				return err
+	job := shardRun{
+		n:     len(sizes),
+		chunk: c.scaleChunk,
+		makeReq: func(sh shard) (string, any) {
+			return "/v1/internal/shard/scale", ScaleShardRequest{
+				V: protoVersion, Kernel: k.Name, Topology: kind, Sizes: sizes, Mode: mode.String(),
+				LinkGBps: spec.BandwidthGBps, LatencyNs: spec.LatencyNs, Ideal: spec.Ideal,
+				Mask: maskStr, Seed: seed, Start: sh.start, End: sh.end,
 			}
-			se, err := EvalScale(kind, spec, k, rate, sizes[i], mode, mask, seed)
+		},
+		apply: func(l shardLine) error {
+			if l.Type != "scale" || l.Scale == nil {
+				return fmt.Errorf("cluster: unexpected %q line in scale stream", l.Type)
+			}
+			if l.Index < 0 || l.Index >= len(sizes) {
+				return fmt.Errorf("cluster: scale index %d out of %d sizes", l.Index, len(sizes))
+			}
+			out[l.Index] = *l.Scale
+			filled[l.Index].Store(true)
+			return nil
+		},
+		local: func(ctx context.Context, sh shard) error {
+			for i := sh.start; i < sh.end; i++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				chaosSleep(ctx, c.evalDelay)
+				se, err := EvalScale(kind, spec, k, rate, sizes[i], mode, mask, seed)
+				if err != nil {
+					return err
+				}
+				out[i] = se
+				filled[i].Store(true)
+			}
+			return nil
+		},
+	}
+	if c.ckpt != nil && ckptKey != "" {
+		prefix := fmt.Sprintf("ck:scale:%d:%s:", protoVersion, ckptKey)
+		job.loadCkpt = func(sh shard) bool {
+			data, ok := c.ckpt.Get(fmt.Sprintf("%s%d-%d", prefix, sh.start, sh.end))
+			if !ok {
+				return false
+			}
+			var part []ScaleEval
+			if err := json.Unmarshal(data, &part); err != nil || len(part) != sh.end-sh.start {
+				return false
+			}
+			for i := range part {
+				out[sh.start+i] = part[i]
+				filled[sh.start+i].Store(true)
+			}
+			return true
+		}
+		job.saveCkpt = func(sh shard) {
+			b, err := json.Marshal(out[sh.start:sh.end])
 			if err != nil {
-				return err
+				return
 			}
-			out[i] = se
-			filled[i].Store(true)
+			if c.ckpt.Put(fmt.Sprintf("%s%d-%d", prefix, sh.start, sh.end), b) == nil {
+				c.ckptCtr.Inc()
+			}
 		}
-		return nil
 	}
-	if err := c.runShards(ctx, len(sizes), makeReq, apply, local); err != nil {
+	if err := c.runShards(ctx, job); err != nil {
 		return nil, err
 	}
 	for i := range filled {
@@ -168,56 +355,106 @@ func (c *Coordinator) Scale(ctx context.Context, kind string, spec fabric.LinkSp
 	return out, nil
 }
 
-// runShards partitions n items into shards and drives them to completion:
-// one goroutine per peer pulls shards from a shared queue and streams their
-// results; a shard whose stream fails is requeued for the surviving peers
-// (the failed peer is retired for the rest of the job); shards left over
-// when every peer has been retired are evaluated locally via the fallback —
-// the coordinator is itself a capable replica, so total peer loss degrades
-// to a single-process sweep instead of an error.
-func (c *Coordinator) runShards(ctx context.Context, n int, makeReq func(shard) (string, any), apply func(shardLine) error, local func(context.Context, shard) error) error {
-	shards := partition(n, len(c.peers)*c.shardsPer)
+// shardRun is one sweep's sharding plan: the index-space size, the request
+// builder and line-merge callback for the peer path, the local evaluator,
+// and — when checkpointing — the shard resume/persist hooks.
+type shardRun struct {
+	n        int
+	chunk    int
+	makeReq  func(shard) (string, any)
+	apply    func(shardLine) error
+	local    func(context.Context, shard) error
+	loadCkpt func(shard) bool // nil disables checkpointing
+	saveCkpt func(shard)
+}
+
+// runShards partitions the job's index space into shards and drives them to
+// completion: pullers (one or two per healthy peer, by probe latency) pull
+// shards from a shared queue and stream their results; a shard whose stream
+// fails is requeued for the surviving peers (the failed peer is retired for
+// the rest of the job and reported to the prober); shards left over when
+// every peer has been retired are evaluated locally via the fallback — the
+// coordinator is itself a capable replica, so total peer loss degrades to a
+// single-process sweep instead of an error.
+//
+// With checkpointing on, shards are fixed-size chunks (peer-independent
+// boundaries), shards whose partial is already persisted are resumed without
+// dispatch, and every completed shard is persisted before being counted
+// done.
+func (c *Coordinator) runShards(ctx context.Context, job shardRun) error {
+	var shards []shard
+	ckpt := job.loadCkpt != nil
+	peers := c.activePeers()
+	if ckpt {
+		shards = chunked(job.n, job.chunk)
+	} else {
+		shards = partition(job.n, len(peers)*c.shardsPer)
+	}
 	if len(shards) == 0 {
 		return nil
 	}
-	pending := make(chan shard, len(shards))
+	todo := shards[:0:0]
 	for _, sh := range shards {
+		if ckpt && job.loadCkpt(sh) {
+			c.resumedCtr.Inc()
+			continue
+		}
+		todo = append(todo, sh)
+	}
+	if len(todo) == 0 {
+		return nil
+	}
+	pending := make(chan shard, len(todo))
+	for _, sh := range todo {
 		pending <- sh
 	}
 	var remaining atomic.Int64
-	remaining.Store(int64(len(shards)))
+	remaining.Store(int64(len(todo)))
 	done := make(chan struct{})
 	var wg sync.WaitGroup
-	for _, peer := range c.peers {
-		wg.Add(1)
-		go func(peer string) {
-			defer wg.Done()
-			for {
-				select {
-				case <-done:
-					return
-				case <-ctx.Done():
-					return
-				case sh := <-pending:
-					c.dispatched.Inc()
-					if err := c.runShard(ctx, peer, sh, makeReq, apply); err != nil {
-						// Put the shard back for the survivors and retire
-						// this peer: a worker that failed once (crashed,
-						// drained, unreachable) is not retried this job.
-						pending <- sh
-						if ctx.Err() == nil {
-							c.peerFails.Inc()
-							c.retries.Inc()
+	for _, peer := range peers {
+		var retired atomic.Bool // shared by this peer's pullers
+		for p := 0; p < c.pullerCount(peer, peers); p++ {
+			wg.Add(1)
+			go func(peer string, retired *atomic.Bool) {
+				defer wg.Done()
+				for {
+					select {
+					case <-done:
+						return
+					case <-ctx.Done():
+						return
+					case sh := <-pending:
+						if retired.Load() {
+							pending <- sh
+							return
 						}
-						return
-					}
-					if remaining.Add(-1) == 0 {
-						close(done)
-						return
+						c.dispatched.Inc()
+						if err := c.runShard(ctx, peer, sh, job.makeReq, job.apply); err != nil {
+							// Put the shard back for the survivors and retire
+							// this peer: a worker that failed once (crashed,
+							// drained, unreachable) is not retried this job.
+							pending <- sh
+							retired.Store(true)
+							if ctx.Err() == nil {
+								c.peerFails.Inc()
+								c.retries.Inc()
+								c.prober.ReportFailure(peer)
+							}
+							return
+						}
+						c.prober.ReportSuccess(peer, 0)
+						if job.saveCkpt != nil {
+							job.saveCkpt(sh)
+						}
+						if remaining.Add(-1) == 0 {
+							close(done)
+							return
+						}
 					}
 				}
-			}
-		}(peer)
+			}(peer, &retired)
+		}
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
@@ -228,8 +465,11 @@ func (c *Coordinator) runShards(ctx context.Context, n int, makeReq func(shard) 
 		select {
 		case sh := <-pending:
 			c.localShards.Inc()
-			if err := local(ctx, sh); err != nil {
+			if err := job.local(ctx, sh); err != nil {
 				return err
+			}
+			if job.saveCkpt != nil {
+				job.saveCkpt(sh)
 			}
 			remaining.Add(-1)
 		default:

@@ -1,0 +1,244 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+
+	"ena/internal/obs"
+)
+
+// Prober default tuning.
+const (
+	DefaultProbeInterval = 2 * time.Second
+	probeTimeout         = 5 * time.Second
+	maxProbeBackoff      = 30 * time.Second
+	// ewmaAlpha weights the latest probe RTT into the peer's smoothed latency.
+	ewmaAlpha = 0.3
+)
+
+// Prober tracks worker-peer health. Peers start healthy (optimistic — the
+// first job does not wait for a probe round); a failure reported by the
+// coordinator or observed by a probe marks the peer down, and down peers are
+// re-probed on an exponential backoff until they answer, at which point they
+// rejoin automatically — a retired peer is a peer resting, not a peer gone.
+// Probe RTTs feed an EWMA latency per peer that the coordinator uses to
+// weight shard assignment toward fast peers.
+//
+// A nil *Prober is inert: Healthy returns nil, reports are no-ops.
+type Prober struct {
+	interval time.Duration
+	client   *http.Client
+
+	mu    sync.Mutex
+	order []string
+	peers map[string]*peerHealth
+
+	probeOK      *obs.Counter
+	probeFail    *obs.Counter
+	rejoins      *obs.Counter
+	failsCtr     *obs.Counter
+	healthyGauge *obs.Gauge
+}
+
+type peerHealth struct {
+	healthy   bool
+	ewmaNs    float64
+	fails     int       // consecutive failures, drives the probe backoff
+	nextProbe time.Time // down peers only: when the next probe is due
+}
+
+// NewProber builds a prober over the peer base URLs. interval <= 0 uses
+// DefaultProbeInterval. Metrics land in reg under cluster.probe_* /
+// cluster.peers_healthy / cluster.peer_rejoins.
+func NewProber(peers []string, interval time.Duration, reg *obs.Registry) *Prober {
+	if interval <= 0 {
+		interval = DefaultProbeInterval
+	}
+	p := &Prober{
+		interval:     interval,
+		client:       &http.Client{Timeout: probeTimeout},
+		order:        append([]string(nil), peers...),
+		peers:        make(map[string]*peerHealth, len(peers)),
+		probeOK:      reg.Counter("cluster.probe_success"),
+		probeFail:    reg.Counter("cluster.probe_failures"),
+		rejoins:      reg.Counter("cluster.peer_rejoins"),
+		failsCtr:     reg.Counter("cluster.peer_failures_reported"),
+		healthyGauge: reg.Gauge("cluster.peers_healthy"),
+	}
+	for _, u := range peers {
+		p.peers[u] = &peerHealth{healthy: true}
+	}
+	p.publishLocked()
+	return p
+}
+
+// Run probes until ctx ends: healthy peers every interval (their EWMA
+// latency stays warm), down peers when their backoff expires. Call it once,
+// in its own goroutine.
+func (p *Prober) Run(ctx context.Context) {
+	if p == nil {
+		return
+	}
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			p.probeRound(ctx)
+		}
+	}
+}
+
+func (p *Prober) probeRound(ctx context.Context) {
+	now := time.Now()
+	var due []string
+	p.mu.Lock()
+	for _, u := range p.order {
+		ph := p.peers[u]
+		if ph.healthy || !now.Before(ph.nextProbe) {
+			due = append(due, u)
+		}
+	}
+	p.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, u := range due {
+		wg.Add(1)
+		go func(u string) {
+			defer wg.Done()
+			start := time.Now()
+			if err := p.probe(ctx, u); err != nil {
+				p.probeFail.Inc()
+				p.markDown(u)
+				return
+			}
+			p.probeOK.Inc()
+			p.ReportSuccess(u, time.Since(start))
+		}(u)
+	}
+	wg.Wait()
+}
+
+func (p *Prober) probe(ctx context.Context, peer string) error {
+	ctx, cancel := context.WithTimeout(ctx, probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/internal/ping", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return errStatus(resp.Status)
+	}
+	return nil
+}
+
+type errStatus string
+
+func (e errStatus) Error() string { return "cluster: probe: " + string(e) }
+
+// ReportFailure marks a peer down (called by the coordinator when a shard
+// stream fails, and by failed probes). The peer's next probe backs off
+// exponentially with consecutive failures, capped at maxProbeBackoff.
+func (p *Prober) ReportFailure(peer string) {
+	if p == nil {
+		return
+	}
+	p.failsCtr.Inc()
+	p.markDown(peer)
+}
+
+func (p *Prober) markDown(peer string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ph, ok := p.peers[peer]
+	if !ok {
+		return
+	}
+	ph.healthy = false
+	if ph.fails < 30 { // cap the shift, not just the backoff
+		ph.fails++
+	}
+	backoff := p.interval << (ph.fails - 1)
+	if backoff > maxProbeBackoff || backoff <= 0 {
+		backoff = maxProbeBackoff
+	}
+	ph.nextProbe = time.Now().Add(backoff)
+	p.publishLocked()
+}
+
+// ReportSuccess marks a peer healthy and folds an observed RTT (probe or
+// shard round-trip start) into its EWMA latency. A down peer rejoins.
+func (p *Prober) ReportSuccess(peer string, rtt time.Duration) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ph, ok := p.peers[peer]
+	if !ok {
+		return
+	}
+	if !ph.healthy {
+		p.rejoins.Inc()
+	}
+	ph.healthy = true
+	ph.fails = 0
+	if rtt > 0 {
+		if ph.ewmaNs == 0 {
+			ph.ewmaNs = float64(rtt.Nanoseconds())
+		} else {
+			ph.ewmaNs = ewmaAlpha*float64(rtt.Nanoseconds()) + (1-ewmaAlpha)*ph.ewmaNs
+		}
+	}
+	p.publishLocked()
+}
+
+// Healthy returns the currently healthy peers, in configuration order.
+func (p *Prober) Healthy() []string {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.order))
+	for _, u := range p.order {
+		if p.peers[u].healthy {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// EwmaNs returns a peer's smoothed observed latency in nanoseconds (0 when
+// nothing has been observed yet).
+func (p *Prober) EwmaNs(peer string) float64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if ph, ok := p.peers[peer]; ok {
+		return ph.ewmaNs
+	}
+	return 0
+}
+
+// publishLocked refreshes the healthy-peer gauge. Callers hold p.mu (or the
+// prober is freshly built and unshared).
+func (p *Prober) publishLocked() {
+	n := 0
+	for _, ph := range p.peers {
+		if ph.healthy {
+			n++
+		}
+	}
+	p.healthyGauge.Set(float64(n))
+}

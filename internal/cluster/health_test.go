@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ena/internal/obs"
+)
+
+func TestProberStartsOptimistic(t *testing.T) {
+	p := NewProber([]string{"http://a", "http://b"}, time.Second, obs.NewRegistry())
+	h := p.Healthy()
+	if len(h) != 2 || h[0] != "http://a" || h[1] != "http://b" {
+		t.Fatalf("Healthy = %v, want both peers before any probe", h)
+	}
+}
+
+func TestProberDownAndRejoin(t *testing.T) {
+	var fail atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if fail.Load() {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	t.Cleanup(srv.Close)
+
+	reg := obs.NewRegistry()
+	p := NewProber([]string{srv.URL}, 10*time.Millisecond, reg)
+
+	// A reported failure retires the peer immediately.
+	p.ReportFailure(srv.URL)
+	if len(p.Healthy()) != 0 {
+		t.Fatal("peer still healthy after ReportFailure")
+	}
+	if g := reg.Gauge("cluster.peers_healthy").Value(); g != 0 {
+		t.Fatalf("peers_healthy gauge = %v, want 0", g)
+	}
+
+	// Probe rounds while the peer answers again: once the backoff expires it
+	// rejoins automatically.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(p.Healthy()) == 0 && time.Now().Before(deadline) {
+		p.probeRound(context.Background())
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(p.Healthy()) != 1 {
+		t.Fatal("peer never rejoined after recovering")
+	}
+	if reg.Counter("cluster.peer_rejoins").Value() == 0 {
+		t.Error("rejoin not counted")
+	}
+	if p.EwmaNs(srv.URL) <= 0 {
+		t.Error("no EWMA latency recorded from successful probes")
+	}
+
+	// Now the peer actually fails: probes notice without any coordinator
+	// involvement.
+	fail.Store(true)
+	deadline = time.Now().Add(5 * time.Second)
+	for len(p.Healthy()) == 1 && time.Now().Before(deadline) {
+		p.probeRound(context.Background())
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(p.Healthy()) != 0 {
+		t.Fatal("probe never detected the failing peer")
+	}
+	if reg.Counter("cluster.probe_failures").Value() == 0 {
+		t.Error("probe failure not counted")
+	}
+}
+
+func TestProberBackoffGrows(t *testing.T) {
+	p := NewProber([]string{"http://gone"}, 100*time.Millisecond, obs.NewRegistry())
+	var gaps []time.Duration
+	for i := 0; i < 5; i++ {
+		p.ReportFailure("http://gone")
+		p.mu.Lock()
+		gaps = append(gaps, time.Until(p.peers["http://gone"].nextProbe))
+		p.mu.Unlock()
+	}
+	for i := 1; i < len(gaps); i++ {
+		if gaps[i] < gaps[i-1] {
+			t.Fatalf("backoff shrank: %v", gaps)
+		}
+	}
+	if gaps[len(gaps)-1] > maxProbeBackoff+time.Second {
+		t.Fatalf("backoff exceeded cap: %v", gaps[len(gaps)-1])
+	}
+	// Many more failures must not overflow the shift.
+	for i := 0; i < 100; i++ {
+		p.ReportFailure("http://gone")
+	}
+	p.mu.Lock()
+	gap := time.Until(p.peers["http://gone"].nextProbe)
+	p.mu.Unlock()
+	if gap <= 0 || gap > maxProbeBackoff+time.Second {
+		t.Fatalf("backoff after 100 failures = %v", gap)
+	}
+}
+
+func TestProberNilSafe(t *testing.T) {
+	var p *Prober
+	p.ReportFailure("x")
+	p.ReportSuccess("x", time.Millisecond)
+	if p.Healthy() != nil || p.EwmaNs("x") != 0 {
+		t.Fatal("nil prober not inert")
+	}
+	p.Run(context.Background()) // returns immediately
+}
+
+func TestProberUnknownPeerIgnored(t *testing.T) {
+	p := NewProber([]string{"http://a"}, time.Second, obs.NewRegistry())
+	p.ReportFailure("http://stranger")
+	p.ReportSuccess("http://stranger", time.Millisecond)
+	if len(p.Healthy()) != 1 {
+		t.Fatal("reports about unknown peers changed membership")
+	}
+}

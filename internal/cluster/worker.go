@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
+	"time"
 
 	"ena/internal/dse"
 	"ena/internal/exp"
@@ -29,9 +30,15 @@ import (
 // mid-shard leaves a truncated stream the coordinator detects by the missing
 // "done" trailer. Evaluation parallelism inside the worker is GOMAXPROCS;
 // lines may arrive out of index order (each carries its index).
-func WorkerHandler(reg *obs.Registry) http.Handler {
+func WorkerHandler(reg *obs.Registry) http.Handler { return WorkerHandlerDelay(reg, 0) }
+
+// WorkerHandlerDelay is WorkerHandler with the eval-delay chaos knob: every
+// evaluated item sleeps evalDelay first, stretching sweeps so kill-mid-sweep
+// tests have a window to hit (see Coordinator.SetEvalDelay).
+func WorkerHandlerDelay(reg *obs.Registry, evalDelay time.Duration) http.Handler {
 	w := &worker{
 		reg:       reg,
+		delay:     evalDelay,
 		shardsCtr: reg.Counter("cluster.worker.shards"),
 		itemsCtr:  reg.Counter("cluster.worker.items"),
 		errsCtr:   reg.Counter("cluster.worker.errors"),
@@ -48,6 +55,7 @@ func WorkerHandler(reg *obs.Registry) http.Handler {
 
 type worker struct {
 	reg       *obs.Registry
+	delay     time.Duration
 	shardsCtr *obs.Counter
 	itemsCtr  *obs.Counter
 	errsCtr   *obs.Counter
@@ -124,6 +132,7 @@ func (wk *worker) handleExplore(rw http.ResponseWriter, r *http.Request) {
 	n := req.End - req.Start
 	err = parallelRange(r.Context(), n, func(ctx context.Context, i int) error {
 		idx := req.Start + i
+		chaosSleep(ctx, wk.delay)
 		ev, err := dse.EvaluatePointContext(ctx, pts[idx], kernels, req.BudgetW, powopt.Technique(req.Opts))
 		if err != nil {
 			return err
@@ -176,6 +185,7 @@ func (wk *worker) handleScale(rw http.ResponseWriter, r *http.Request) {
 	n := req.End - req.Start
 	err = parallelRange(r.Context(), n, func(ctx context.Context, i int) error {
 		idx := req.Start + i
+		chaosSleep(ctx, wk.delay)
 		se, err := EvalScale(req.Topology, spec, k, rate, req.Sizes[idx], mode, mask, req.Seed)
 		if err != nil {
 			return err

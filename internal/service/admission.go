@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync/atomic"
+	"time"
 
 	"ena/internal/obs"
 )
@@ -26,6 +28,10 @@ type admission struct {
 	route string
 	slots chan struct{}
 	queue chan struct{}
+
+	// ewmaNs tracks the route's smoothed service time (α = 0.2), feeding the
+	// adaptive Retry-After hint on shed responses.
+	ewmaNs atomic.Int64
 
 	admitted *obs.Counter
 	queued   *obs.Counter
@@ -89,6 +95,69 @@ func (a *admission) acquire(ctx context.Context) (func(), error) {
 }
 
 func (a *admission) release() { <-a.slots }
+
+// observe folds one completed request's service time into the route's EWMA.
+func (a *admission) observe(d time.Duration) {
+	if a == nil {
+		return
+	}
+	foldEwma(&a.ewmaNs, d)
+}
+
+// foldEwma folds a duration into an atomic EWMA accumulator (α = 0.2; the
+// first observation seeds it).
+func foldEwma(acc *atomic.Int64, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	const alpha = 0.2
+	for {
+		old := acc.Load()
+		next := int64(d)
+		if old > 0 {
+			next = int64(alpha*float64(d) + (1-alpha)*float64(old))
+		}
+		if acc.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// retryAfter is the adaptive Retry-After hint for a shed response on this
+// route: how long until the current backlog drains at the observed service
+// rate. A nil (ungoverned) admission hints the 1-second floor.
+func (a *admission) retryAfter() int {
+	if a == nil {
+		return 1
+	}
+	return retryAfterHint(len(a.queue), cap(a.slots), a.ewmaNs.Load())
+}
+
+// retryAfterHint estimates seconds until a shed client should retry: the
+// queued requests ahead of it, plus its own, served slots-at-a-time at the
+// EWMA service time — ceil((depth+1) × ewma / slots) — clamped to [1, 30].
+// With no observation yet (ewma 0) the floor applies: better to invite an
+// early retry than to park clients on a guess.
+func retryAfterHint(depth, slots int, ewmaNs int64) int {
+	if slots < 1 {
+		slots = 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	if ewmaNs <= 0 {
+		return 1
+	}
+	waitNs := float64(depth+1) * float64(ewmaNs) / float64(slots)
+	secs := int((waitNs + float64(time.Second) - 1) / float64(time.Second))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
 
 // defaultAdmit resolves an admission budget config value: 0 means the
 // default, negative disables.

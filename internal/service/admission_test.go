@@ -1,0 +1,97 @@
+package service
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ena/internal/obs"
+)
+
+func TestRetryAfterHint(t *testing.T) {
+	sec := int64(time.Second)
+	cases := []struct {
+		name   string
+		depth  int
+		slots  int
+		ewmaNs int64
+		want   int
+	}{
+		{"no observation yet", 10, 4, 0, 1},
+		{"negative ewma", 10, 4, -5, 1},
+		{"empty queue fast service", 0, 4, sec / 10, 1},
+		{"one ahead one slot", 1, 1, sec, 2},
+		{"exact division", 7, 4, 2 * sec, 4},   // 8*2s/4 = 4s
+		{"rounds up", 3, 4, sec, 1},            // 4*1s/4 = 1s
+		{"rounds up fractional", 4, 4, sec, 2}, // 5*1s/4 = 1.25s -> 2
+		{"clamped at ceiling", 100, 1, 10 * sec, 30},
+		{"zero slots treated as one", 1, 0, sec, 2},
+		{"negative slots treated as one", 1, -3, sec, 2},
+		{"negative depth treated as zero", -5, 2, sec, 1},
+		{"sub-second floor", 0, 8, 1000, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := retryAfterHint(c.depth, c.slots, c.ewmaNs); got != c.want {
+				t.Fatalf("retryAfterHint(%d, %d, %d) = %d, want %d", c.depth, c.slots, c.ewmaNs, got, c.want)
+			}
+		})
+	}
+}
+
+func TestFoldEwma(t *testing.T) {
+	var acc atomic.Int64
+
+	// Non-positive observations are ignored.
+	foldEwma(&acc, 0)
+	foldEwma(&acc, -time.Second)
+	if acc.Load() != 0 {
+		t.Fatalf("ewma after ignored samples = %d", acc.Load())
+	}
+
+	// The first real observation seeds the accumulator exactly.
+	foldEwma(&acc, time.Second)
+	if acc.Load() != int64(time.Second) {
+		t.Fatalf("seed = %d, want %d", acc.Load(), int64(time.Second))
+	}
+
+	// Subsequent observations fold at alpha = 0.2: 0.2*3s + 0.8*1s = 1.4s.
+	foldEwma(&acc, 3*time.Second)
+	want := int64(0.2*float64(3*time.Second) + 0.8*float64(time.Second))
+	if got := acc.Load(); got != want {
+		t.Fatalf("folded = %d, want %d", got, want)
+	}
+
+	// The EWMA converges toward a sustained level.
+	for i := 0; i < 100; i++ {
+		foldEwma(&acc, 2*time.Second)
+	}
+	if got := acc.Load(); got < int64(1990*time.Millisecond) || got > int64(2010*time.Millisecond) {
+		t.Fatalf("ewma after sustained 2s load = %v", time.Duration(got))
+	}
+}
+
+func TestAdmissionRetryAfterAdapts(t *testing.T) {
+	// An ungoverned route hints the floor.
+	var nilAdm *admission
+	if got := nilAdm.retryAfter(); got != 1 {
+		t.Fatalf("nil admission retryAfter = %d", got)
+	}
+	nilAdm.observe(time.Second) // must not panic
+
+	reg := obs.NewRegistry()
+	a := newAdmission("t", 2, 4, reg)
+	if got := a.retryAfter(); got != 1 {
+		t.Fatalf("unobserved retryAfter = %d, want floor", got)
+	}
+
+	// Slow observed service times push the hint up once the queue has depth.
+	a.observe(10 * time.Second)
+	a.queue <- struct{}{}
+	a.queue <- struct{}{}
+	defer func() { <-a.queue; <-a.queue }()
+	// (2+1) * 10s / 2 slots = 15s.
+	if got := a.retryAfter(); got != 15 {
+		t.Fatalf("loaded retryAfter = %d, want 15", got)
+	}
+}

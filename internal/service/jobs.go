@@ -43,6 +43,10 @@ type JobView struct {
 	Started  *time.Time `json:"started,omitempty"`
 	Finished *time.Time `json:"finished,omitempty"`
 	Error    string     `json:"error,omitempty"`
+	// Owner identifies the replica holding the job's lease (empty when the
+	// server runs without a journal, or for journal-only views of jobs that
+	// lost their owner).
+	Owner string `json:"owner,omitempty"`
 	// Quarantined marks a job whose execution panicked: the request is
 	// isolated (never retried, never re-enqueued) and the worker survived.
 	Quarantined bool `json:"quarantined,omitempty"`
@@ -66,8 +70,12 @@ type job struct {
 	result      any
 	quarantined bool
 	retries     int
-	cancel      context.CancelFunc // set while running
-	done        chan struct{}      // closed on any terminal transition
+	// userCancelled distinguishes an explicit DELETE /v1/jobs/{id} from a
+	// system cancellation (drain deadline, server shutdown): only the latter
+	// is journalled as interrupted — i.e. recoverable — by a durable manager.
+	userCancelled bool
+	cancel        context.CancelFunc // set while running
+	done          chan struct{}      // closed on any terminal transition
 }
 
 func (j *job) viewLocked() JobView {
@@ -105,6 +113,16 @@ var (
 	ErrPanicked = errors.New("service: job panicked")
 )
 
+// jobRecorder observes job lifecycle transitions — the hook a durable jobs
+// manager uses to journal state changes as they happen. Calls are made
+// outside the job's lock (the recorder may do I/O); interrupted is true when
+// a cancellation came from the system (drain deadline, shutdown) rather than
+// the user, meaning the job should be journalled as recoverable.
+type jobRecorder interface {
+	transition(id string, state JobState, errMsg string, interrupted bool)
+	pruned(id string)
+}
+
 // Scheduler executes submitted jobs on a bounded worker pool. Every job runs
 // under a context derived from the scheduler's base context (so a server
 // shutdown reaches running jobs) plus an optional per-job deadline, and can
@@ -118,12 +136,22 @@ type Scheduler struct {
 	queue   chan *job
 	wg      sync.WaitGroup
 	running atomic.Int64
+	workers int
+	// ewmaNs smooths observed job durations (α = 0.2) for the adaptive
+	// Retry-After hint on queue-full sheds.
+	ewmaNs atomic.Int64
 
 	mu     sync.Mutex
 	jobs   map[string]*job
 	order  []string // submission order, for pruning
 	retain int
 	closed bool
+
+	// recorder (optional) journals transitions; interrupting is set by Drain
+	// before force-cancelling so execute classifies those cancellations as
+	// interruptions, not user cancels.
+	recorder     jobRecorder
+	interrupting atomic.Bool
 
 	// Resilience knobs (see SchedOption).
 	chaos     *faults.Chaos
@@ -166,6 +194,18 @@ func WithRetry(max int, base time.Duration) SchedOption {
 	}
 }
 
+// WithRecorder installs a job lifecycle observer (see jobRecorder).
+func WithRecorder(r jobRecorder) SchedOption {
+	return func(s *Scheduler) { s.recorder = r }
+}
+
+// record is the nil-safe recorder call.
+func (s *Scheduler) record(id string, state JobState, errMsg string, interrupted bool) {
+	if s.recorder != nil {
+		s.recorder.transition(id, state, errMsg, interrupted)
+	}
+}
+
 // Scheduler defaults when the corresponding Config field is zero.
 const (
 	DefaultQueueCap  = 64
@@ -191,6 +231,7 @@ func NewScheduler(ctx context.Context, workers, queueCap, retain int, reg *obs.R
 	}
 	s := &Scheduler{
 		baseCtx:      ctx,
+		workers:      workers,
 		queue:        make(chan *job, queueCap),
 		jobs:         make(map[string]*job),
 		retain:       retain,
@@ -224,20 +265,10 @@ func (s *Scheduler) QueueDepth() int { return len(s.queue) }
 func (s *Scheduler) QueueCap() int { return cap(s.queue) }
 
 // RetryAfterSecs estimates how long a rejected client should wait before
-// resubmitting: roughly one queue-drain interval, at least one second.
+// resubmitting: the queued jobs ahead of it at the pool's smoothed service
+// time, via the shared retryAfterHint estimator.
 func (s *Scheduler) RetryAfterSecs() int {
-	d := len(s.queue)/maxInt(1, int(s.running.Load())) + 1
-	if d > 60 {
-		d = 60
-	}
-	return d
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
+	return retryAfterHint(len(s.queue), s.workers, s.ewmaNs.Load())
 }
 
 // newJobID returns a 16-hex-char random job identifier.
@@ -255,8 +286,17 @@ func newJobID() string {
 // deadline (the base context still applies). Returns ErrQueueFull when the
 // pending queue is at capacity and ErrDraining after Drain began.
 func (s *Scheduler) Submit(kind string, timeout time.Duration, run func(context.Context) (any, error)) (JobView, error) {
+	return s.SubmitWithID(newJobID(), kind, timeout, run)
+}
+
+// SubmitWithID is Submit with a caller-chosen job id — the handle a durable
+// manager uses to re-enqueue journalled jobs under their original identity.
+// Idempotent: if the id is already in the table the existing job's view is
+// returned and nothing is enqueued, so recovery and adoption racing a live
+// submission cannot double-run a job.
+func (s *Scheduler) SubmitWithID(id, kind string, timeout time.Duration, run func(context.Context) (any, error)) (JobView, error) {
 	j := &job{
-		id:      newJobID(),
+		id:      id,
 		kind:    kind,
 		timeout: timeout,
 		run:     run,
@@ -265,6 +305,12 @@ func (s *Scheduler) Submit(kind string, timeout time.Duration, run func(context.
 		done:    make(chan struct{}),
 	}
 	s.mu.Lock()
+	if existing := s.jobs[id]; existing != nil {
+		s.mu.Unlock()
+		existing.mu.Lock()
+		defer existing.mu.Unlock()
+		return existing.viewLocked(), nil
+	}
 	if s.closed {
 		s.mu.Unlock()
 		s.rejected.Inc()
@@ -279,14 +325,57 @@ func (s *Scheduler) Submit(kind string, timeout time.Duration, run func(context.
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
-	s.pruneLocked()
+	prunedIDs := s.pruneLocked()
 	s.mu.Unlock()
 
+	if s.recorder != nil {
+		for _, pid := range prunedIDs {
+			s.recorder.pruned(pid)
+		}
+	}
 	s.submitted.Inc()
 	s.queueGauge.Set(float64(len(s.queue)))
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.viewLocked(), nil
+}
+
+// Restore installs an already-terminal job view into the table — how a
+// restarted server makes journalled finished jobs queryable again without
+// re-running them. The result (decoded from the store) may be nil for
+// non-done states. No-op if the id is live.
+func (s *Scheduler) Restore(v JobView, result any) {
+	if !v.State.Terminal() {
+		return
+	}
+	j := &job{
+		id:      v.ID,
+		kind:    v.Kind,
+		state:   v.State,
+		created: v.Created,
+		result:  result,
+		done:    make(chan struct{}),
+	}
+	if v.Started != nil {
+		j.started = *v.Started
+	}
+	if v.Finished != nil {
+		j.finished = *v.Finished
+	} else {
+		j.finished = v.Created
+	}
+	if v.Error != "" {
+		j.err = errors.New(v.Error)
+	}
+	close(j.done)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.jobs[v.ID] != nil {
+		return
+	}
+	s.jobs[v.ID] = j
+	s.order = append(s.order, v.ID)
+	s.pruneLocked()
 }
 
 // Get returns a job's current view.
@@ -314,18 +403,26 @@ func (s *Scheduler) Cancel(id string) (JobView, bool) {
 		return JobView{}, false
 	}
 	j.mu.Lock()
-	defer j.mu.Unlock()
+	var cancelled bool
 	switch j.state {
 	case JobQueued:
 		j.state = JobCancelled
+		j.userCancelled = true
 		j.err = context.Canceled
 		j.finished = time.Now()
 		close(j.done)
 		s.cancelledCtr.Inc()
+		cancelled = true
 	case JobRunning:
+		j.userCancelled = true
 		j.cancel()
 	}
-	return j.viewLocked(), true
+	v := j.viewLocked()
+	j.mu.Unlock()
+	if cancelled {
+		s.record(j.id, JobCancelled, context.Canceled.Error(), false)
+	}
+	return v, true
 }
 
 // Wait blocks until the job reaches a terminal state or ctx ends, returning
@@ -366,6 +463,9 @@ func (s *Scheduler) Drain(ctx context.Context) error {
 	case <-done:
 		return nil
 	case <-ctx.Done():
+		// Force-cancellations from here on are interruptions, not user
+		// cancels: a durable recorder journals them as recoverable.
+		s.interrupting.Store(true)
 		s.mu.Lock()
 		for _, j := range s.jobs {
 			j.mu.Lock()
@@ -407,6 +507,7 @@ func (s *Scheduler) execute(j *job) {
 	run := j.run
 	j.mu.Unlock()
 	s.runningGauge.Set(float64(s.running.Add(1)))
+	s.record(j.id, JobRunning, "", false)
 
 	res, err, retries, quarantined := s.runResilient(ctx, run)
 	cancel()
@@ -417,6 +518,8 @@ func (s *Scheduler) execute(j *job) {
 	j.retries = retries
 	j.quarantined = quarantined
 	s.durHist.Observe(float64(j.finished.Sub(j.started)))
+	foldEwma(&s.ewmaNs, j.finished.Sub(j.started))
+	var interrupted bool
 	switch {
 	case err == nil:
 		j.state = JobDone
@@ -426,13 +529,21 @@ func (s *Scheduler) execute(j *job) {
 		j.state = JobCancelled
 		j.err = err
 		s.cancelledCtr.Inc()
+		// A cancellation nobody asked for — drain deadline or base-context
+		// shutdown — leaves the job recoverable by a restarted replica.
+		interrupted = !j.userCancelled && (s.interrupting.Load() || s.baseCtx.Err() != nil)
 	default:
 		j.state = JobFailed
 		j.err = err
 		s.failed.Inc()
 	}
+	state, errMsg := j.state, ""
+	if j.err != nil {
+		errMsg = j.err.Error()
+	}
 	close(j.done)
 	j.mu.Unlock()
+	s.record(j.id, state, errMsg, interrupted)
 }
 
 // runResilient executes a job function with the scheduler's fault handling:
@@ -484,11 +595,14 @@ func (s *Scheduler) attempt(ctx context.Context, run func(context.Context) (any,
 }
 
 // pruneLocked evicts the oldest terminal jobs once the table exceeds the
-// retention bound. Queued/running jobs are never evicted. Callers hold s.mu.
-func (s *Scheduler) pruneLocked() {
+// retention bound, returning the evicted ids (for the recorder — callers
+// notify it after releasing s.mu). Queued/running jobs are never evicted.
+// Callers hold s.mu.
+func (s *Scheduler) pruneLocked() []string {
 	if len(s.jobs) <= s.retain {
-		return
+		return nil
 	}
+	var pruned []string
 	keep := s.order[:0]
 	for _, id := range s.order {
 		j := s.jobs[id]
@@ -501,12 +615,14 @@ func (s *Scheduler) pruneLocked() {
 			j.mu.Unlock()
 			if terminal {
 				delete(s.jobs, id)
+				pruned = append(pruned, id)
 				continue
 			}
 		}
 		keep = append(keep, id)
 	}
 	s.order = keep
+	return pruned
 }
 
 // durationBounds are histogram bin bounds for job/request durations in

@@ -241,23 +241,7 @@ func (s *Server) handleScale(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	timeout := sj.timeout
-	if timeout == 0 {
-		timeout = s.cfg.JobTimeout
-	}
-	view, err := s.sched.Submit("scale", timeout, func(ctx context.Context) (any, error) {
-		val, _, err := s.cache.DoPersist(ctx, sj.key, decodeAs[ScaleResult], func() (any, error) {
-			out, err := s.scale(ctx, sj)
-			if err != nil {
-				return nil, err
-			}
-			return out, nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		return val, nil
-	})
+	view, err := s.submitJob("scale", sj.key, req, s.jobTimeout(sj.timeout), s.scaleRunner(sj))
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		writeBackpressure(w, s.sched.RetryAfterSecs(), err)
@@ -270,6 +254,25 @@ func (s *Server) handleScale(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, map[string]any{"job": view})
+}
+
+// scaleRunner is the execution closure of one scale job — what the scheduler
+// runs now, and what a recovering or adopting replica rebuilds from the
+// journalled request spec.
+func (s *Server) scaleRunner(sj scaleJob) func(context.Context) (any, error) {
+	return func(ctx context.Context) (any, error) {
+		val, _, err := s.cache.DoPersist(ctx, sj.key, decodeAs[ScaleResult], func() (any, error) {
+			out, err := s.scale(ctx, sj)
+			if err != nil {
+				return nil, err
+			}
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return val, nil
+	}
 }
 
 // scale runs one resolved scale job: every node count through
@@ -317,11 +320,11 @@ func (s *Server) scale(ctx context.Context, sj scaleJob) (ScaleResult, error) {
 	return out, nil
 }
 
-// scaleEvals evaluates the job's node counts — sharded across the worker
-// peers when the coordinator is enabled, locally otherwise.
+// scaleEvals evaluates the job's node counts — through the coordinator when
+// peers or a checkpoint store are configured, locally otherwise.
 func (s *Server) scaleEvals(ctx context.Context, sj scaleJob, rate float64) ([]cluster.ScaleEval, error) {
-	if s.coord.Enabled() {
-		return s.coord.Scale(ctx, sj.kind, sj.spec, sj.kernel, rate, sj.sizes, sj.mode, sj.mask, sj.maskStr, sj.seed)
+	if s.coord.Active() {
+		return s.coord.Scale(ctx, sj.kind, sj.spec, sj.kernel, rate, sj.sizes, sj.mode, sj.mask, sj.maskStr, sj.seed, sj.key)
 	}
 	evals := make([]cluster.ScaleEval, len(sj.sizes))
 	err := parallelSizes(ctx, len(sj.sizes), func(i int) error {

@@ -98,11 +98,37 @@ type Config struct {
 	// cache: simulate/explore/scale/experiment results survive restarts and
 	// are shared across replicas pointed at the same directory. The caller
 	// owns opening it (store.Open) so configuration errors surface at
-	// startup, not on first request.
+	// startup, not on first request. It also backs sweep checkpoints: with a
+	// store, explore/scale shards are persisted as they complete, so a
+	// restarted or adopting replica resumes instead of recomputing.
 	Store *store.Store
+	// Journal, when set, makes async jobs durable: submissions and every
+	// state transition are journalled write-ahead (store.OpenJournal on the
+	// same directory as Store), restarted replicas recover journalled jobs,
+	// and replicas sharing the directory adopt jobs whose lease expired.
+	// Requires Store for result recovery; ignored in WorkerOnly mode.
+	Journal *store.Journal
+	// OwnerID identifies this replica in job leases (default: a random id).
+	OwnerID string
+	// LeaseTTL is how long a job lease lives between heartbeats (default
+	// 10s): a replica dead for one TTL loses its jobs to adoption.
+	LeaseTTL time.Duration
+	// AdoptEvery is the journal scan interval for adoptable jobs (default:
+	// LeaseTTL).
+	AdoptEvery time.Duration
+	// CheckpointItems is the checkpointed sweep shard size (default
+	// cluster.DefaultCheckpointItems); only meaningful with Store set.
+	CheckpointItems int
+	// ProbeInterval is the peer health-probe cadence (default 2s).
+	ProbeInterval time.Duration
+	// EvalDelay is a chaos knob: every sweep item evaluated by this process
+	// (coordinator-local or worker shard) sleeps this long first, stretching
+	// sweeps so crash/kill tests have a window to hit. Zero in production.
+	EvalDelay time.Duration
 	// Peers lists worker base URLs ("http://host:port"). When non-empty,
 	// explore and scale sweeps are sharded across them (with per-shard
-	// failover and local fallback) instead of evaluated in-process.
+	// failover, health-aware peer selection, and local fallback) instead of
+	// evaluated in-process.
 	Peers []string
 	// WorkerOnly restricts the route table to the internal shard-evaluation
 	// routes plus health and metrics — the enaserve -worker mode. The
@@ -136,6 +162,8 @@ type Server struct {
 	chaos    *faults.Chaos
 	breakers map[string]*Breaker // route -> breaker (fixed at route setup)
 	coord    *cluster.Coordinator
+	prober   *cluster.Prober
+	durable  *durableManager
 	draining atomic.Bool
 
 	// admissions holds the per-route concurrency governors consulted by
@@ -180,13 +208,22 @@ func New(ctx context.Context, cfg Config) *Server {
 	if cfg.DetailedBudget <= 0 {
 		cfg.DetailedBudget = 2 * time.Second
 	}
+	var durable *durableManager
+	schedOpts := []SchedOption{WithChaos(cfg.Chaos), WithRetry(cfg.RetryMax, cfg.RetryBase)}
+	if cfg.Journal != nil && !cfg.WorkerOnly {
+		if cfg.OwnerID == "" {
+			cfg.OwnerID = "replica-" + newJobID()
+		}
+		durable = newDurable(cfg.Journal, cfg.OwnerID, cfg.LeaseTTL, reg)
+		schedOpts = append(schedOpts, WithRecorder(durable))
+	}
 	s := &Server{
-		cfg:    cfg,
-		reg:    reg,
-		tracer: cfg.Tracer,
-		cache:  NewCache(cfg.CacheSize, reg),
-		sched: NewScheduler(ctx, cfg.Workers, cfg.QueueCap, cfg.JobRetain, reg,
-			WithChaos(cfg.Chaos), WithRetry(cfg.RetryMax, cfg.RetryBase)),
+		cfg:        cfg,
+		reg:        reg,
+		tracer:     cfg.Tracer,
+		cache:      NewCache(cfg.CacheSize, reg),
+		sched:      NewScheduler(ctx, cfg.Workers, cfg.QueueCap, cfg.JobRetain, reg, schedOpts...),
+		durable:    durable,
 		mux:        http.NewServeMux(),
 		start:      time.Now(),
 		chaos:      cfg.Chaos,
@@ -203,8 +240,17 @@ func New(ctx context.Context, cfg Config) *Server {
 	}
 	s.cache.chaos = cfg.Chaos
 	s.cache.SetStore(cfg.Store)
-	if len(cfg.Peers) > 0 {
+	if len(cfg.Peers) > 0 || (cfg.Store != nil && !cfg.WorkerOnly) {
 		s.coord = cluster.NewCoordinator(cfg.Peers, reg)
+		if cfg.Store != nil {
+			s.coord.EnableCheckpoints(cfg.Store, cfg.CheckpointItems)
+		}
+		s.coord.SetEvalDelay(cfg.EvalDelay)
+		if len(cfg.Peers) > 0 {
+			s.prober = cluster.NewProber(cfg.Peers, cfg.ProbeInterval, reg)
+			s.coord.SetProber(s.prober)
+			go s.prober.Run(ctx)
+		}
 	}
 	s.admitSim = newAdmission("simulate",
 		defaultAdmit(cfg.AdmitSimulate, defaultSimulateSlots()), cfg.AdmitQueue, reg)
@@ -214,6 +260,15 @@ func New(ctx context.Context, cfg Config) *Server {
 		}
 	}
 	s.routes()
+	if s.durable != nil {
+		s.durable.srv = s
+		// Recovery runs before the server takes traffic: journalled terminal
+		// jobs become queryable again (results straight from the store),
+		// recoverable ones re-enqueue under their original ids.
+		s.durable.recover(time.Now())
+		go s.durable.heartbeatLoop(ctx)
+		go s.durable.adoptLoop(ctx, cfg.AdoptEvery)
+	}
 	return s
 }
 
@@ -271,7 +326,11 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/healthz", s.instrument("healthz", s.handleReadyz))
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /v1/metrics", s.instrument("metrics", s.handleMetricsText))
-	s.mux.Handle("/v1/internal/", cluster.WorkerHandler(s.reg))
+	s.mux.Handle("/v1/internal/", cluster.WorkerHandlerDelay(s.reg, s.cfg.EvalDelay))
+	// The jobs summary is more specific than the shard subtree, so it wins
+	// the mux match; every replica answers it (empty without a journal), so
+	// peers can poll any member of a mixed fleet.
+	s.mux.HandleFunc("GET /v1/internal/jobs", s.instrument("jobs.internal", s.handleInternalJobs))
 	if s.cfg.WorkerOnly {
 		return
 	}
@@ -323,11 +382,15 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	admitted := func(sw *statusWriter, r *http.Request) {
 		release, err := adm.acquire(r.Context())
 		if err != nil {
-			writeBackpressure(sw, 1, err)
+			// Adaptive Retry-After: backlog ahead of this client × the
+			// route's EWMA service time, not a fixed guess.
+			writeBackpressure(sw, adm.retryAfter(), err)
 			return
 		}
 		defer release()
+		t0 := time.Now()
 		h(sw, r)
+		adm.observe(time.Since(t0))
 	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
@@ -626,23 +689,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	timeout := ej.timeout
-	if timeout == 0 {
-		timeout = s.cfg.JobTimeout
-	}
-	view, err := s.sched.Submit("explore", timeout, func(ctx context.Context) (any, error) {
-		val, _, err := s.cache.DoPersist(ctx, ej.key, decodeAs[ExploreResult], func() (any, error) {
-			out, err := s.explore(ctx, ej)
-			if err != nil {
-				return nil, err
-			}
-			return out, nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		return val, nil
-	})
+	view, err := s.submitJob("explore", ej.key, req, s.jobTimeout(ej.timeout), s.exploreRunner(ej))
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		// Saturation is load-shedding, not failure: tell the client when
@@ -662,11 +709,23 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	view, ok := s.sched.Get(id)
-	if !ok {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+	if ok {
+		if s.durable != nil && !view.State.Terminal() {
+			view.Owner = s.durable.owner
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"job": view})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"job": view})
+	// Not in the local table: the job may live in the shared journal — a
+	// peer's submission, or one pruned here — so any replica can answer for
+	// any job in the fleet.
+	if s.durable != nil {
+		if view, ok := s.durable.view(id); ok {
+			writeJSON(w, http.StatusOK, map[string]any{"job": view})
+			return
+		}
+	}
+	writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
 }
 
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
@@ -738,14 +797,34 @@ func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"kernels": out})
 }
 
+// exploreRunner is the execution closure of one explore job — what the
+// scheduler runs now, and what a recovering or adopting replica rebuilds
+// from the journalled request spec.
+func (s *Server) exploreRunner(ej exploreJob) func(context.Context) (any, error) {
+	return func(ctx context.Context) (any, error) {
+		val, _, err := s.cache.DoPersist(ctx, ej.key, decodeAs[ExploreResult], func() (any, error) {
+			out, err := s.explore(ctx, ej)
+			if err != nil {
+				return nil, err
+			}
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return val, nil
+	}
+}
+
 // explore runs one cancellable sweep with the server's observability sinks.
-// With worker peers configured, the design space is sharded across them (the
-// coordinator merges to the bit-identical single-process Outcome, with
-// per-shard failover and local fallback); otherwise the sweep runs in
-// process through the perf-phase memo.
+// With worker peers or a checkpoint store configured, the design space is
+// sharded through the coordinator (which merges to the bit-identical
+// single-process Outcome, with per-shard failover, checkpointed resume, and
+// local fallback); otherwise the sweep runs in process through the
+// perf-phase memo.
 func (s *Server) explore(ctx context.Context, ej exploreJob) (ExploreResult, error) {
-	if s.coord.Enabled() {
-		out, err := s.coord.Explore(ctx, ej.space, ej.kernels, ej.names, ej.budgetW, ej.tech)
+	if s.coord.Active() {
+		out, err := s.coord.Explore(ctx, ej.space, ej.kernels, ej.names, ej.budgetW, ej.tech, ej.key)
 		if err != nil {
 			return ExploreResult{}, err
 		}

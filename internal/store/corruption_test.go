@@ -1,0 +1,194 @@
+package store
+
+import (
+	"bytes"
+	"compress/gzip"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"ena/internal/obs"
+)
+
+// blobBytes assembles a raw store blob with full control over the header —
+// the test-side twin of writeBlob, for planting tampered files.
+func blobBytes(t *testing.T, h header, payload []byte) []byte {
+	t.Helper()
+	hb, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(append(hb, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := zw.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func goodHeader(key string, payload []byte) header {
+	sum := sha256.Sum256(payload)
+	return header{V: blobVersion, Key: key, SHA256: hex.EncodeToString(sum[:]), Len: len(payload)}
+}
+
+// TestCorruptBlobTable plants every corruption shape a shared directory can
+// accumulate — torn gzip streams, tampered headers, payloads shorter or
+// longer than the header claims — and requires each to read as a miss, be
+// deleted (the slot heals), and be counted in store.corrupt.
+func TestCorruptBlobTable(t *testing.T) {
+	payload := []byte(`{"tflops":17.0,"bound":"compute"}`)
+	cases := []struct {
+		name string
+		blob func(t *testing.T, key string) []byte
+	}{
+		{"truncated gzip stream", func(t *testing.T, key string) []byte {
+			raw := blobBytes(t, goodHeader(key, payload), payload)
+			return raw[:len(raw)/2]
+		}},
+		{"gzip magic destroyed", func(t *testing.T, key string) []byte {
+			raw := blobBytes(t, goodHeader(key, payload), payload)
+			raw[0], raw[1] = 'n', 'o'
+			return raw
+		}},
+		{"header not json", func(t *testing.T, key string) []byte {
+			var buf bytes.Buffer
+			zw := gzip.NewWriter(&buf)
+			zw.Write([]byte("not a header\n"))
+			zw.Write(payload)
+			zw.Close()
+			return buf.Bytes()
+		}},
+		{"header wrong version", func(t *testing.T, key string) []byte {
+			h := goodHeader(key, payload)
+			h.V = blobVersion + 1
+			return blobBytes(t, h, payload)
+		}},
+		{"header wrong key", func(t *testing.T, key string) []byte {
+			return blobBytes(t, goodHeader("some-other-key", payload), payload)
+		}},
+		{"header tampered checksum", func(t *testing.T, key string) []byte {
+			h := goodHeader(key, payload)
+			h.SHA256 = hex.EncodeToString(bytes.Repeat([]byte{0xab}, 32))
+			return blobBytes(t, h, payload)
+		}},
+		{"short payload", func(t *testing.T, key string) []byte {
+			h := goodHeader(key, payload)
+			return blobBytes(t, h, payload[:len(payload)/2])
+		}},
+		{"trailing bytes after payload", func(t *testing.T, key string) []byte {
+			h := goodHeader(key, payload)
+			return blobBytes(t, h, append(append([]byte{}, payload...), "extra"...))
+		}},
+		{"negative header length", func(t *testing.T, key string) []byte {
+			h := goodHeader(key, payload)
+			h.Len = -1
+			return blobBytes(t, h, payload)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := obs.NewRegistry()
+			s := mustOpen(t, t.TempDir(), 0, reg)
+			key := "victim:" + tc.name
+			path := s.path(key)
+			if err := os.MkdirAll(dirOf(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.blob(t, key), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Get(key); ok {
+				t.Fatalf("corrupt blob served as a hit: %q", got)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Error("corrupt blob not deleted")
+			}
+			if reg.Counter("store.corrupt").Value() == 0 {
+				t.Error("corruption not counted")
+			}
+			// The slot heals: the key is writable and readable again.
+			if err := s.Put(key, payload); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Get(key); !ok || !bytes.Equal(got, payload) {
+				t.Fatalf("healed Get = %q, %v", got, ok)
+			}
+		})
+	}
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' || path[i] == os.PathSeparator {
+			return path[:i]
+		}
+	}
+	return "."
+}
+
+// TestRaceGetPutGC drives Get, Put and the size-cap GC concurrently under a
+// cap small enough that almost every Put evicts. Run under -race (the
+// test-store make target does); the assertions are consistency, not hit
+// ratio — eviction races legitimately turn Gets into misses.
+func TestRaceGetPutGC(t *testing.T) {
+	reg := obs.NewRegistry()
+	// Incompressible payloads ~2 KiB (xorshift noise); cap holds only a few.
+	payload := func(i int) []byte {
+		b := make([]byte, 2048)
+		x := uint32(i + 1)
+		for j := range b {
+			x ^= x << 13
+			x ^= x >> 17
+			x ^= x << 5
+			b[j] = byte(x)
+		}
+		return b
+	}
+	s := mustOpen(t, t.TempDir(), 10<<10, reg)
+	const keys = 24
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				k := (w*60 + i) % keys
+				key := fmt.Sprintf("k%d", k)
+				want := payload(k)
+				if w%2 == 0 {
+					if err := s.Put(key, want); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				if got, ok := s.Get(key); ok && !bytes.Equal(got, want) {
+					t.Errorf("Get(%s) returned wrong payload", key)
+					return
+				}
+				if i%16 == 0 {
+					s.Stats()
+					s.Len()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, cap := s.Bytes(), int64(10<<10); got > cap+2048 {
+		// gcLocked always keeps at least one entry, so allow one payload of
+		// slack over the cap.
+		t.Fatalf("resident %d bytes far exceeds cap %d after concurrent GC", got, cap)
+	}
+	if reg.Counter("store.gc_evictions").Value() == 0 {
+		t.Error("no evictions under a cap this tight — GC never ran")
+	}
+}

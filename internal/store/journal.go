@@ -1,0 +1,431 @@
+// Job journal: the crash-safe, write-ahead record of every async service
+// job. It lives in a jobs/ namespace beside the content-addressed result
+// blobs, so replicas that share a store directory also share the job table —
+// the substrate of lease-based takeover.
+//
+// Each job owns one NDJSON file of records: a "submit" record carrying the
+// job's kind, canonical result key, and original request spec, followed by
+// "state" and "lease" records for every transition and heartbeat. Every
+// append rewrites the file through the store's tmp directory and renames it
+// into place, so a reader (this process after a crash, or a peer replica)
+// never observes a torn record: the worst a SIGKILL can do is lose the very
+// last transition, which the fold rules below recover from (a job whose
+// journal still says "running" but whose lease has expired is adoptable).
+//
+// Fold rules (FoldRecords — the decoder the fuzz target hammers):
+//
+//   - Unparseable or wrong-version lines are skipped, never fatal: a torn
+//     tail reads as "the records before it".
+//   - The first submit record fixes the job's identity; later submits (a
+//     crashed replica re-journaling, a duplicate adoption) are ignored.
+//   - Terminal states are sticky: once a job folds to done/failed/cancelled,
+//     later state or lease records cannot resurrect it.
+//   - Lease records only move ownership (owner, expiry) of a live job.
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"sync"
+
+	"ena/internal/obs"
+)
+
+// JournalVersion guards the record format; records from another version are
+// skipped by the fold (mixed-version fleets degrade to ignoring each other's
+// records rather than misreading them).
+const JournalVersion = 1
+
+// Journal job states. Queued, running and interrupted jobs are recoverable;
+// done, failed and cancelled are terminal.
+const (
+	StateQueued      = "queued"
+	StateRunning     = "running"
+	StateInterrupted = "interrupted"
+	StateDone        = "done"
+	StateFailed      = "failed"
+	StateCancelled   = "cancelled"
+)
+
+// TerminalState reports whether a journal state is final.
+func TerminalState(s string) bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Record is one journal line.
+type Record struct {
+	V    int    `json:"v"`
+	ID   string `json:"id"`
+	Type string `json:"type"` // "submit" | "state" | "lease"
+	// Submit fields.
+	Kind string          `json:"kind,omitempty"`
+	Key  string          `json:"key,omitempty"` // canonical result-store key
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// State fields.
+	State string `json:"state,omitempty"`
+	Err   string `json:"error,omitempty"`
+	// Lease fields (also set on submit/state records that carry ownership).
+	Owner   string `json:"owner,omitempty"`
+	LeaseMs int64  `json:"lease_ms,omitempty"` // lease expiry, unix milliseconds
+	TimeMs  int64  `json:"t_ms,omitempty"`
+}
+
+// Entry is a job's folded journal: its identity plus the current state and
+// lease after applying every valid record in order.
+type Entry struct {
+	ID         string
+	Kind       string
+	Key        string
+	Spec       json.RawMessage
+	State      string
+	Err        string
+	Owner      string
+	LeaseUntil time.Time
+	Created    time.Time
+	Finished   time.Time
+	// Skipped counts lines the fold could not use (torn tail, foreign or
+	// wrong-version records).
+	Skipped int
+}
+
+// Recoverable reports whether the entry describes a job a replica should
+// re-enqueue: submitted, not finished, and its lease is free or expired.
+func (e Entry) Recoverable(now time.Time) bool {
+	if e.Kind == "" || TerminalState(e.State) {
+		return false
+	}
+	return e.State == StateInterrupted || e.LeaseUntil.IsZero() || now.After(e.LeaseUntil)
+}
+
+// apply folds one record into the entry, enforcing the decoder invariants.
+func (e *Entry) apply(rec Record) {
+	if rec.V != JournalVersion {
+		e.Skipped++
+		return
+	}
+	switch rec.Type {
+	case "submit":
+		if e.Kind != "" { // duplicate submit: the first one fixed identity
+			e.Skipped++
+			return
+		}
+		if rec.ID == "" || rec.Kind == "" {
+			e.Skipped++
+			return
+		}
+		e.ID, e.Kind, e.Key, e.Spec = rec.ID, rec.Kind, rec.Key, rec.Spec
+		e.State = StateQueued
+		if rec.State != "" {
+			e.State = rec.State
+		}
+		e.Owner = rec.Owner
+		e.LeaseUntil = msTime(rec.LeaseMs)
+		e.Created = msTime(rec.TimeMs)
+	case "state":
+		if e.Kind == "" || rec.ID != e.ID {
+			e.Skipped++
+			return
+		}
+		if TerminalState(e.State) { // sticky: never resurrect a finished job
+			e.Skipped++
+			return
+		}
+		if rec.State == "" {
+			e.Skipped++
+			return
+		}
+		e.State = rec.State
+		e.Err = rec.Err
+		if rec.Owner != "" {
+			e.Owner = rec.Owner
+		}
+		if rec.LeaseMs != 0 {
+			e.LeaseUntil = msTime(rec.LeaseMs)
+		}
+		if TerminalState(rec.State) {
+			e.Finished = msTime(rec.TimeMs)
+		}
+	case "lease":
+		if e.Kind == "" || rec.ID != e.ID || TerminalState(e.State) {
+			e.Skipped++
+			return
+		}
+		if rec.Owner != "" {
+			e.Owner = rec.Owner
+		}
+		e.LeaseUntil = msTime(rec.LeaseMs)
+	default:
+		e.Skipped++
+	}
+}
+
+func msTime(ms int64) time.Time {
+	if ms == 0 {
+		return time.Time{}
+	}
+	return time.UnixMilli(ms)
+}
+
+// FoldRecords decodes one job file's bytes into its folded entry. It never
+// panics and never fails: malformed lines (including a torn tail from a
+// crash mid-rename — impossible, but cheap to tolerate — or a foreign file)
+// are counted in Skipped and otherwise ignored. ok reports whether a valid
+// submit record was found, i.e. the entry identifies a job at all.
+func FoldRecords(data []byte) (e Entry, ok bool) {
+	for _, line := range bytes.Split(data, []byte{'\n'}) {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			e.Skipped++
+			continue
+		}
+		e.apply(rec)
+	}
+	return e, e.Kind != ""
+}
+
+// Journal is the on-disk job table. All methods are safe for concurrent use;
+// a nil *Journal is a valid no-op journal, so callers can thread an optional
+// journal without nil checks. Replicas sharing the directory coordinate
+// through it: appends are read-modify-write with atomic replace, so
+// concurrent writers of the same job last-write-win a complete file (the
+// jobs themselves are idempotent — results are content-addressed — so a lost
+// lease record costs a duplicate evaluation, not a wrong answer).
+type Journal struct {
+	dir string // the jobs/ directory
+	tmp string
+
+	mu sync.Mutex
+
+	appends  *obs.Counter
+	skipped  *obs.Counter
+	removed  *obs.Counter
+	entGauge *obs.Gauge
+}
+
+// OpenJournal initializes the job journal under dir (the same directory a
+// Store is rooted at; the journal claims the jobs/ namespace). Metrics land
+// in reg under jobs.journal_* (nil disables them).
+func OpenJournal(dir string, reg *obs.Registry) (*Journal, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty journal directory")
+	}
+	j := &Journal{
+		dir:      filepath.Join(dir, "jobs"),
+		tmp:      filepath.Join(dir, "tmp"),
+		appends:  reg.Counter("jobs.journal_appends"),
+		skipped:  reg.Counter("jobs.journal_skipped_records"),
+		removed:  reg.Counter("jobs.journal_removed"),
+		entGauge: reg.Gauge("jobs.journal_entries"),
+	}
+	if err := os.MkdirAll(j.dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: journal: %w", err)
+	}
+	if err := os.MkdirAll(j.tmp, 0o755); err != nil {
+		return nil, fmt.Errorf("store: journal: %w", err)
+	}
+	return j, nil
+}
+
+// validJobID rejects ids that cannot safely name a file (path separators,
+// dots): journal ids are the service's hex job ids.
+func validJobID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for _, r := range id {
+		switch {
+		case r >= '0' && r <= '9', r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '-', r == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (j *Journal) path(id string) string { return filepath.Join(j.dir, id+".ndjson") }
+
+// Append journals one record write-ahead: the job file is reloaded, the
+// record appended (superseded lease heartbeats are compacted away), and the
+// file atomically replaced. The record's V and TimeMs are filled in when
+// zero.
+func (j *Journal) Append(rec Record) error {
+	if j == nil {
+		return nil
+	}
+	if !validJobID(rec.ID) {
+		return fmt.Errorf("store: journal: invalid job id %q", rec.ID)
+	}
+	if rec.V == 0 {
+		rec.V = JournalVersion
+	}
+	if rec.TimeMs == 0 {
+		rec.TimeMs = time.Now().UnixMilli()
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	recs := j.loadRecordsLocked(rec.ID)
+	// Compact: a new record supersedes every prior lease heartbeat (state
+	// and submit records carry ownership themselves), so the file stays a
+	// handful of lines no matter how long the job runs.
+	w := 0
+	for _, r := range recs {
+		if r.Type != "lease" {
+			recs[w] = r
+			w++
+		}
+	}
+	recs = append(recs[:w], rec)
+	var buf bytes.Buffer
+	for _, r := range recs {
+		b, err := json.Marshal(r)
+		if err != nil {
+			return fmt.Errorf("store: journal marshal: %w", err)
+		}
+		buf.Write(b)
+		buf.WriteByte('\n')
+	}
+	f, err := os.CreateTemp(j.tmp, "journal-*")
+	if err != nil {
+		return fmt.Errorf("store: journal: %w", err)
+	}
+	name := f.Name()
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		os.Remove(name)
+		return fmt.Errorf("store: journal: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("store: journal: %w", err)
+	}
+	if err := os.Rename(name, j.path(rec.ID)); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("store: journal: %w", err)
+	}
+	j.appends.Inc()
+	return nil
+}
+
+// loadRecordsLocked reads a job file's parseable records (absent file = no
+// records). Unparseable lines are dropped here — the rewrite heals them.
+func (j *Journal) loadRecordsLocked(id string) []Record {
+	data, err := os.ReadFile(j.path(id))
+	if err != nil {
+		return nil
+	}
+	var out []Record
+	for _, line := range bytes.Split(data, []byte{'\n'}) {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			j.skipped.Inc()
+			continue
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// Get folds one job's journal.
+func (j *Journal) Get(id string) (Entry, bool) {
+	if j == nil || !validJobID(id) {
+		return Entry{}, false
+	}
+	data, err := os.ReadFile(j.path(id))
+	if err != nil {
+		return Entry{}, false
+	}
+	e, ok := FoldRecords(data)
+	if ok && e.Skipped > 0 {
+		j.skipped.Add(int64(e.Skipped))
+	}
+	return e, ok
+}
+
+// Load folds every job in the journal, sorted by creation time (ties by id,
+// so the order is deterministic). Files that fold to nothing — no valid
+// submit record — are removed: they are torn beyond use or foreign.
+func (j *Journal) Load() []Entry {
+	if j == nil {
+		return nil
+	}
+	files, err := os.ReadDir(j.dir)
+	if err != nil {
+		return nil
+	}
+	var out []Entry
+	for _, f := range files {
+		if f.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(j.dir, f.Name()))
+		if err != nil {
+			continue
+		}
+		e, ok := FoldRecords(data)
+		if !ok {
+			j.skipped.Inc()
+			os.Remove(filepath.Join(j.dir, f.Name()))
+			continue
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if !out[a].Created.Equal(out[b].Created) {
+			return out[a].Created.Before(out[b].Created)
+		}
+		return out[a].ID < out[b].ID
+	})
+	j.entGauge.Set(float64(len(out)))
+	return out
+}
+
+// Remove deletes a job's journal file (used when the service prunes a
+// terminal job from its table).
+func (j *Journal) Remove(id string) error {
+	if j == nil || !validJobID(id) {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := os.Remove(j.path(id)); err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	j.removed.Inc()
+	return nil
+}
+
+// Len counts journaled jobs (valid or not — it is a directory listing).
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	files, err := os.ReadDir(j.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, f := range files {
+		if !f.IsDir() {
+			n++
+		}
+	}
+	return n
+}

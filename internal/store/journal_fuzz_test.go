@@ -1,0 +1,71 @@
+package store
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzJournalFold hammers the journal decoder with arbitrary bytes: it must
+// never panic, ok must mean "identified a job", and — the invariant takeover
+// correctness rests on — no suffix of records may resurrect a job that
+// already folded to a terminal state.
+func FuzzJournalFold(f *testing.F) {
+	f.Add([]byte(`{"v":1,"id":"a1","type":"submit","kind":"explore","key":"k"}
+{"v":1,"id":"a1","type":"state","state":"running","owner":"x"}
+{"v":1,"id":"a1","type":"state","state":"done"}`))
+	f.Add([]byte(`{"v":1,"id":"a1","type":"submit","kind":"scale","key":"k"}
+{"v":1,"id":"a1","type":"lease","owner":"x","lease_ms":17}
+garbage line
+{"v":1,"id":"a1","type":"state","sta`))
+	f.Add([]byte(`{"v":2,"id":"b","type":"submit","kind":"explore"}`))
+	f.Add([]byte(`{"v":1,"id":"a1","type":"submit","kind":"explore"}
+{"v":1,"id":"a1","type":"submit","kind":"scale"}
+{"v":1,"id":"other","type":"state","state":"done"}`))
+	f.Add([]byte("\n\n\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, ok := FoldRecords(data)
+		if ok != (e.Kind != "") {
+			t.Fatalf("ok=%v but Kind=%q", ok, e.Kind)
+		}
+		if ok && e.ID == "" {
+			t.Fatal("identified a job with an empty id")
+		}
+		if !ok {
+			return
+		}
+		// Appending a resurrection attempt (running + fresh lease for the
+		// same job) must leave a terminal entry terminal, and must never
+		// change the job's identity.
+		idJSON, err := json.Marshal(e.ID)
+		if err != nil {
+			t.Fatalf("marshal id: %v", err)
+		}
+		attempt := append(append([]byte{}, data...), []byte("\n{\"v\":1,\"id\":"+string(idJSON)+",\"type\":\"state\",\"state\":\"running\",\"owner\":\"zombie\"}\n{\"v\":1,\"id\":"+string(idJSON)+",\"type\":\"lease\",\"owner\":\"zombie\",\"lease_ms\":9999999999999}")...)
+		e2, ok2 := FoldRecords(attempt)
+		if !ok2 {
+			t.Fatal("appending records lost the job")
+		}
+		if e2.ID != e.ID || e2.Kind != e.Kind || e2.Key != e.Key {
+			t.Fatalf("append changed identity: %+v -> %+v", e, e2)
+		}
+		if TerminalState(e.State) {
+			if e2.State != e.State {
+				t.Fatalf("terminal job resurrected: %q -> %q", e.State, e2.State)
+			}
+			if e2.Owner != e.Owner {
+				t.Fatalf("terminal job adopted a new owner: %q -> %q", e.Owner, e2.Owner)
+			}
+		}
+		// Replaying the whole journal twice keeps the job's identity
+		// (duplicate submits skip) and cannot un-finish it (terminal is
+		// sticky from the moment it is reached, so the replayed copy is
+		// inert for a finished job).
+		e3, ok3 := FoldRecords(append(append([]byte{}, data...), append([]byte{'\n'}, data...)...))
+		if !ok3 || e3.ID != e.ID || e3.Kind != e.Kind || e3.Key != e.Key {
+			t.Fatalf("doubled journal changed identity: %+v -> %+v (ok=%v)", e, e3, ok3)
+		}
+		if TerminalState(e.State) && e3.State != e.State {
+			t.Fatalf("doubled journal resurrected terminal job: %q -> %q", e.State, e3.State)
+		}
+	})
+}

@@ -1,0 +1,225 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testJournal(t *testing.T) *Journal {
+	t.Helper()
+	j, err := OpenJournal(t.TempDir(), nil)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	return j
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	j := testJournal(t)
+	spec := json.RawMessage(`{"budget_w":750}`)
+	if err := j.Append(Record{ID: "job1", Type: "submit", Kind: "explore", Key: "k1", Spec: spec, Owner: "a", LeaseMs: time.Now().Add(time.Minute).UnixMilli()}); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if err := j.Append(Record{ID: "job1", Type: "state", State: StateRunning, Owner: "a"}); err != nil {
+		t.Fatalf("state: %v", err)
+	}
+	if err := j.Append(Record{ID: "job1", Type: "state", State: StateDone}); err != nil {
+		t.Fatalf("done: %v", err)
+	}
+	e, ok := j.Get("job1")
+	if !ok {
+		t.Fatal("job1 not found")
+	}
+	if e.Kind != "explore" || e.Key != "k1" || e.State != StateDone || e.Owner != "a" {
+		t.Fatalf("folded entry = %+v", e)
+	}
+	if string(e.Spec) != string(spec) {
+		t.Fatalf("spec = %s, want %s", e.Spec, spec)
+	}
+	if e.Finished.IsZero() {
+		t.Fatal("terminal entry missing finished time")
+	}
+	all := j.Load()
+	if len(all) != 1 || all[0].ID != "job1" {
+		t.Fatalf("Load = %+v", all)
+	}
+}
+
+func TestJournalTerminalSticky(t *testing.T) {
+	j := testJournal(t)
+	mustAppend(t, j, Record{ID: "j", Type: "submit", Kind: "scale", Key: "k"})
+	mustAppend(t, j, Record{ID: "j", Type: "state", State: StateDone})
+	// A stale replica writing running/lease records after completion must not
+	// resurrect the job.
+	mustAppend(t, j, Record{ID: "j", Type: "state", State: StateRunning, Owner: "zombie"})
+	mustAppend(t, j, Record{ID: "j", Type: "lease", Owner: "zombie", LeaseMs: time.Now().Add(time.Hour).UnixMilli()})
+	e, ok := j.Get("j")
+	if !ok || e.State != StateDone {
+		t.Fatalf("state = %q, want done (sticky)", e.State)
+	}
+	if e.Owner == "zombie" {
+		t.Fatal("terminal job adopted a new owner")
+	}
+}
+
+func TestJournalDuplicateSubmitIgnored(t *testing.T) {
+	j := testJournal(t)
+	mustAppend(t, j, Record{ID: "j", Type: "submit", Kind: "explore", Key: "first"})
+	mustAppend(t, j, Record{ID: "j", Type: "submit", Kind: "scale", Key: "second"})
+	e, _ := j.Get("j")
+	if e.Kind != "explore" || e.Key != "first" {
+		t.Fatalf("duplicate submit rewrote identity: %+v", e)
+	}
+}
+
+func TestJournalRecoverable(t *testing.T) {
+	now := time.Now()
+	past := now.Add(-time.Minute).UnixMilli()
+	future := now.Add(time.Minute).UnixMilli()
+	cases := []struct {
+		name string
+		e    Entry
+		want bool
+	}{
+		{"queued expired lease", Entry{Kind: "explore", State: StateQueued, LeaseUntil: msTime(past)}, true},
+		{"queued no lease", Entry{Kind: "explore", State: StateQueued}, true},
+		{"running live lease", Entry{Kind: "explore", State: StateRunning, LeaseUntil: msTime(future)}, false},
+		{"running expired lease", Entry{Kind: "explore", State: StateRunning, LeaseUntil: msTime(past)}, true},
+		{"interrupted live lease", Entry{Kind: "explore", State: StateInterrupted, LeaseUntil: msTime(future)}, true},
+		{"done", Entry{Kind: "explore", State: StateDone}, false},
+		{"cancelled", Entry{Kind: "explore", State: StateCancelled, LeaseUntil: msTime(past)}, false},
+		{"no submit", Entry{State: StateQueued}, false},
+	}
+	for _, tc := range cases {
+		if got := tc.e.Recoverable(now); got != tc.want {
+			t.Errorf("%s: Recoverable = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, Record{ID: "j", Type: "submit", Kind: "explore", Key: "k"})
+	mustAppend(t, j, Record{ID: "j", Type: "state", State: StateRunning})
+	// Simulate a torn append: garbage and a half-written record at the tail.
+	p := filepath.Join(dir, "jobs", "j.ndjson")
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, []byte("{\"v\":1,\"id\":\"j\",\"type\":\"state\",\"sta")...)
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := j.Get("j")
+	if !ok || e.State != StateRunning {
+		t.Fatalf("torn tail broke fold: ok=%v state=%q", ok, e.State)
+	}
+	if e.Skipped != 1 {
+		t.Fatalf("Skipped = %d, want 1", e.Skipped)
+	}
+	// The next append rewrites the file and heals the tear.
+	mustAppend(t, j, Record{ID: "j", Type: "state", State: StateDone})
+	e, _ = j.Get("j")
+	if e.State != StateDone || e.Skipped != 0 {
+		t.Fatalf("append did not heal torn file: %+v", e)
+	}
+}
+
+func TestJournalLeaseCompaction(t *testing.T) {
+	j := testJournal(t)
+	mustAppend(t, j, Record{ID: "j", Type: "submit", Kind: "explore", Key: "k"})
+	mustAppend(t, j, Record{ID: "j", Type: "state", State: StateRunning})
+	for i := 0; i < 50; i++ {
+		mustAppend(t, j, Record{ID: "j", Type: "lease", Owner: "a", LeaseMs: int64(1000 + i)})
+	}
+	data, err := os.ReadFile(filepath.Join(j.dir, "j.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(strings.TrimSpace(string(data)), "\n") + 1
+	if lines != 3 { // submit + running + latest lease
+		t.Fatalf("file has %d lines after 50 heartbeats, want 3 (lease records must compact)", lines)
+	}
+	e, _ := j.Get("j")
+	if e.LeaseUntil.UnixMilli() != 1049 {
+		t.Fatalf("lease = %v, want latest heartbeat", e.LeaseUntil.UnixMilli())
+	}
+}
+
+func TestJournalInvalidID(t *testing.T) {
+	j := testJournal(t)
+	for _, id := range []string{"", "../evil", "a/b", "a.b", strings.Repeat("x", 65), "spa ce"} {
+		if err := j.Append(Record{ID: id, Type: "submit", Kind: "explore"}); err == nil {
+			t.Errorf("Append accepted invalid id %q", id)
+		}
+		if _, ok := j.Get(id); ok {
+			t.Errorf("Get accepted invalid id %q", id)
+		}
+	}
+}
+
+func TestJournalLoadPrunesForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, Record{ID: "good", Type: "submit", Kind: "explore", Key: "k"})
+	garbage := filepath.Join(dir, "jobs", "garbage.ndjson")
+	if err := os.WriteFile(garbage, []byte("not json at all\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	all := j.Load()
+	if len(all) != 1 || all[0].ID != "good" {
+		t.Fatalf("Load = %+v, want only the valid job", all)
+	}
+	if _, err := os.Stat(garbage); !os.IsNotExist(err) {
+		t.Fatal("Load left the unusable journal file behind")
+	}
+}
+
+func TestJournalRemove(t *testing.T) {
+	j := testJournal(t)
+	mustAppend(t, j, Record{ID: "j", Type: "submit", Kind: "explore", Key: "k"})
+	if err := j.Remove("j"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := j.Get("j"); ok {
+		t.Fatal("job survived Remove")
+	}
+	if err := j.Remove("j"); err != nil {
+		t.Fatalf("second Remove: %v", err)
+	}
+	if j.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", j.Len())
+	}
+}
+
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	if err := j.Append(Record{ID: "x", Type: "submit", Kind: "k"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := j.Get("x"); ok {
+		t.Fatal("nil journal returned an entry")
+	}
+	if j.Load() != nil || j.Len() != 0 || j.Remove("x") != nil {
+		t.Fatal("nil journal not a no-op")
+	}
+}
+
+func mustAppend(t *testing.T, j *Journal, rec Record) {
+	t.Helper()
+	if err := j.Append(rec); err != nil {
+		t.Fatalf("Append(%+v): %v", rec, err)
+	}
+}

@@ -138,7 +138,9 @@ func (s *Store) rebuild() error {
 		return fmt.Errorf("store: %w", err)
 	}
 	for _, sh := range shards {
-		if !sh.IsDir() || sh.Name() == "tmp" {
+		// tmp holds in-flight writes; jobs is the job journal's namespace
+		// (see OpenJournal) — neither contains content-addressed blobs.
+		if !sh.IsDir() || sh.Name() == "tmp" || sh.Name() == "jobs" {
 			continue
 		}
 		files, err := os.ReadDir(filepath.Join(s.dir, sh.Name()))
