@@ -1,6 +1,6 @@
 # Convenience targets for the ENA reproduction.
 
-.PHONY: all build test test-race test-service test-store test-cluster test-fabric test-workload chaos-short chaos-cluster vet fuzz-short verify bench bench-json bench-compare serve load-smoke experiments csv examples clean
+.PHONY: all build test test-race test-service test-store test-cluster test-dse test-fabric test-workload chaos-short chaos-cluster vet fuzz-short verify bench bench-json bench-compare serve load-smoke experiments csv examples clean
 
 all: build vet test
 
@@ -34,6 +34,13 @@ test-store:
 test-cluster:
 	go test -race ./internal/cluster/ ./internal/load/
 
+# The exploration tier under the race detector: the DSE sweep engine (worker
+# pools, perf-phase cache) and the surrogate explorer, whose determinism
+# contract — bit-identical results at any parallelism, full-budget equality
+# with the exhaustive sweep — is exactly what races would break.
+test-dse:
+	go test -race ./internal/dse/ ./internal/surrogate/
+
 # The inter-node fabric under the race detector: the property tests pin the
 # analytic collective costs against the event-driven replay, and the curve
 # evaluator's worker pool must stay bit-identical across worker counts.
@@ -56,8 +63,8 @@ chaos-short:
 	go test -run='Chaos' ./internal/fabric/
 
 # Short fuzz pass over the compression codec (round-trip + ratio bounds),
-# the fault-mask parser, and the DL spec / batch-list parsers (never panic;
-# accepted inputs are canonical fixed points).
+# the fault-mask parser, and the DL spec / batch-list / space-spec parsers
+# (never panic; accepted inputs are canonical fixed points).
 fuzz-short:
 	go test -run='^$$' -fuzz=FuzzLineRoundTrip -fuzztime=10s ./internal/compress
 	go test -run='^$$' -fuzz=FuzzDecodeNeverPanics -fuzztime=5s ./internal/compress
@@ -65,6 +72,7 @@ fuzz-short:
 	go test -run='^$$' -fuzz=FuzzParseDL -fuzztime=5s ./internal/workload
 	go test -run='^$$' -fuzz=FuzzParseBatchList -fuzztime=5s ./internal/workload
 	go test -run='^$$' -fuzz=FuzzJournalFold -fuzztime=5s ./internal/store
+	go test -run='^$$' -fuzz=FuzzParseSpace -fuzztime=5s ./internal/dse
 
 # Process-kill chaos: a 3-replica shared-store cluster runs a default-space
 # explore while a seeded loop SIGKILLs a random replica mid-sweep; survivors
@@ -79,7 +87,7 @@ chaos-cluster:
 # including the race pass over the service layer and the chaos suite. The
 # bench gate is a soft warning (leading '-'): it only compares snapshots
 # already committed, so it never blocks when fewer than two exist.
-verify: build vet test test-service test-store test-cluster test-fabric test-workload chaos-short
+verify: build vet test test-service test-store test-cluster test-dse test-fabric test-workload chaos-short
 	CHAOS_CLUSTER_ITERS=1 go test -count=1 -run='TestChaosClusterSIGKILL' ./cmd/enaserve/
 	-@$(MAKE) --no-print-directory bench-compare
 

@@ -14,6 +14,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"ena/internal/arch"
 	"ena/internal/cluster"
@@ -126,6 +127,92 @@ func BenchmarkPowerModel(b *testing.B) {
 func BenchmarkDSEExploration(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		Explore(DefaultSpace(), Workloads(), NodePowerBudgetW, 0)
+	}
+}
+
+// expandedBenchSpace is the paper grid crossed with every packaging axis —
+// 3 chiplet counts x 3 HBM stack heights x 3 external-chain depths, 27x the
+// default space (13230 points). The scale where exhaustive sweeps stop being
+// free and the surrogate explorer earns its keep.
+func expandedBenchSpace() Space {
+	s := DefaultSpace()
+	s.GPUChiplets = []int{2, 4, 8}
+	s.HBMStackGBs = []float64{8, 16, 32}
+	s.ExtModules = []int{2, 3, 4}
+	return s
+}
+
+// surrogateBenchOptions is the tuned acquisition configuration the surrogate
+// benchmarks and speedup guard share: a 2% evaluation budget in three large
+// batches, with a lean forest so model overhead stays far below the
+// evaluation cost it saves.
+func surrogateBenchOptions() SurrogateOptions {
+	return SurrogateOptions{
+		Budget: 264, Seed: 1, BatchSize: 128, InitEvals: 128,
+		Trees: 12, MaxDepth: 10, CandidatePool: 1024,
+	}
+}
+
+// BenchmarkExpandedExplore measures the exhaustive sweep over the expanded
+// packaging space — the baseline BenchmarkSurrogateExplore is held against.
+func BenchmarkExpandedExplore(b *testing.B) {
+	space := expandedBenchSpace()
+	ks := Workloads()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Explore(space, ks, NodePowerBudgetW, 0)
+	}
+}
+
+// BenchmarkSurrogateExplore measures a surrogate-guided exploration of the
+// same expanded space: model fitting, acquisition and a 2% evaluation
+// budget. Its ns/op must stay well under a quarter of
+// BenchmarkExpandedExplore's — the sample-efficiency win the explorer
+// exists for.
+func BenchmarkSurrogateExplore(b *testing.B) {
+	space := expandedBenchSpace()
+	ks := Workloads()
+	opts := surrogateBenchOptions()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExploreSurrogate(ctx, space, ks, NodePowerBudgetW, 0, opts, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestSurrogateSpeedupExpanded is the wall-clock acceptance guard behind
+// BenchmarkSurrogateExplore: one exhaustive sweep of the expanded packaging
+// space against one surrogate run. The bench snapshots pin the headline >=4x
+// ratio; this single-shot check asserts a conservative 2x so scheduler noise
+// on loaded CI machines cannot flake it while still catching any real
+// regression of the surrogate's overhead.
+func TestSurrogateSpeedupExpanded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock comparison; skipped in -short mode")
+	}
+	space := expandedBenchSpace()
+	ks := Workloads()
+
+	start := time.Now()
+	Explore(space, ks, NodePowerBudgetW, 0)
+	exhaustive := time.Since(start)
+
+	start = time.Now()
+	res, err := ExploreSurrogate(context.Background(), space, ks, NodePowerBudgetW, 0,
+		surrogateBenchOptions(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	surrogate := time.Since(start)
+
+	if len(res.Trajectory) > 264 {
+		t.Fatalf("surrogate evaluated %d points, budget 264", len(res.Trajectory))
+	}
+	if ratio := float64(exhaustive) / float64(surrogate); ratio < 2 {
+		t.Errorf("surrogate %v vs exhaustive %v = %.1fx speedup, want >= 2x (benchmarks pin >= 4x)",
+			surrogate, exhaustive, ratio)
 	}
 }
 

@@ -8,10 +8,18 @@
 //	enadse                                  # paper defaults
 //	enadse -budget 180 -opts                # looser budget, optimizations on
 //	enadse -cus 256,320,384 -freqs 800,1000,1200 -bws 2,4,6
+//	enadse -chiplets 4,8 -hbm 16,32 -extmods 2,4   # packaging axes
+//	enadse -space "cus=192,320;freq=1000;bw=1,3"   # whole space as one spec
+//	enadse -explorer surrogate -eval-budget 122 -seed 1
 //	enadse -kernels CoMD,LULESH
 //	enadse -metrics                         # sweep telemetry report
 //	enadse -trace sweep.json -pprof cpu.out # Chrome trace + CPU profile
 //	enadse -timeout 10s                     # bound the sweep
+//
+// -explorer surrogate replaces the exhaustive sweep with the seeded
+// random-forest + expected-improvement explorer: at most -eval-budget points
+// are evaluated (default: a quarter of the space), and a fixed -seed makes
+// the run bit-reproducible.
 //
 // The sweep aborts cleanly on Ctrl-C or when -timeout expires — the same
 // cooperative cancellation path the enaserve job scheduler uses.
@@ -62,6 +70,13 @@ func main() {
 	cus := flag.String("cus", "", "comma-separated CU counts (default: paper grid)")
 	freqs := flag.String("freqs", "", "comma-separated frequencies in MHz (default: paper grid)")
 	bws := flag.String("bws", "", "comma-separated bandwidths in TB/s (default: paper grid)")
+	chiplets := flag.String("chiplets", "", "comma-separated GPU chiplet counts (default: the paper's fixed 8)")
+	hbm := flag.String("hbm", "", "comma-separated HBM stack capacities in GB (default: the paper's fixed 32)")
+	extmods := flag.String("extmods", "", "comma-separated external-chain module counts (default: the paper's fixed 4)")
+	spaceSpec := flag.String("space", "", "whole space as a canonical spec string (overrides the axis flags)")
+	explorer := flag.String("explorer", "exhaustive", "search strategy: exhaustive or surrogate")
+	evalBudget := flag.Int("eval-budget", 0, "surrogate evaluation budget (0 = a quarter of the space)")
+	seed := flag.Int64("seed", 0, "surrogate acquisition seed")
 	kernels := flag.String("kernels", "", "comma-separated kernel names (default: full suite)")
 	timeout := flag.Duration("timeout", 0, "abort the sweep after this long (0 = no limit)")
 	metrics := flag.Bool("metrics", false, "print a metrics report after the sweep")
@@ -71,18 +86,42 @@ func main() {
 
 	space := ena.DefaultSpace()
 	var err error
-	if *cus != "" {
-		if space.CUs, err = parseInts(*cus); err != nil {
+	if *spaceSpec != "" {
+		if space, err = ena.ParseSpace(*spaceSpec); err != nil {
 			fail(err)
 		}
-	}
-	if *freqs != "" {
-		if space.FreqsMHz, err = parseFloats(*freqs); err != nil {
-			fail(err)
+	} else {
+		if *cus != "" {
+			if space.CUs, err = parseInts(*cus); err != nil {
+				fail(err)
+			}
 		}
-	}
-	if *bws != "" {
-		if space.BWsTBps, err = parseFloats(*bws); err != nil {
+		if *freqs != "" {
+			if space.FreqsMHz, err = parseFloats(*freqs); err != nil {
+				fail(err)
+			}
+		}
+		if *bws != "" {
+			if space.BWsTBps, err = parseFloats(*bws); err != nil {
+				fail(err)
+			}
+		}
+		if *chiplets != "" {
+			if space.GPUChiplets, err = parseInts(*chiplets); err != nil {
+				fail(err)
+			}
+		}
+		if *hbm != "" {
+			if space.HBMStackGBs, err = parseFloats(*hbm); err != nil {
+				fail(err)
+			}
+		}
+		if *extmods != "" {
+			if space.ExtModules, err = parseInts(*extmods); err != nil {
+				fail(err)
+			}
+		}
+		if err = space.Validate(); err != nil {
 			fail(err)
 		}
 	}
@@ -133,7 +172,22 @@ func main() {
 	}
 
 	start := time.Now()
-	out, err := ena.ExploreContext(ctx, space, ks, *budget, tech, reg, tr)
+	var out ena.Exploration
+	switch *explorer {
+	case "exhaustive":
+		out, err = ena.ExploreContext(ctx, space, ks, *budget, tech, reg, tr)
+	case "surrogate":
+		var res ena.SurrogateResult
+		res, err = ena.ExploreSurrogate(ctx, space, ks, *budget, tech,
+			ena.SurrogateOptions{Budget: *evalBudget, Seed: *seed}, reg, tr)
+		out = res.Outcome
+		if err == nil {
+			fmt.Printf("surrogate evaluated %d of %d design points in %d acquisition rounds (seed %d)\n",
+				len(res.Trajectory), res.SpaceSize, res.Rounds, res.Seed)
+		}
+	default:
+		fail(fmt.Errorf("unknown explorer %q (want exhaustive or surrogate)", *explorer))
+	}
 	wall := time.Since(start)
 	if err != nil {
 		fail(fmt.Errorf("sweep aborted after %v: %w", wall.Round(time.Millisecond), err))

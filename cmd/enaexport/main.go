@@ -196,6 +196,17 @@ func tabulate(id string, r exp.Result) ([][]string, bool) {
 		}
 		return rows, true
 
+	case exp.DSEEfficiencyResult:
+		rows := [][]string{{"strategy", "seed", "evaluated", "best_mean", "found_at", "space_size", "budget"}}
+		for _, c := range res.Curves {
+			for _, p := range c.Points {
+				rows = append(rows, []string{c.Strategy, strconv.FormatInt(c.Seed, 10),
+					strconv.Itoa(p.Evaluated), f64(p.BestMean),
+					strconv.Itoa(c.FoundAt), strconv.Itoa(res.SpaceSize), strconv.Itoa(res.Budget)})
+			}
+		}
+		return rows, true
+
 	case exp.FabricResilienceResult:
 		rows := [][]string{{"topology", "kernel", "dead_nodes", "rel_perf"}}
 		for k, rel := range res.RelPerf {

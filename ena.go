@@ -34,6 +34,7 @@ import (
 	"ena/internal/powopt"
 	"ena/internal/ras"
 	"ena/internal/reconfig"
+	"ena/internal/surrogate"
 	"ena/internal/thermal"
 	"ena/internal/workload"
 )
@@ -178,7 +179,9 @@ func NormalizedPerf(cfg *Config, k Kernel) float64 { return core.NormalizedPerf(
 
 // Design-space exploration (internal/dse).
 type (
-	// Space is the swept CU/frequency/bandwidth grid.
+	// Space is the swept parameter grid: CU count, frequency and bandwidth,
+	// optionally extended by the packaging axes (GPU chiplet count, HBM
+	// stack capacity, external-chain depth).
 	Space = dse.Space
 	// DesignPoint is one grid point.
 	DesignPoint = dse.Point
@@ -210,6 +213,37 @@ func ExploreObserved(space Space, kernels []Kernel, budgetW float64, opts Techni
 // Ctrl-C handling and the enaserve job scheduler.
 func ExploreContext(ctx context.Context, space Space, kernels []Kernel, budgetW float64, opts Technique, reg *MetricsRegistry, tr *Tracer) (Exploration, error) {
 	return dse.ExploreContext(ctx, space, kernels, budgetW, opts, dse.Instr{Reg: reg, Tracer: tr})
+}
+
+// ParseSpace parses a canonical space spec string
+// ("cus=192,320;freq=1000;bw=1,3[;chiplets=4,8;hbm=16,32;extmod=2,4]") into a
+// validated Space with each axis sorted ascending. Space.Spec emits the same
+// canonical form, so parse-emit round-trips are fixed points.
+func ParseSpace(spec string) (Space, error) { return dse.ParseSpace(spec) }
+
+// Surrogate-guided exploration (internal/surrogate): a seeded random-forest
+// model with expected-improvement batch acquisition that finds the sweep's
+// best configurations from a fraction of the evaluations.
+type (
+	// SurrogateOptions tunes a surrogate exploration (budget, seed, batch
+	// and model shape); the zero value gives sane defaults with a budget of
+	// a quarter of the space.
+	SurrogateOptions = surrogate.Options
+	// SurrogateResult is a finished surrogate exploration: the Finalized
+	// Exploration over the evaluated points plus the acquisition trajectory.
+	SurrogateResult = surrogate.Result
+	// SurrogateEvaluator is the batch-evaluation seam surrogate exploration
+	// fans acquisition rounds through (in-process or cluster-sharded).
+	SurrogateEvaluator = surrogate.Evaluator
+)
+
+// ExploreSurrogate runs a surrogate-guided exploration of the design space.
+// The result is a pure function of (space, kernels, budgetW, opts,
+// SurrogateOptions): fixed seeds give bit-identical outcomes at any
+// parallelism, and a budget covering the whole space reproduces Explore's
+// Exploration exactly.
+func ExploreSurrogate(ctx context.Context, space Space, kernels []Kernel, budgetW float64, opts Technique, so SurrogateOptions, reg *MetricsRegistry, tr *Tracer) (SurrogateResult, error) {
+	return surrogate.Explore(ctx, space, kernels, budgetW, opts, so, dse.Instr{Reg: reg, Tracer: tr}, nil)
 }
 
 // TableII derives the paper's Table II: the per-kernel best configurations

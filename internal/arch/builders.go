@@ -69,6 +69,50 @@ func EHP(totalCUs int, freqMHz, bwTBps float64) *NodeConfig {
 	return n
 }
 
+// EHPVariant builds an EHP-style node with explicit packaging parameters on
+// top of the classic CU/frequency/bandwidth triple: the GPU chiplet count
+// (with one HBM stack per chiplet, per the floorplan invariant), the per-stack
+// HBM capacity, and the external-chain depth (modules per chain). Zero or
+// negative values select the paper defaults, and with all three at their
+// defaults the node is identical to EHP's except for its name. CUs and
+// aggregate bandwidth are spread evenly over the chiplets exactly as EHP
+// spreads them over eight.
+func EHPVariant(totalCUs int, freqMHz, bwTBps float64, gpuChiplets int, stackGB float64, modulesPerChain int) *NodeConfig {
+	if gpuChiplets <= 0 {
+		gpuChiplets = GPUChipletCount
+	}
+	if stackGB <= 0 {
+		stackGB = HBMStackCapacityGB
+	}
+	if modulesPerChain <= 0 {
+		modulesPerChain = DefaultModulesPerChain
+	}
+	n := &NodeConfig{
+		Name: fmt.Sprintf("EHP-%d/%0.f/%0.f-g%d-s%g-m%d",
+			totalCUs, freqMHz, bwTBps, gpuChiplets, stackGB, modulesPerChain),
+	}
+	base := totalCUs / gpuChiplets
+	rem := totalCUs % gpuChiplets
+	perStackGBps := bwTBps * 1000 / float64(gpuChiplets)
+	for i := 0; i < gpuChiplets; i++ {
+		cus := base
+		if i < rem {
+			cus++
+		}
+		n.GPU = append(n.GPU, GPUChiplet{CUs: cus, FreqMHz: freqMHz})
+		n.HBM = append(n.HBM, HBMStack{
+			CapacityGB:    stackGB,
+			BandwidthGBps: perStackGBps,
+			Channels:      DefaultHBMChannelsPerStack,
+		})
+	}
+	for i := 0; i < CPUChipletCount; i++ {
+		n.CPU = append(n.CPU, CPUChiplet{Cores: CoresPerCPUChiplet, FreqMHz: 2500, SMT: 2})
+	}
+	n.Ext = ExternalNetwork(modulesPerChain)
+	return n
+}
+
 // BestMeanEHP returns the paper's best-mean design point.
 func BestMeanEHP() *NodeConfig {
 	n := EHP(BestMeanCUs, BestMeanFreqMHz, BestMeanBWTBps)
@@ -97,9 +141,17 @@ func Monolithic(cfg *NodeConfig) *NodeConfig {
 // DefaultExternalNetwork builds the DRAM-only external memory network:
 // 8 interfaces x 4 modules x 32 GB = 1 TB.
 func DefaultExternalNetwork() []ExtChain {
+	return ExternalNetwork(DefaultModulesPerChain)
+}
+
+// ExternalNetwork builds a DRAM-only external memory network with an explicit
+// chain depth: 8 interfaces x modulesPerChain x 32 GB. Deeper chains add
+// capacity at the cost of SerDes hop latency and background power; shallower
+// chains trade capacity for both.
+func ExternalNetwork(modulesPerChain int) []ExtChain {
 	chains := make([]ExtChain, ExtInterfaces)
 	for i := range chains {
-		mods := make([]ExtModule, DefaultModulesPerChain)
+		mods := make([]ExtModule, modulesPerChain)
 		for j := range mods {
 			mods[j] = ExtModule{Kind: DRAMModule, CapacityGB: DefaultExtModuleGB}
 		}

@@ -33,20 +33,33 @@ import (
 
 // protoVersion guards the shard wire format; a worker rejects mismatched
 // requests so mixed-version fleets fail loudly instead of merging garbage.
-const protoVersion = 1
+// v2 added the packaging axes (chiplet count / HBM stack capacity /
+// external-chain depth) and explicit point-list shards for surrogate
+// acquisition batches; v1 peers would silently drop those fields, so the
+// bump is deliberate.
+const protoVersion = 2
 
-// ExploreShardRequest asks a worker to evaluate design points [Start, End)
-// of the canonical enumeration of the given space (dse.Space.Points order).
+// ExploreShardRequest asks a worker to evaluate design points [Start, End).
+// In grid form (Points empty) the indices address the canonical enumeration
+// of the given space (dse.Space.Points order, packaging axes included). In
+// list form (Points non-empty — surrogate acquisition batches) the worker
+// evaluates exactly the listed points, and Start/End address the job's
+// global evaluation slots so streamed indices merge positionally:
+// End-Start must equal len(Points), and Points[i] reports index Start+i.
 type ExploreShardRequest struct {
-	V        int       `json:"v"`
-	CUs      []int     `json:"cus"`
-	FreqsMHz []float64 `json:"freqs_mhz"`
-	BWsTBps  []float64 `json:"bws_tbps"`
-	Kernels  []string  `json:"kernels"`
-	BudgetW  float64   `json:"budget_w"`
-	Opts     uint      `json:"opts"`
-	Start    int       `json:"start"`
-	End      int       `json:"end"`
+	V           int         `json:"v"`
+	CUs         []int       `json:"cus,omitempty"`
+	FreqsMHz    []float64   `json:"freqs_mhz,omitempty"`
+	BWsTBps     []float64   `json:"bws_tbps,omitempty"`
+	GPUChiplets []int       `json:"gpu_chiplets,omitempty"`
+	HBMStackGBs []float64   `json:"hbm_stack_gbs,omitempty"`
+	ExtModules  []int       `json:"ext_modules,omitempty"`
+	Points      []dse.Point `json:"points,omitempty"`
+	Kernels     []string    `json:"kernels"`
+	BudgetW     float64     `json:"budget_w"`
+	Opts        uint        `json:"opts"`
+	Start       int         `json:"start"`
+	End         int         `json:"end"`
 }
 
 // ScaleShardRequest asks a worker to evaluate the given node counts of a
@@ -214,7 +227,10 @@ func resolveKernels(names []string) ([]workload.Kernel, error) {
 	return ks, nil
 }
 
-// space reconstructs the dse.Space of an explore shard request.
+// space reconstructs the dse.Space of a grid-form explore shard request.
 func (r ExploreShardRequest) space() dse.Space {
-	return dse.Space{CUs: r.CUs, FreqsMHz: r.FreqsMHz, BWsTBps: r.BWsTBps}
+	return dse.Space{
+		CUs: r.CUs, FreqsMHz: r.FreqsMHz, BWsTBps: r.BWsTBps,
+		GPUChiplets: r.GPUChiplets, HBMStackGBs: r.HBMStackGBs, ExtModules: r.ExtModules,
+	}
 }

@@ -209,6 +209,7 @@ func (c *Coordinator) Explore(ctx context.Context, space dse.Space, kernels []wo
 		makeReq: func(sh shard) (string, any) {
 			return "/v1/internal/shard/explore", ExploreShardRequest{
 				V: protoVersion, CUs: space.CUs, FreqsMHz: space.FreqsMHz, BWsTBps: space.BWsTBps,
+				GPUChiplets: space.GPUChiplets, HBMStackGBs: space.HBMStackGBs, ExtModules: space.ExtModules,
 				Kernels: names, BudgetW: budgetW, Opts: uint(opts), Start: sh.start, End: sh.end,
 			}
 		},
@@ -272,6 +273,61 @@ func (c *Coordinator) Explore(ctx context.Context, space dse.Space, kernels []wo
 		}
 	}
 	return dse.Finalize(evals, kernels, budgetW, opts), nil
+}
+
+// EvaluatePoints shards an explicit design-point list — a surrogate
+// explorer's acquisition batch — across the peers and returns the Evals in
+// list order, each computed by dse.EvaluatePointContext exactly as a grid
+// shard computes it (MeanScore zero; the explorer's Finalize assigns it).
+// Batches are transient mid-acquisition state, so they are never
+// checkpointed: a restarted surrogate job replays its seeded acquisition
+// from the (cached) evaluations instead. The shardRun machinery — pullers,
+// retire-on-failure, requeue, local fallback — is exactly the grid path's.
+func (c *Coordinator) EvaluatePoints(ctx context.Context, pts []dse.Point, kernels []workload.Kernel, names []string, budgetW float64, opts powopt.Technique) ([]dse.Eval, error) {
+	evals := make([]dse.Eval, len(pts))
+	filled := make([]atomic.Bool, len(pts))
+	job := shardRun{
+		n:     len(pts),
+		chunk: c.ckptChunk,
+		makeReq: func(sh shard) (string, any) {
+			return "/v1/internal/shard/explore", ExploreShardRequest{
+				V: protoVersion, Points: pts[sh.start:sh.end],
+				Kernels: names, BudgetW: budgetW, Opts: uint(opts), Start: sh.start, End: sh.end,
+			}
+		},
+		apply: func(l shardLine) error {
+			if l.Type != "eval" || l.Eval == nil {
+				return fmt.Errorf("cluster: unexpected %q line in explore stream", l.Type)
+			}
+			if l.Index < 0 || l.Index >= len(pts) {
+				return fmt.Errorf("cluster: eval index %d out of the %d-point batch", l.Index, len(pts))
+			}
+			evals[l.Index] = *l.Eval
+			filled[l.Index].Store(true)
+			return nil
+		},
+		local: func(ctx context.Context, sh shard) error {
+			return parallelRange(ctx, sh.end-sh.start, func(ctx context.Context, i int) error {
+				chaosSleep(ctx, c.evalDelay)
+				ev, err := dse.EvaluatePointContext(ctx, pts[sh.start+i], kernels, budgetW, opts)
+				if err != nil {
+					return err
+				}
+				evals[sh.start+i] = ev
+				filled[sh.start+i].Store(true)
+				return nil
+			})
+		},
+	}
+	if err := c.runShards(ctx, job); err != nil {
+		return nil, err
+	}
+	for i := range filled {
+		if !filled[i].Load() {
+			return nil, fmt.Errorf("cluster: batch point %d never evaluated (coordinator bug)", i)
+		}
+	}
+	return evals, nil
 }
 
 // Scale shards a machine-scale projection's node counts across the peers

@@ -122,10 +122,22 @@ func (wk *worker) handleExplore(rw http.ResponseWriter, r *http.Request) {
 		http.Error(rw, err.Error(), http.StatusBadRequest)
 		return
 	}
-	pts := req.space().Points()
-	if req.Start < 0 || req.End > len(pts) || req.Start >= req.End {
-		http.Error(rw, fmt.Sprintf("shard range [%d, %d) out of the %d-point space", req.Start, req.End, len(pts)), http.StatusBadRequest)
-		return
+	// List form: evaluate the explicit points, reporting global indices
+	// Start+i. Grid form: index the canonical space enumeration directly.
+	var point func(i int) dse.Point
+	if len(req.Points) > 0 {
+		if req.Start < 0 || req.End-req.Start != len(req.Points) {
+			http.Error(rw, fmt.Sprintf("shard range [%d, %d) does not cover the %d listed points", req.Start, req.End, len(req.Points)), http.StatusBadRequest)
+			return
+		}
+		point = func(i int) dse.Point { return req.Points[i] }
+	} else {
+		pts := req.space().Points()
+		if req.Start < 0 || req.End > len(pts) || req.Start >= req.End {
+			http.Error(rw, fmt.Sprintf("shard range [%d, %d) out of the %d-point space", req.Start, req.End, len(pts)), http.StatusBadRequest)
+			return
+		}
+		point = func(i int) dse.Point { return pts[req.Start+i] }
 	}
 	wk.shardsCtr.Inc()
 	st := newStreamer(rw)
@@ -133,7 +145,7 @@ func (wk *worker) handleExplore(rw http.ResponseWriter, r *http.Request) {
 	err = parallelRange(r.Context(), n, func(ctx context.Context, i int) error {
 		idx := req.Start + i
 		chaosSleep(ctx, wk.delay)
-		ev, err := dse.EvaluatePointContext(ctx, pts[idx], kernels, req.BudgetW, powopt.Technique(req.Opts))
+		ev, err := dse.EvaluatePointContext(ctx, point(i), kernels, req.BudgetW, powopt.Technique(req.Opts))
 		if err != nil {
 			return err
 		}

@@ -38,8 +38,8 @@ func TestCachedSweepBitIdentical(t *testing.T) {
 		requireBitIdentical(t, freshBase,
 			ExploreCached(space, ks, arch.NodePowerBudgetW, 0, cache))
 	})
-	if len(cache.m) != 1 {
-		t.Errorf("cache holds %d entries, want 1 (same space+kernels)", len(cache.m))
+	if cache.Len() != 1 {
+		t.Errorf("cache holds %d entries, want 1 (same space+kernels)", cache.Len())
 	}
 }
 
@@ -54,7 +54,7 @@ func TestCacheKeyedBySweepInputs(t *testing.T) {
 	space2.BWsTBps = []float64{4}
 	ExploreCached(space2, ks, arch.NodePowerBudgetW, 0, cache)
 	ExploreCached(space, ks[:1], arch.NodePowerBudgetW, 0, cache)
-	if len(cache.m) != 3 {
-		t.Errorf("cache holds %d entries, want 3 distinct sweeps", len(cache.m))
+	if cache.Len() != 3 {
+		t.Errorf("cache holds %d entries, want 3 distinct sweeps", cache.Len())
 	}
 }

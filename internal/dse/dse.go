@@ -7,6 +7,7 @@
 package dse
 
 import (
+	"container/list"
 	"context"
 	"fmt"
 	"runtime"
@@ -23,26 +24,75 @@ import (
 	"ena/internal/workload"
 )
 
-// Point is one design point.
+// Point is one design point. The packaging axes (GPUChiplets, HBMStackGB,
+// ExtModules) are optional: a zero value means the paper default (8 chiplets,
+// 32 GB stacks, 4 modules per external chain), and a point with all three at
+// zero is a classic grid point — its config, label, cache key and wire
+// encoding are unchanged from the pre-expansion scheme, so golden results,
+// checkpoints and cached sweeps never alias across the expansion.
 type Point struct {
 	CUs     int
 	FreqMHz float64
 	BWTBps  float64
+	// GPUChiplets is the GPU chiplet count (one HBM stack per chiplet);
+	// 0 means the default 8.
+	GPUChiplets int
+	// HBMStackGB is the per-stack HBM capacity; 0 means the default 32.
+	HBMStackGB float64
+	// ExtModules is the external-chain depth (modules per chain);
+	// 0 means the default 4.
+	ExtModules int
+}
+
+// expanded reports whether any packaging axis deviates from the zero
+// (paper-default) encoding.
+func (p Point) expanded() bool {
+	return p.GPUChiplets != 0 || p.HBMStackGB != 0 || p.ExtModules != 0
 }
 
 // Config materializes the point as a node configuration.
-func (p Point) Config() *arch.NodeConfig { return arch.EHP(p.CUs, p.FreqMHz, p.BWTBps) }
-
-// String formats the point the way Table II does.
-func (p Point) String() string {
-	return fmt.Sprintf("%d / %.0f / %.0f", p.CUs, p.FreqMHz, p.BWTBps)
+func (p Point) Config() *arch.NodeConfig {
+	if !p.expanded() {
+		return arch.EHP(p.CUs, p.FreqMHz, p.BWTBps)
+	}
+	return arch.EHPVariant(p.CUs, p.FreqMHz, p.BWTBps, p.GPUChiplets, p.HBMStackGB, p.ExtModules)
 }
 
-// Space is the swept parameter grid.
+// String formats the point the way Table II does, with a packaging suffix
+// only for expanded points (unswept packaging fields show their paper
+// defaults).
+func (p Point) String() string {
+	s := fmt.Sprintf("%d / %.0f / %.0f", p.CUs, p.FreqMHz, p.BWTBps)
+	if p.expanded() {
+		g, hbm, m := p.GPUChiplets, p.HBMStackGB, p.ExtModules
+		if g == 0 {
+			g = arch.GPUChipletCount
+		}
+		if hbm == 0 {
+			hbm = arch.HBMStackCapacityGB
+		}
+		if m == 0 {
+			m = arch.DefaultModulesPerChain
+		}
+		s += fmt.Sprintf(" [g%d s%g m%d]", g, hbm, m)
+	}
+	return s
+}
+
+// Space is the swept parameter grid. The three classic axes are required;
+// the packaging axes are optional — an empty axis means the single
+// paper-default value, encoded as the zero Point field so the default space
+// enumerates exactly as it always has.
 type Space struct {
 	CUs      []int
 	FreqsMHz []float64
 	BWsTBps  []float64
+	// GPUChiplets are candidate GPU chiplet counts (empty = default 8).
+	GPUChiplets []int
+	// HBMStackGBs are candidate per-stack HBM capacities (empty = default 32).
+	HBMStackGBs []float64
+	// ExtModules are candidate external-chain depths (empty = default 4).
+	ExtModules []int
 }
 
 // DefaultSpace reproduces the paper's exploration ranges: up to the 384-CU
@@ -55,17 +105,52 @@ func DefaultSpace() Space {
 	}
 }
 
-// Points enumerates the grid.
+// Points enumerates the grid in canonical order. The packaging axes are the
+// outermost loops with empty axes contributing a single zero (default) value,
+// so a space without packaging axes enumerates exactly as the pre-expansion
+// grid did — same points, same order, same indices.
 func (s Space) Points() []Point {
-	out := make([]Point, 0, len(s.CUs)*len(s.FreqsMHz)*len(s.BWsTBps))
-	for _, c := range s.CUs {
-		for _, f := range s.FreqsMHz {
-			for _, b := range s.BWsTBps {
-				out = append(out, Point{CUs: c, FreqMHz: f, BWTBps: b})
+	gcs, hbs, ems := s.packagingAxes()
+	out := make([]Point, 0, s.Size())
+	for _, g := range gcs {
+		for _, h := range hbs {
+			for _, m := range ems {
+				for _, c := range s.CUs {
+					for _, f := range s.FreqsMHz {
+						for _, b := range s.BWsTBps {
+							out = append(out, Point{
+								CUs: c, FreqMHz: f, BWTBps: b,
+								GPUChiplets: g, HBMStackGB: h, ExtModules: m,
+							})
+						}
+					}
+				}
 			}
 		}
 	}
 	return out
+}
+
+// Size is the number of points Points enumerates.
+func (s Space) Size() int {
+	gcs, hbs, ems := s.packagingAxes()
+	return len(gcs) * len(hbs) * len(ems) * len(s.CUs) * len(s.FreqsMHz) * len(s.BWsTBps)
+}
+
+// packagingAxes returns the packaging axes with empty ones replaced by the
+// single zero (paper-default) value.
+func (s Space) packagingAxes() (gcs []int, hbs []float64, ems []int) {
+	gcs, hbs, ems = s.GPUChiplets, s.HBMStackGBs, s.ExtModules
+	if len(gcs) == 0 {
+		gcs = []int{0}
+	}
+	if len(hbs) == 0 {
+		hbs = []float64{0}
+	}
+	if len(ems) == 0 {
+		ems = []int{0}
+	}
+	return gcs, hbs, ems
 }
 
 // Eval is one evaluated design point.
@@ -115,13 +200,31 @@ func Explore(space Space, kernels []workload.Kernel, budgetW float64, opts powop
 // change a point's power draw, never its performance (see Explore), so two
 // sweeps over the same space and kernels — TableII's base and optimized
 // passes, or repeated service sweeps under different budgets — share their
-// perf/traffic results and recompute only the power phase. Safe for
-// concurrent use; only complete (non-cancelled) sweeps are stored, and
-// stored rows are immutable thereafter.
+// perf/traffic results and recompute only the power phase. It also memoizes
+// single-point perf rows (keyed by (point, kernels)), which is how surrogate
+// explorations reuse the perf phase across acquisition rounds and runs.
+//
+// Both stores are bounded: entries beyond the caps evict least-recently-used
+// first, so a long-lived enaserve process serving many distinct spaces and
+// kernel sets holds a fixed working set instead of growing without bound.
+// Safe for concurrent use; only complete (non-cancelled) sweeps are stored,
+// and stored rows are immutable thereafter.
 type PerfCache struct {
-	mu sync.Mutex
-	m  map[string]sweepEntry
+	mu        sync.Mutex
+	maxSweeps int
+	maxPoints int
+	sweeps    map[string]*list.Element // of lruEntry{key, sweepEntry}
+	points    map[string]*list.Element // of lruEntry{key, pointEntry}
+	sweepLRU  list.List                // front = most recently used
+	pointLRU  list.List
 }
+
+// Default entry caps. Sweep entries are large (one perf row per point); point
+// entries hold a single row, so they get a much deeper cap.
+const (
+	DefaultPerfCacheSweeps = 64
+	DefaultPerfCachePoints = 16384
+)
 
 // sweepEntry is one memoized sweep: per-point perf phases plus the
 // materialized node configs (rebuilding a config per point per sweep is a
@@ -132,21 +235,103 @@ type sweepEntry struct {
 	cfgs []*arch.NodeConfig
 }
 
-// NewPerfCache returns an empty cache.
-func NewPerfCache() *PerfCache {
-	return &PerfCache{m: make(map[string]sweepEntry)}
+// pointEntry is one memoized point evaluation's perf phase.
+type pointEntry struct {
+	row []core.PerfPhase
+	cfg *arch.NodeConfig
 }
 
-// cacheKey canonicalizes the sweep inputs. Kernels are formatted with %+v:
+type lruEntry struct {
+	key string
+	val any
+}
+
+// NewPerfCache returns an empty cache with the default entry caps.
+func NewPerfCache() *PerfCache {
+	return NewPerfCacheSized(DefaultPerfCacheSweeps, DefaultPerfCachePoints)
+}
+
+// NewPerfCacheSized returns an empty cache holding at most maxSweeps sweep
+// entries and maxPoints point entries (values < 1 are clamped to 1).
+func NewPerfCacheSized(maxSweeps, maxPoints int) *PerfCache {
+	if maxSweeps < 1 {
+		maxSweeps = 1
+	}
+	if maxPoints < 1 {
+		maxPoints = 1
+	}
+	return &PerfCache{
+		maxSweeps: maxSweeps,
+		maxPoints: maxPoints,
+		sweeps:    make(map[string]*list.Element),
+		points:    make(map[string]*list.Element),
+	}
+}
+
+// Len reports the total number of cached entries (sweeps + point rows); the
+// service layer exports it as the dse.perf_cache_entries gauge.
+func (c *PerfCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.sweeps) + len(c.points)
+}
+
+// kernelsKey canonicalizes a kernel set. Kernels are formatted with %+v:
 // every model parameter participates, and the Trace generator contributes
 // its identity, so distinct workload sets never collide.
-func cacheKey(space Space, kernels []workload.Kernel) string {
+func kernelsKey(kernels []workload.Kernel) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "cus=%v;f=%v;bw=%v", space.CUs, space.FreqsMHz, space.BWsTBps)
 	for _, k := range kernels {
 		fmt.Fprintf(&b, ";k=%+v", k)
 	}
 	return b.String()
+}
+
+// cacheKey canonicalizes the sweep inputs. The packaging axes participate
+// only when present, so classic-space keys are unchanged from before the
+// space expansion.
+func cacheKey(space Space, kernels []workload.Kernel) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cus=%v;f=%v;bw=%v", space.CUs, space.FreqsMHz, space.BWsTBps)
+	if len(space.GPUChiplets)+len(space.HBMStackGBs)+len(space.ExtModules) > 0 {
+		fmt.Fprintf(&b, ";g=%v;hbm=%v;em=%v", space.GPUChiplets, space.HBMStackGBs, space.ExtModules)
+	}
+	b.WriteString(kernelsKey(kernels))
+	return b.String()
+}
+
+// pointKey canonicalizes a (point, kernels) pair for the point-row store.
+func pointKey(p Point, kernelsSig string) string {
+	return fmt.Sprintf("pt:%d|%g|%g|%d|%g|%d%s",
+		p.CUs, p.FreqMHz, p.BWTBps, p.GPUChiplets, p.HBMStackGB, p.ExtModules, kernelsSig)
+}
+
+// lruGet looks key up in m, promoting a hit to the front of lru.
+func lruGet(m map[string]*list.Element, lru *list.List, key string) (any, bool) {
+	el, ok := m[key]
+	if !ok {
+		return nil, false
+	}
+	lru.MoveToFront(el)
+	return el.Value.(lruEntry).val, true
+}
+
+// lruPut inserts or refreshes key in m, evicting from the back past max.
+func lruPut(m map[string]*list.Element, lru *list.List, key string, val any, max int) {
+	if el, ok := m[key]; ok {
+		el.Value = lruEntry{key: key, val: val}
+		lru.MoveToFront(el)
+		return
+	}
+	m[key] = lru.PushFront(lruEntry{key: key, val: val})
+	for len(m) > max {
+		back := lru.Back()
+		lru.Remove(back)
+		delete(m, back.Value.(lruEntry).key)
+	}
 }
 
 func (c *PerfCache) get(key string, nPoints int) (sweepEntry, bool) {
@@ -155,8 +340,12 @@ func (c *PerfCache) get(key string, nPoints int) (sweepEntry, bool) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	e, ok := c.m[key]
-	if !ok || len(e.rows) != nPoints {
+	v, ok := lruGet(c.sweeps, &c.sweepLRU, key)
+	if !ok {
+		return sweepEntry{}, false
+	}
+	e := v.(sweepEntry)
+	if len(e.rows) != nPoints {
 		return sweepEntry{}, false
 	}
 	return e, true
@@ -167,7 +356,29 @@ func (c *PerfCache) put(key string, e sweepEntry) {
 		return
 	}
 	c.mu.Lock()
-	c.m[key] = e
+	lruPut(c.sweeps, &c.sweepLRU, key, e, c.maxSweeps)
+	c.mu.Unlock()
+}
+
+func (c *PerfCache) getPoint(key string) (pointEntry, bool) {
+	if c == nil {
+		return pointEntry{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := lruGet(c.points, &c.pointLRU, key)
+	if !ok {
+		return pointEntry{}, false
+	}
+	return v.(pointEntry), true
+}
+
+func (c *PerfCache) putPoint(key string, e pointEntry) {
+	if c == nil || e.row == nil {
+		return
+	}
+	c.mu.Lock()
+	lruPut(c.points, &c.pointLRU, key, e, c.maxPoints)
 	c.mu.Unlock()
 }
 
@@ -317,6 +528,9 @@ feed:
 	if fill.rows != nil && ctx.Err() == nil {
 		cache.put(key, fill)
 	}
+	if cache != nil && reg != nil {
+		reg.Gauge("dse.perf_cache_entries").Set(float64(cache.Len()))
+	}
 
 	if reg != nil {
 		wall := time.Since(start)
@@ -413,6 +627,41 @@ func EvaluatePointContext(ctx context.Context, p Point, kernels []workload.Kerne
 		return Eval{}, err
 	}
 	return ev, nil
+}
+
+// NewPointEvaluator returns a single-point evaluator bound to the kernels,
+// budget and optimizations, with optional point-level perf-row reuse through
+// cache (nil disables caching). Each call is bit-identical to
+// EvaluatePointContext for the same point: a cached perf row replays through
+// the power phase exactly as the sweep cache does (see the split-phase
+// bit-identity property of core.SimulatePerf/SimulateFromPerf). This is the
+// evaluation seam surrogate explorations run on — repeated acquisition rounds,
+// and repeated runs over overlapping spaces, recompute only the power phase
+// for points whose perf phase is already known.
+func NewPointEvaluator(kernels []workload.Kernel, budgetW float64, opts powopt.Technique, cache *PerfCache) func(ctx context.Context, p Point) (Eval, error) {
+	var sig string
+	if cache != nil {
+		sig = kernelsKey(kernels)
+	}
+	return func(ctx context.Context, p Point) (Eval, error) {
+		if cache == nil {
+			return EvaluatePointContext(ctx, p, kernels, budgetW, opts)
+		}
+		key := pointKey(p, sig)
+		cached, hit := cache.getPoint(key)
+		cfg := cached.cfg
+		if cfg == nil {
+			cfg = p.Config()
+		}
+		ev, row, _ := evaluateConfigCtx(ctx, cfg, p, kernels, budgetW, opts, cached.row, !hit)
+		if err := ctx.Err(); err != nil {
+			return Eval{}, err
+		}
+		if !hit {
+			cache.putPoint(key, pointEntry{row: row, cfg: cfg})
+		}
+		return ev, nil
+	}
 }
 
 // EvaluateConfigContext evaluates one explicit node configuration against the

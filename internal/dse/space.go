@@ -1,0 +1,206 @@
+package dse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Axis spec keys, in canonical emission order. The three classic axes are
+// required; the packaging axes are optional.
+const (
+	axisCUs      = "cus"
+	axisFreq     = "freq"
+	axisBW       = "bw"
+	axisChiplets = "chiplets"
+	axisHBM      = "hbm"
+	axisExtMod   = "extmod"
+)
+
+// Validate checks the space is a well-formed grid: the three classic axes
+// must be non-empty, and every axis present must hold strictly positive,
+// finite, duplicate-free values. A duplicated axis value would silently
+// enumerate the same design point twice, double-counting it in the MeanScore
+// normalization; empty or non-positive axes produce degenerate or invalid
+// configurations. The packaging axes may be empty (meaning the single paper
+// default).
+func (s Space) Validate() error {
+	if err := validateIntAxis(axisCUs, s.CUs, true); err != nil {
+		return err
+	}
+	if err := validateFloatAxis(axisFreq, s.FreqsMHz, true); err != nil {
+		return err
+	}
+	if err := validateFloatAxis(axisBW, s.BWsTBps, true); err != nil {
+		return err
+	}
+	if err := validateIntAxis(axisChiplets, s.GPUChiplets, false); err != nil {
+		return err
+	}
+	if err := validateFloatAxis(axisHBM, s.HBMStackGBs, false); err != nil {
+		return err
+	}
+	return validateIntAxis(axisExtMod, s.ExtModules, false)
+}
+
+func validateIntAxis(name string, vals []int, required bool) error {
+	if len(vals) == 0 {
+		if required {
+			return fmt.Errorf("dse: space axis %q is empty", name)
+		}
+		return nil
+	}
+	seen := make(map[int]bool, len(vals))
+	for _, v := range vals {
+		if v <= 0 {
+			return fmt.Errorf("dse: space axis %q has non-positive value %d", name, v)
+		}
+		if seen[v] {
+			return fmt.Errorf("dse: space axis %q has duplicate value %d", name, v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+func validateFloatAxis(name string, vals []float64, required bool) error {
+	if len(vals) == 0 {
+		if required {
+			return fmt.Errorf("dse: space axis %q is empty", name)
+		}
+		return nil
+	}
+	seen := make(map[float64]bool, len(vals))
+	for _, v := range vals {
+		if !(v > 0) || math.IsInf(v, 0) {
+			return fmt.Errorf("dse: space axis %q has non-positive or non-finite value %v", name, v)
+		}
+		if seen[v] {
+			return fmt.Errorf("dse: space axis %q has duplicate value %v", name, v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// Spec renders the space as its canonical spec string:
+// "cus=...;freq=...;bw=..." with comma-separated ascending values, followed
+// by "chiplets=", "hbm=" and "extmod=" segments only for packaging axes that
+// are present. ParseSpace(s.Spec()) returns s for any space that came out of
+// ParseSpace (the canonical form is a fixed point).
+func (s Space) Spec() string {
+	var b strings.Builder
+	b.WriteString(axisCUs + "=")
+	writeInts(&b, s.CUs)
+	b.WriteString(";" + axisFreq + "=")
+	writeFloats(&b, s.FreqsMHz)
+	b.WriteString(";" + axisBW + "=")
+	writeFloats(&b, s.BWsTBps)
+	if len(s.GPUChiplets) > 0 {
+		b.WriteString(";" + axisChiplets + "=")
+		writeInts(&b, s.GPUChiplets)
+	}
+	if len(s.HBMStackGBs) > 0 {
+		b.WriteString(";" + axisHBM + "=")
+		writeFloats(&b, s.HBMStackGBs)
+	}
+	if len(s.ExtModules) > 0 {
+		b.WriteString(";" + axisExtMod + "=")
+		writeInts(&b, s.ExtModules)
+	}
+	return b.String()
+}
+
+func writeInts(b *strings.Builder, vals []int) {
+	for i, v := range vals {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(v))
+	}
+}
+
+func writeFloats(b *strings.Builder, vals []float64) {
+	for i, v := range vals {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	}
+}
+
+// ParseSpace parses a space spec string ("cus=...;freq=...;bw=..." plus
+// optional "chiplets=", "hbm=", "extmod=" segments) into a validated Space.
+// Axis values are sorted ascending — the canonicalization — and the result
+// passes Validate (duplicates, non-positive and non-finite values are
+// rejected, as are unknown or repeated axis names). The empty classic axes
+// rule applies: all of cus/freq/bw must be present.
+func ParseSpace(spec string) (Space, error) {
+	var s Space
+	seen := make(map[string]bool, 6)
+	for _, seg := range strings.Split(spec, ";") {
+		name, vals, ok := strings.Cut(seg, "=")
+		if !ok {
+			return Space{}, fmt.Errorf("dse: space spec segment %q is not name=values", seg)
+		}
+		name = strings.TrimSpace(name)
+		if seen[name] {
+			return Space{}, fmt.Errorf("dse: space spec repeats axis %q", name)
+		}
+		seen[name] = true
+		var err error
+		switch name {
+		case axisCUs:
+			s.CUs, err = parseInts(vals)
+		case axisFreq:
+			s.FreqsMHz, err = parseFloats(vals)
+		case axisBW:
+			s.BWsTBps, err = parseFloats(vals)
+		case axisChiplets:
+			s.GPUChiplets, err = parseInts(vals)
+		case axisHBM:
+			s.HBMStackGBs, err = parseFloats(vals)
+		case axisExtMod:
+			s.ExtModules, err = parseInts(vals)
+		default:
+			return Space{}, fmt.Errorf("dse: unknown space axis %q", name)
+		}
+		if err != nil {
+			return Space{}, fmt.Errorf("dse: space axis %q: %w", name, err)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return Space{}, err
+	}
+	return s, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", p)
+		}
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", p)
+		}
+		out = append(out, v)
+	}
+	sort.Float64s(out)
+	return out, nil
+}

@@ -1,0 +1,40 @@
+package dse
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseSpace: the spec parser never panics, and every accepted input
+// canonicalizes to a fixed point — re-parsing the emitted canonical spec
+// yields the identical Space, whose spec is byte-identical.
+func FuzzParseSpace(f *testing.F) {
+	f.Add("cus=192,224,256,288,320,352,384;freq=700,800,900,925,1000,1100,1200,1300,1400,1500;bw=1,2,3,4,5,6,7")
+	f.Add("cus=320;freq=1000;bw=3")
+	f.Add("cus=320,192;freq=1000;bw=3,1;chiplets=8,4;hbm=16,32;extmod=2,4")
+	f.Add("cus=320;freq=1e3;bw=0.5,3")
+	f.Add("bw=3;cus=320;freq=1000")
+	f.Add("cus=;freq=;bw=")
+	f.Add("cus=320;freq=NaN;bw=3")
+	f.Add(";;;")
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := ParseSpace(spec)
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("accepted space fails Validate: %v (spec %q)", err, spec)
+		}
+		canon := s.Spec()
+		s2, err := ParseSpace(canon)
+		if err != nil {
+			t.Fatalf("canonical spec %q rejected: %v (from %q)", canon, err, spec)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("canonical spec %q re-parses to %+v, want %+v", canon, s2, s)
+		}
+		if got := s2.Spec(); got != canon {
+			t.Fatalf("canonical spec not a fixed point: %q -> %q", canon, got)
+		}
+	})
+}

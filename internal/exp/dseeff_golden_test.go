@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"math"
+	"testing"
+
+	"ena/internal/arch"
+	"ena/internal/dse"
+)
+
+// TestDSEEfficiencyGolden pins the sample-efficiency experiment: the
+// surrogate must find the exact golden best-mean point within a quarter of
+// the exhaustive budget, every curve must be monotone and bounded by the
+// ground-truth ceiling, and the seeded discovery counts must never drift —
+// any change here is a change to the explorer's behavior, not noise.
+func TestDSEEfficiencyGolden(t *testing.T) {
+	r := DSEEfficiency()
+	if r.SpaceSize != 490 || r.Budget != 122 {
+		t.Fatalf("space/budget = %d/%d, want 490/122", r.SpaceSize, r.Budget)
+	}
+	golden := dse.Point{CUs: arch.BestMeanCUs, FreqMHz: arch.BestMeanFreqMHz, BWTBps: arch.BestMeanBWTBps}
+	if r.Golden != golden {
+		t.Fatalf("golden = %v, want %v", r.Golden, golden)
+	}
+	if math.Abs(r.GoldenScore-0.661074) > 1e-6 {
+		t.Errorf("golden score = %.6f, want 0.661074", r.GoldenScore)
+	}
+
+	byName := map[string]DSEEfficiencyCurve{}
+	for _, c := range r.Curves {
+		byName[c.Strategy] = c
+		if len(c.Points) == 0 {
+			t.Fatalf("%s curve empty", c.Strategy)
+		}
+		prev := 0.0
+		for _, p := range c.Points {
+			if p.BestMean < prev {
+				t.Fatalf("%s curve decreases at %d evals: %.6f < %.6f", c.Strategy, p.Evaluated, p.BestMean, prev)
+			}
+			if p.BestMean > r.GoldenScore+1e-12 {
+				t.Fatalf("%s curve exceeds the ground-truth ceiling at %d evals", c.Strategy, p.Evaluated)
+			}
+			prev = p.BestMean
+		}
+	}
+
+	// The seeded discovery counts (deterministic by the surrogate and
+	// random-baseline contracts).
+	sur := byName["surrogate"]
+	if sur.FoundAt != 67 {
+		t.Errorf("surrogate found golden at %d evals, want the pinned 67", sur.FoundAt)
+	}
+	if sur.FoundAt < 0 || sur.FoundAt > r.Budget {
+		t.Errorf("surrogate missed the golden point within its budget of %d", r.Budget)
+	}
+	if last := sur.Points[len(sur.Points)-1].BestMean; last != r.GoldenScore {
+		t.Errorf("surrogate final best = %.6f, want the golden score %.6f", last, r.GoldenScore)
+	}
+	exh := byName["exhaustive"]
+	if exh.FoundAt != 311 {
+		t.Errorf("exhaustive found golden at %d evals, want its enumeration position 311", exh.FoundAt)
+	}
+	if len(exh.Points) != r.SpaceSize {
+		t.Errorf("exhaustive curve covers %d evals, want the whole space", len(exh.Points))
+	}
+	rnd := byName["random"]
+	if rnd.FoundAt != -1 {
+		t.Errorf("random baseline found golden at %d evals; the pinned seed misses within budget", rnd.FoundAt)
+	}
+
+	// The headline: the surrogate reaches the golden score with at most a
+	// quarter of the evaluations the exhaustive order needs.
+	if sur.FoundAt*4 > exh.FoundAt+3 {
+		t.Errorf("surrogate needed %d evals vs exhaustive %d — not a 4x win", sur.FoundAt, exh.FoundAt)
+	}
+}

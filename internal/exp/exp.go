@@ -62,6 +62,7 @@ func Experiments() []Experiment {
 		{ID: "scaling", Title: "Extension: strong/weak scaling on the explicit inter-node fabric", Run: func() Result { return Scaling() }},
 		{ID: "inference", Title: "Extension: DL inference serving (batch sweep, latency at target QPS)", Run: func() Result { return Inference() }},
 		{ID: "fabric-resilience", Title: "Extension: whole-node failures rerouted through the fabric", Run: func() Result { return FabricResilience() }},
+		{ID: "dse-efficiency", Title: "Extension: DSE sample efficiency (surrogate vs exhaustive vs random)", Run: func() Result { return DSEEfficiency() }},
 	}
 }
 

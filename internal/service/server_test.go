@@ -144,7 +144,22 @@ func TestServerEndpoints(t *testing.T) {
 		{
 			name: "explore bad grid", method: "POST", path: "/v1/explore",
 			body:       map[string]any{"cus": []int{-4}},
-			wantStatus: http.StatusBadRequest, wantSubstr: "non-positive CU",
+			wantStatus: http.StatusBadRequest, wantSubstr: "has non-positive value -4",
+		},
+		{
+			name: "explore bad packaging axis", method: "POST", path: "/v1/explore",
+			body:       map[string]any{"gpu_chiplets": []int{0, 4}},
+			wantStatus: http.StatusBadRequest, wantSubstr: "has non-positive value 0",
+		},
+		{
+			name: "explore unknown explorer", method: "POST", path: "/v1/explore",
+			body:       map[string]any{"explorer": "genetic"},
+			wantStatus: http.StatusBadRequest, wantSubstr: "unknown explorer",
+		},
+		{
+			name: "explore eval budget without surrogate", method: "POST", path: "/v1/explore",
+			body:       map[string]any{"eval_budget": 10},
+			wantStatus: http.StatusBadRequest, wantSubstr: "eval_budget requires explorer",
 		},
 		{
 			name: "explore negative timeout", method: "POST", path: "/v1/explore",

@@ -43,6 +43,7 @@ import (
 	"ena/internal/obs"
 	"ena/internal/perf"
 	"ena/internal/store"
+	"ena/internal/surrogate"
 	"ena/internal/workload"
 )
 
@@ -497,6 +498,7 @@ func (s *Server) refreshGauges() {
 	s.reg.Gauge("service.jobs.queue_depth").Set(float64(s.sched.QueueDepth()))
 	s.reg.Gauge("service.jobs.queue_cap").Set(float64(s.sched.QueueCap()))
 	s.reg.Gauge("service.cache.hit_ratio").Set(s.cache.HitRatio())
+	s.reg.Gauge("dse.perf_cache_entries").Set(float64(s.perfCache.Len()))
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -821,8 +823,28 @@ func (s *Server) exploreRunner(ej exploreJob) func(context.Context) (any, error)
 // sharded through the coordinator (which merges to the bit-identical
 // single-process Outcome, with per-shard failover, checkpointed resume, and
 // local fallback); otherwise the sweep runs in process through the
-// perf-phase memo.
+// perf-phase memo. The surrogate explorer uses the same two paths for its
+// acquisition batches — coordinator point-list shards or the local
+// perf-cached evaluator — and either way its result is a pure function of
+// (space, kernels, budget, optimizations, eval budget, seed).
 func (s *Server) explore(ctx context.Context, ej exploreJob) (ExploreResult, error) {
+	if ej.explorer == "surrogate" {
+		var ev surrogate.Evaluator
+		if s.coord.Active() {
+			ev = func(ctx context.Context, pts []dse.Point) ([]dse.Eval, error) {
+				return s.coord.EvaluatePoints(ctx, pts, ej.kernels, ej.names, ej.budgetW, ej.tech)
+			}
+		} else {
+			ev = surrogate.LocalEvaluator(ej.kernels, ej.budgetW, ej.tech, s.perfCache)
+		}
+		res, err := surrogate.Explore(ctx, ej.space, ej.kernels, ej.budgetW, ej.tech,
+			surrogate.Options{Budget: ej.evalBudget, Seed: ej.seed},
+			dse.Instr{Reg: s.reg, Tracer: s.tracer}, ev)
+		if err != nil {
+			return ExploreResult{}, err
+		}
+		return ej.summarize(res.Outcome), nil
+	}
 	if s.coord.Active() {
 		out, err := s.coord.Explore(ctx, ej.space, ej.kernels, ej.names, ej.budgetW, ej.tech, ej.key)
 		if err != nil {

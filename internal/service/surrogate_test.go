@@ -1,0 +1,182 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"ena/internal/arch"
+	"ena/internal/dse"
+	"ena/internal/surrogate"
+	"ena/internal/workload"
+)
+
+// TestExploreSurrogateJob drives a surrogate exploration end to end over the
+// HTTP API and pins its result to a direct surrogate.Explore run with the
+// same space, budget and seed — the service layer must add nothing and lose
+// nothing.
+func TestExploreSurrogateJob(t *testing.T) {
+	_, ts := newTestServer(t)
+	c := ts.Client()
+
+	space := dse.Space{
+		CUs:      []int{256, 320, 384},
+		FreqsMHz: []float64{925, 1000, 1100},
+		BWsTBps:  []float64{2, 3, 4},
+	}
+	kernels := []workload.Kernel{}
+	for _, name := range []string{"MaxFlops", "CoMD", "HPGMG"} {
+		k, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kernels = append(kernels, k)
+	}
+	want, err := surrogate.Explore(context.Background(), space, kernels, arch.NodePowerBudgetW, 0,
+		surrogate.Options{Budget: 14, Seed: 7}, dse.Instr{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req := map[string]any{
+		"cus":         []int{256, 320, 384},
+		"freqs_mhz":   []float64{925, 1000, 1100},
+		"bws_tbps":    []float64{2, 3, 4},
+		"kernels":     []string{"MaxFlops", "CoMD", "HPGMG"},
+		"explorer":    "surrogate",
+		"eval_budget": 14,
+		"seed":        7,
+	}
+	resp, b := doJSON(t, c, "POST", ts.URL+"/v1/explore", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202: %s", resp.StatusCode, b)
+	}
+	var wrap struct {
+		Job JobView `json:"job"`
+	}
+	if err := json.Unmarshal(b, &wrap); err != nil {
+		t.Fatalf("unmarshal submit: %v", err)
+	}
+	final := pollJob(t, c, ts.URL+"/v1/jobs/"+wrap.Job.ID, 30*time.Second)
+	if final.State != JobDone {
+		t.Fatalf("job state = %s (error %q), want done", final.State, final.Error)
+	}
+	rb, _ := json.Marshal(final.Result)
+	var res ExploreResult
+	if err := json.Unmarshal(rb, &res); err != nil {
+		t.Fatalf("result unmarshal: %v", err)
+	}
+	if res.Explorer != "surrogate" || res.SpaceSize != space.Size() {
+		t.Errorf("result explorer/space = %q/%d, want surrogate/%d", res.Explorer, res.SpaceSize, space.Size())
+	}
+	if res.Points != len(want.Trajectory) {
+		t.Errorf("points = %d, want the surrogate trajectory length %d", res.Points, len(want.Trajectory))
+	}
+	wb := want.Outcome.BestMean
+	if res.BestMean.CUs != wb.Point.CUs || res.BestMean.FreqMHz != wb.Point.FreqMHz ||
+		res.BestMean.BWTBps != wb.Point.BWTBps || res.BestMean.MeanScore != wb.MeanScore {
+		t.Errorf("best mean = %+v, want point %v score %v", res.BestMean, wb.Point, wb.MeanScore)
+	}
+
+	// The evaluated perf rows land in the server's PerfCache, and the metrics
+	// scrape publishes its size.
+	resp, b = doJSON(t, c, "GET", ts.URL+"/metrics", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	var snap struct {
+		Gauges map[string]float64 `json:"gauges"`
+	}
+	if err := json.Unmarshal(b, &snap); err != nil {
+		t.Fatalf("metrics unmarshal: %v", err)
+	}
+	if snap.Gauges["dse.perf_cache_entries"] < float64(len(want.Trajectory)) {
+		t.Errorf("dse.perf_cache_entries = %v, want >= %d evaluated points",
+			snap.Gauges["dse.perf_cache_entries"], len(want.Trajectory))
+	}
+}
+
+// TestExploreSurrogatePackagingAxes: a surrogate request sweeping the
+// packaging axes resolves, runs, and reports an expanded best point.
+func TestExploreSurrogatePackagingAxes(t *testing.T) {
+	_, ts := newTestServer(t)
+	c := ts.Client()
+	req := map[string]any{
+		"cus":          []int{256, 320},
+		"freqs_mhz":    []float64{1000},
+		"bws_tbps":     []float64{2, 3},
+		"gpu_chiplets": []int{4, 8},
+		"kernels":      []string{"MaxFlops", "CoMD"},
+		"explorer":     "surrogate",
+		"eval_budget":  6,
+		"seed":         3,
+	}
+	resp, b := doJSON(t, c, "POST", ts.URL+"/v1/explore", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d: %s", resp.StatusCode, b)
+	}
+	var wrap struct {
+		Job JobView `json:"job"`
+	}
+	if err := json.Unmarshal(b, &wrap); err != nil {
+		t.Fatal(err)
+	}
+	final := pollJob(t, c, ts.URL+"/v1/jobs/"+wrap.Job.ID, 30*time.Second)
+	if final.State != JobDone {
+		t.Fatalf("job state = %s (error %q)", final.State, final.Error)
+	}
+	rb, _ := json.Marshal(final.Result)
+	var res ExploreResult
+	if err := json.Unmarshal(rb, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.SpaceSize != 8 {
+		t.Errorf("space size = %d, want 8", res.SpaceSize)
+	}
+	if res.BestMean.GPUChiplets != 4 && res.BestMean.GPUChiplets != 8 {
+		t.Errorf("best-mean chiplet count = %d, want a swept value", res.BestMean.GPUChiplets)
+	}
+}
+
+// TestExploreCanonKeys: the V2 cache canon separates everything that changes
+// the answer — explorer, seed, eval budget, packaging axes — while permuted
+// grids still collapse onto one key.
+func TestExploreCanonKeys(t *testing.T) {
+	key := func(r ExploreRequest) string {
+		t.Helper()
+		ej, err := r.resolve()
+		if err != nil {
+			t.Fatalf("resolve %+v: %v", r, err)
+		}
+		return ej.key
+	}
+	base := ExploreRequest{CUs: []int{64, 128}, Kernels: []string{"MaxFlops"}}
+	if key(base) != key(ExploreRequest{CUs: []int{128, 64, 64}, Kernels: []string{"MaxFlops"}}) {
+		t.Error("permuted grid changed the key")
+	}
+	if key(base) != key(ExploreRequest{CUs: []int{64, 128}, Kernels: []string{"MaxFlops"}, Explorer: "exhaustive"}) {
+		t.Error("explicit explorer=exhaustive changed the key")
+	}
+	sur := base
+	sur.Explorer = "surrogate"
+	if key(sur) == key(base) {
+		t.Error("surrogate shares the exhaustive key")
+	}
+	seeded := sur
+	seeded.Seed = 1
+	if key(seeded) == key(sur) {
+		t.Error("seed not in the key")
+	}
+	budgeted := sur
+	budgeted.EvalBudget = 9
+	if key(budgeted) == key(sur) {
+		t.Error("eval budget not in the key")
+	}
+	packed := base
+	packed.GPUChiplets = []int{4, 8}
+	if key(packed) == key(base) {
+		t.Error("packaging axes not in the key")
+	}
+}

@@ -407,22 +407,39 @@ func (r SimulateRequest) resolve() (simJob, error) {
 // paper's exploration ranges, empty kernels to the full Table I suite, and a
 // zero budget to the paper's 160 W node budget. TimeoutSec bounds the job's
 // runtime (0 = the server's default job timeout).
+//
+// The packaging axes (gpu_chiplets / hbm_stack_gbs / ext_modules) extend the
+// swept space beyond the paper's CU/frequency/bandwidth grid; omitted they
+// pin the paper's fixed EHP packaging. Explorer selects the search strategy:
+// "exhaustive" (default) sweeps every point, "surrogate" runs the seeded
+// model-guided explorer with at most eval_budget evaluations (0 = a quarter
+// of the space).
 type ExploreRequest struct {
 	CUs           []int     `json:"cus,omitempty"`
 	FreqsMHz      []float64 `json:"freqs_mhz,omitempty"`
 	BWsTBps       []float64 `json:"bws_tbps,omitempty"`
+	GPUChiplets   []int     `json:"gpu_chiplets,omitempty"`
+	HBMStackGBs   []float64 `json:"hbm_stack_gbs,omitempty"`
+	ExtModules    []int     `json:"ext_modules,omitempty"`
 	Kernels       []string  `json:"kernels,omitempty"`
 	BudgetW       float64   `json:"budget_w,omitempty"`
 	Optimizations []string  `json:"optimizations,omitempty"`
+	Explorer      string    `json:"explorer,omitempty"`
+	EvalBudget    int       `json:"eval_budget,omitempty"`
+	Seed          int64     `json:"seed,omitempty"`
 	TimeoutSec    float64   `json:"timeout_sec,omitempty"`
 }
 
-// BestPoint is a selected design point in an explore result.
+// BestPoint is a selected design point in an explore result. The packaging
+// fields are zero (omitted) for points using the paper's fixed EHP packaging.
 type BestPoint struct {
-	CUs       int     `json:"cus"`
-	FreqMHz   float64 `json:"freq_mhz"`
-	BWTBps    float64 `json:"bw_tbps"`
-	MeanScore float64 `json:"mean_score,omitempty"`
+	CUs         int     `json:"cus"`
+	FreqMHz     float64 `json:"freq_mhz"`
+	BWTBps      float64 `json:"bw_tbps"`
+	GPUChiplets int     `json:"gpu_chiplets,omitempty"`
+	HBMStackGB  float64 `json:"hbm_stack_gb,omitempty"`
+	ExtModules  int     `json:"ext_modules,omitempty"`
+	MeanScore   float64 `json:"mean_score,omitempty"`
 }
 
 // KernelBest is one kernel's best in-budget configuration.
@@ -435,36 +452,54 @@ type KernelBest struct {
 	BudgetW float64 `json:"budget_w"`
 }
 
-// ExploreResult is a completed exploration job's result payload.
+// ExploreResult is a completed exploration job's result payload. Points is
+// the number of configurations actually evaluated — the full space under the
+// exhaustive explorer, the acquisition trajectory under the surrogate (whose
+// SpaceSize then reports the full space it searched).
 type ExploreResult struct {
 	Key           string       `json:"key"`
 	Points        int          `json:"points"`
 	Feasible      int          `json:"feasible"`
 	BudgetW       float64      `json:"budget_w"`
 	Optimizations []string     `json:"optimizations,omitempty"`
+	Explorer      string       `json:"explorer,omitempty"`
+	SpaceSize     int          `json:"space_size,omitempty"`
 	BestMean      BestPoint    `json:"best_mean"`
 	PerKernel     []KernelBest `json:"per_kernel"`
 }
 
 // exploreJob is a resolved explore request.
 type exploreJob struct {
-	space   dse.Space
-	kernels []workload.Kernel
-	names   []string
-	budgetW float64
-	tech    powopt.Technique
-	timeout time.Duration
-	key     string
+	space      dse.Space
+	kernels    []workload.Kernel
+	names      []string
+	budgetW    float64
+	tech       powopt.Technique
+	explorer   string
+	evalBudget int
+	seed       int64
+	timeout    time.Duration
+	key        string
 }
 
+// exploreCanon is the canonical (cache-key) form of an explore request. V is
+// 2 since the packaging axes and explorer fields joined the key: bumping the
+// version re-keys every job, so pre-expansion cache entries can never alias a
+// request that now means something subtly different.
 type exploreCanon struct {
-	V       int       `json:"v"`
-	CUs     []int     `json:"cus"`
-	Freqs   []float64 `json:"freqs_mhz"`
-	BWs     []float64 `json:"bws_tbps"`
-	Kernels []string  `json:"kernels"`
-	BudgetW float64   `json:"budget_w"`
-	Opts    uint      `json:"opts"`
+	V          int       `json:"v"`
+	CUs        []int     `json:"cus"`
+	Freqs      []float64 `json:"freqs_mhz"`
+	BWs        []float64 `json:"bws_tbps"`
+	Chiplets   []int     `json:"gpu_chiplets,omitempty"`
+	HBMs       []float64 `json:"hbm_stack_gbs,omitempty"`
+	ExtMods    []int     `json:"ext_modules,omitempty"`
+	Kernels    []string  `json:"kernels"`
+	BudgetW    float64   `json:"budget_w"`
+	Opts       uint      `json:"opts"`
+	Explorer   string    `json:"explorer"`
+	EvalBudget int       `json:"eval_budget,omitempty"`
+	Seed       int64     `json:"seed,omitempty"`
 }
 
 // resolve validates an explore request and canonicalizes it: the swept grids
@@ -481,20 +516,34 @@ func (r ExploreRequest) resolve() (exploreJob, error) {
 	if len(r.BWsTBps) > 0 {
 		space.BWsTBps = sortedUniqueFloats(r.BWsTBps)
 	}
-	for _, c := range space.CUs {
-		if c <= 0 {
-			return exploreJob{}, fmt.Errorf("non-positive CU count %d", c)
-		}
+	if len(r.GPUChiplets) > 0 {
+		space.GPUChiplets = sortedUniqueInts(r.GPUChiplets)
 	}
-	for _, f := range space.FreqsMHz {
-		if f <= 0 {
-			return exploreJob{}, fmt.Errorf("non-positive frequency %v", f)
-		}
+	if len(r.HBMStackGBs) > 0 {
+		space.HBMStackGBs = sortedUniqueFloats(r.HBMStackGBs)
 	}
-	for _, b := range space.BWsTBps {
-		if b <= 0 {
-			return exploreJob{}, fmt.Errorf("non-positive bandwidth %v", b)
+	if len(r.ExtModules) > 0 {
+		space.ExtModules = sortedUniqueInts(r.ExtModules)
+	}
+	if err := space.Validate(); err != nil {
+		return exploreJob{}, err
+	}
+	explorer := r.Explorer
+	switch explorer {
+	case "", "exhaustive":
+		explorer = "exhaustive"
+		if r.EvalBudget != 0 {
+			return exploreJob{}, fmt.Errorf("eval_budget requires explorer \"surrogate\"")
 		}
+		if r.Seed != 0 {
+			return exploreJob{}, fmt.Errorf("seed requires explorer \"surrogate\"")
+		}
+	case "surrogate":
+		if r.EvalBudget < 0 {
+			return exploreJob{}, fmt.Errorf("negative eval_budget %d", r.EvalBudget)
+		}
+	default:
+		return exploreJob{}, fmt.Errorf("unknown explorer %q (want exhaustive or surrogate)", r.Explorer)
 	}
 	ks := workload.Suite()
 	if len(r.Kernels) > 0 {
@@ -526,22 +575,31 @@ func (r ExploreRequest) resolve() (exploreJob, error) {
 		names[i] = k.Name
 	}
 	key := hashCanon(exploreCanon{
-		V:       1,
-		CUs:     space.CUs,
-		Freqs:   space.FreqsMHz,
-		BWs:     space.BWsTBps,
-		Kernels: names,
-		BudgetW: budget,
-		Opts:    uint(tech),
+		V:          2,
+		CUs:        space.CUs,
+		Freqs:      space.FreqsMHz,
+		BWs:        space.BWsTBps,
+		Chiplets:   space.GPUChiplets,
+		HBMs:       space.HBMStackGBs,
+		ExtMods:    space.ExtModules,
+		Kernels:    names,
+		BudgetW:    budget,
+		Opts:       uint(tech),
+		Explorer:   explorer,
+		EvalBudget: r.EvalBudget,
+		Seed:       r.Seed,
 	})
 	return exploreJob{
-		space:   space,
-		kernels: ks,
-		names:   names,
-		budgetW: budget,
-		tech:    tech,
-		timeout: time.Duration(r.TimeoutSec * float64(time.Second)),
-		key:     key,
+		space:      space,
+		kernels:    ks,
+		names:      names,
+		budgetW:    budget,
+		tech:       tech,
+		explorer:   explorer,
+		evalBudget: r.EvalBudget,
+		seed:       r.Seed,
+		timeout:    time.Duration(r.TimeoutSec * float64(time.Second)),
+		key:        key,
 	}, nil
 }
 
@@ -552,11 +610,16 @@ func (e exploreJob) summarize(out dse.Outcome) ExploreResult {
 		Points:        len(out.Evals),
 		BudgetW:       e.budgetW,
 		Optimizations: techNames(e.tech),
+		Explorer:      e.explorer,
+		SpaceSize:     e.space.Size(),
 		BestMean: BestPoint{
-			CUs:       out.BestMean.Point.CUs,
-			FreqMHz:   out.BestMean.Point.FreqMHz,
-			BWTBps:    out.BestMean.Point.BWTBps,
-			MeanScore: out.BestMean.MeanScore,
+			CUs:         out.BestMean.Point.CUs,
+			FreqMHz:     out.BestMean.Point.FreqMHz,
+			BWTBps:      out.BestMean.Point.BWTBps,
+			GPUChiplets: out.BestMean.Point.GPUChiplets,
+			HBMStackGB:  out.BestMean.Point.HBMStackGB,
+			ExtModules:  out.BestMean.Point.ExtModules,
+			MeanScore:   out.BestMean.MeanScore,
 		},
 	}
 	for _, ev := range out.Evals {

@@ -1,0 +1,197 @@
+package surrogate
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// forest is a seeded random-forest regressor over design-point features. It
+// is deterministic by construction: every tree owns a rand.Rand derived from
+// a pre-assigned seed and is stored by its index, bootstrap draws and feature
+// subsets come only from that per-tree generator, and split search iterates
+// samples in a fully ordered way (value, then point index) — so fitting is
+// bit-identical no matter how many goroutines build trees.
+type forest struct {
+	trees []tree
+}
+
+type forestOpts struct {
+	minLeaf  int
+	maxDepth int
+	mtry     int   // features considered per split
+	feats    []int // indices of features with >1 distinct value
+}
+
+// node is one tree node; feat < 0 marks a leaf carrying val.
+type node struct {
+	feat        int
+	thr         float64
+	left, right int32
+	val         float64
+}
+
+type tree struct {
+	nodes []node
+}
+
+// fitForest trains one tree per seed over the sample matrix X (row-major,
+// one row per evaluated point) and targets y, building trees concurrently.
+func fitForest(seeds []int64, X [][]float64, y []float64, o forestOpts) *forest {
+	f := &forest{trees: make([]tree, len(seeds))}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				f.trees[i] = buildTree(rand.New(rand.NewSource(seeds[i])), X, y, o)
+			}
+		}()
+	}
+	for i := range seeds {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return f
+}
+
+func buildTree(rng *rand.Rand, X [][]float64, y []float64, o forestOpts) tree {
+	n := len(y)
+	sample := make([]int, n)
+	for i := range sample {
+		sample[i] = rng.Intn(n)
+	}
+	var t tree
+	t.grow(rng, X, y, sample, 0, o)
+	return t
+}
+
+// grow appends the subtree fit to sample and returns its root's node index.
+func (t *tree) grow(rng *rand.Rand, X [][]float64, y []float64, sample []int, depth int, o forestOpts) int32 {
+	idx := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{feat: -1})
+
+	var sum float64
+	allEqual := true
+	for _, i := range sample {
+		sum += y[i]
+		if y[i] != y[sample[0]] {
+			allEqual = false
+		}
+	}
+	mean := sum / float64(len(sample))
+	if allEqual || depth >= o.maxDepth || len(sample) <= o.minLeaf {
+		t.nodes[idx].val = mean
+		return idx
+	}
+
+	// Split search over a random subset of the informative features: for
+	// each, order the sample by (value, point index) and scan thresholds
+	// between distinct values, maximizing the variance-reduction surrogate
+	// sumL²/nL + sumR²/nR via prefix sums. Strict > keeps the first best in
+	// the (deterministic) iteration order, fixing all tie-breaks.
+	mtry := o.mtry
+	if mtry > len(o.feats) {
+		mtry = len(o.feats)
+	}
+	featPerm := rng.Perm(len(o.feats))[:mtry]
+	bestGain := math.Inf(-1)
+	bestFeat := -1
+	var bestThr float64
+	ord := make([]int, len(sample))
+	for _, fp := range featPerm {
+		ft := o.feats[fp]
+		copy(ord, sample)
+		sort.Slice(ord, func(a, b int) bool {
+			xa, xb := X[ord[a]][ft], X[ord[b]][ft]
+			if xa != xb {
+				return xa < xb
+			}
+			return ord[a] < ord[b]
+		})
+		var sl float64
+		nl := 0
+		for k := 0; k < len(ord)-1; k++ {
+			sl += y[ord[k]]
+			nl++
+			if X[ord[k]][ft] == X[ord[k+1]][ft] {
+				continue
+			}
+			sr := sum - sl
+			nr := len(ord) - nl
+			gain := sl*sl/float64(nl) + sr*sr/float64(nr)
+			if gain > bestGain {
+				bestGain = gain
+				bestFeat = ft
+				bestThr = (X[ord[k]][ft] + X[ord[k+1]][ft]) / 2
+			}
+		}
+	}
+	if bestFeat < 0 {
+		t.nodes[idx].val = mean
+		return idx
+	}
+
+	var left, right []int
+	for _, i := range sample {
+		if X[i][bestFeat] <= bestThr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		t.nodes[idx].val = mean
+		return idx
+	}
+	t.nodes[idx].feat = bestFeat
+	t.nodes[idx].thr = bestThr
+	l := t.grow(rng, X, y, left, depth+1, o)
+	r := t.grow(rng, X, y, right, depth+1, o)
+	t.nodes[idx].left = l
+	t.nodes[idx].right = r
+	return idx
+}
+
+func (t *tree) predict(x []float64) float64 {
+	i := int32(0)
+	for {
+		nd := &t.nodes[i]
+		if nd.feat < 0 {
+			return nd.val
+		}
+		if x[nd.feat] <= nd.thr {
+			i = nd.left
+		} else {
+			i = nd.right
+		}
+	}
+}
+
+// predict returns the cross-tree mean and (population) standard deviation at
+// x; scratch must hold len(trees) float64s and avoids a per-candidate alloc.
+func (f *forest) predict(x []float64, scratch []float64) (mu, sigma float64) {
+	var sum float64
+	for i := range f.trees {
+		v := f.trees[i].predict(x)
+		scratch[i] = v
+		sum += v
+	}
+	mu = sum / float64(len(f.trees))
+	var ss float64
+	for _, v := range scratch[:len(f.trees)] {
+		d := v - mu
+		ss += d * d
+	}
+	sigma = math.Sqrt(ss / float64(len(f.trees)))
+	return mu, sigma
+}
